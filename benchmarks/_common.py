@@ -1,0 +1,27 @@
+"""Shared helpers for the benchmark harness.
+
+Every benchmark regenerates one of the paper's tables/figures as text:
+the rows/series are printed and also written to ``benchmarks/results/``
+so EXPERIMENTS.md can reference stable artifacts.  Wall-clock timing of
+the simulator itself goes through pytest-benchmark; the *scientific*
+numbers are simulated-time measurements inside the run.
+"""
+
+from __future__ import annotations
+
+import pathlib
+
+RESULTS = pathlib.Path(__file__).parent / "results"
+
+
+def emit(name: str, text: str) -> None:
+    """Print a result block and persist it under benchmarks/results/."""
+    banner = f"\n{'=' * 72}\n{name}\n{'=' * 72}\n{text}\n"
+    print(banner)
+    RESULTS.mkdir(exist_ok=True)
+    (RESULTS / f"{name}.txt").write_text(text + "\n")
+
+
+def rel(a: float, b: float) -> float:
+    """Relative difference of a vs b (positive = a is larger)."""
+    return (a - b) / b if b else 0.0

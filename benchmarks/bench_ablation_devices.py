@@ -1,0 +1,69 @@
+"""Ablation: the inline-dedup penalty across device technologies.
+
+The paper's central historical claim (§II-B, §III): NVDedup-era inline
+dedup was designed when NVM writes were assumed ~8x slower than DRAM —
+on such devices (PCM-class) hiding T_f behind slow writes worked.  On
+Optane DC PM, whose write latency approaches DRAM, the same inline
+pipeline is catastrophic.  Sweep the Table I profiles and watch the
+inline penalty grow as the device gets faster.
+"""
+
+from _common import emit
+
+from repro.analysis import InlineModel, render_table
+from repro.core import Config, Variant, make_fs
+from repro.pm.latency import PROFILES
+from repro.workloads import run_workload, small_file_job
+
+# Ordered slowest-write to fastest-write media.
+ORDER = ["PCM", "OptaneDCPM", "STT-RAM", "DRAM"]
+
+
+def inline_drop(profile: str) -> float:
+    """Fractional write-throughput loss of inline dedup vs baseline."""
+    tputs = {}
+    for variant in (Variant.BASELINE, Variant.INLINE):
+        cfg = Config.with_profile(profile, device_pages=4096,
+                                  max_inodes=256)
+        fs, dd = make_fs(variant, cfg)
+        res = run_workload(fs, small_file_job(nfiles=150, dup_ratio=0.5),
+                           dd=dd)
+        tputs[variant] = res.throughput_mb_s
+    return 1 - tputs[Variant.INLINE] / tputs[Variant.BASELINE]
+
+
+def build_rows():
+    rows = []
+    for name in ORDER:
+        model = PROFILES[name]
+        drop = inline_drop(name)
+        m = InlineModel(model=model)
+        rows.append([
+            name,
+            model.write_latency_ns,
+            round(1 / model.write_bw_bytes_per_ns, 2),
+            round(m.t_f(4096) / m.t_w(4096), 2),
+            f"{drop:.1%}",
+        ])
+    return rows
+
+
+def test_inline_penalty_grows_with_device_speed(benchmark):
+    rows = benchmark.pedantic(build_rows, rounds=1, iterations=1)
+    emit("ablation_devices", render_table(
+        ["device", "write ns", "ns/B", "T_f/T_w", "inline drop @a=0.5"],
+        rows,
+        title="Ablation: inline-dedup penalty by device technology "
+              "(the paper's thesis: fatal on Optane, tolerable on PCM)",
+    ))
+    drops = [float(r[4].rstrip("%")) / 100 for r in rows]
+    by_dev = dict(zip(ORDER, drops))
+    # The penalty ordering follows write speed.
+    assert by_dev["PCM"] < by_dev["OptaneDCPM"] < by_dev["DRAM"]
+    # On PCM-class media inline is a moderate tax; on Optane it is
+    # catastrophic — the quantitative version of the paper's argument.
+    assert by_dev["PCM"] < 0.55
+    assert by_dev["OptaneDCPM"] > 0.6
+    # T_f/T_w tracks the same story.
+    ratios = [r[3] for r in rows]
+    assert ratios[0] < ratios[1] < ratios[-1]

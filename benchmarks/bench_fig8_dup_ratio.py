@@ -1,0 +1,113 @@
+"""Fig. 8: write throughput vs duplicate ratio, all variants.
+
+Paper setup: 4 KB x 1M files (small) and 128 KB x 100k files (large),
+single thread, 0.1 ms think per 0.1 ms I/O, duplicate ratio swept.
+Claims to reproduce:
+
+* DeNova-Inline loses > 50 % (small) / > 80 % (large) vs baseline NOVA;
+* DeNova-Immediate and DeNova-Delayed lose < 1 %;
+* inline improves only slightly as the duplicate ratio rises.
+"""
+
+import pytest
+from _common import emit, rel
+
+from repro.analysis import render_table
+from repro.core import Config, Variant, make_fs
+from repro.workloads import large_file_job, run_workload, small_file_job
+
+ALPHAS = [0.0, 0.25, 0.5, 0.75]
+VARIANTS = [Variant.BASELINE, Variant.INLINE, Variant.IMMEDIATE,
+            Variant.DELAYED]
+
+SMALL_N = 300   # scaled from 1,000,000 (shape is per-file-rate invariant)
+LARGE_N = 40    # scaled from 100,000
+
+
+def run_one(variant: Variant, jobf, nfiles: int, alpha: float):
+    pages = 6144 if jobf is small_file_job else 4096
+    cfg = Config(device_pages=pages, max_inodes=nfiles + 32,
+                 delayed_interval_ms=0.75, delayed_batch=20000)
+    fs, dd = make_fs(variant, cfg)
+    spec = jobf(nfiles=nfiles, dup_ratio=alpha)
+    return run_workload(fs, spec, dd=dd)
+
+
+def sweep(jobf, nfiles):
+    table: dict[Variant, list[float]] = {}
+    for variant in VARIANTS:
+        table[variant] = [
+            run_one(variant, jobf, nfiles, a).throughput_mb_s
+            for a in ALPHAS
+        ]
+    return table
+
+
+def render(table, workload_name):
+    rows = []
+    for variant, tputs in table.items():
+        base = table[Variant.BASELINE]
+        rows.append([variant.value]
+                    + [round(t, 1) for t in tputs]
+                    + [f"{tputs[i] / base[i]:.1%}" for i in (0, len(ALPHAS) - 1)])
+    return render_table(
+        ["variant"] + [f"a={a}" for a in ALPHAS]
+        + ["vs NOVA @a=0", f"vs NOVA @a={ALPHAS[-1]}"],
+        rows,
+        title=f"Fig. 8 ({workload_name}): write throughput MB/s vs "
+              f"duplicate ratio (1 thread, think time on)",
+    )
+
+
+@pytest.mark.parametrize("jobf,nfiles,name,inline_floor", [
+    (small_file_job, SMALL_N, "small 4KB files", 0.50),
+    (large_file_job, LARGE_N, "large 128KB files", 0.60),
+])
+def test_fig8(benchmark, jobf, nfiles, name, inline_floor):
+    table = benchmark.pedantic(lambda: sweep(jobf, nfiles), rounds=1,
+                               iterations=1)
+    emit(f"fig8_{jobf.__name__}", render(table, name))
+    base = table[Variant.BASELINE]
+    for i, alpha in enumerate(ALPHAS):
+        # Offline dedup within 1% of baseline at every ratio.
+        for v in (Variant.IMMEDIATE, Variant.DELAYED):
+            drop = rel(base[i], table[v][i])
+            assert drop < 0.015, \
+                f"{v.value} dropped {drop:.1%} at alpha={alpha}"
+        # Inline loses big.
+        inline_drop = rel(base[i], table[Variant.INLINE][i])
+        assert inline_drop / (1 + inline_drop) > inline_floor * 0.8, \
+            f"inline only dropped {inline_drop:.1%} at alpha={alpha}"
+    # Inline improves slightly (but only slightly) with duplicate ratio.
+    inline = table[Variant.INLINE]
+    assert inline[-1] >= inline[0]
+    assert inline[-1] < 1.5 * inline[0]
+
+
+def test_fig8_shape_is_scale_invariant(benchmark):
+    """The scaled-down file counts are legitimate: the inline-vs-NOVA
+    throughput ratio is a per-file quantity, stable across scales."""
+    def ratio_at(nfiles):
+        base = run_one(Variant.BASELINE, small_file_job, nfiles, 0.5)
+        inline = run_one(Variant.INLINE, small_file_job, nfiles, 0.5)
+        return inline.throughput_mb_s / base.throughput_mb_s
+
+    r_small = benchmark.pedantic(lambda: ratio_at(100), rounds=1,
+                                 iterations=1)
+    r_large = ratio_at(400)
+    assert abs(r_small - r_large) < 0.03, \
+        f"inline/NOVA ratio drifted with scale: {r_small:.3f} vs " \
+        f"{r_large:.3f}"
+
+
+def test_fig8_space_savings_scale_with_alpha(benchmark):
+    """The other half of the trade: savings actually materialize."""
+    def sweep_savings():
+        return [run_one(Variant.IMMEDIATE, small_file_job, 200,
+                        alpha).space["space_saving"] for alpha in ALPHAS]
+
+    savings = benchmark.pedantic(sweep_savings, rounds=1, iterations=1)
+    assert savings[0] == 0.0
+    for lo, hi in zip(savings, savings[1:]):
+        assert hi >= lo
+    assert savings[-1] >= 0.55  # alpha=0.75 ~> 70%+ saved

@@ -1,0 +1,100 @@
+"""Recovery cost and completeness (§V-C, quantified).
+
+Not a paper table per se — the paper argues recovery qualitatively — but
+the repo's crash suites need a cost budget: how long (simulated) does an
+unclean DeNova mount take as the filesystem grows, and how much work do
+the individual recovery passes do?
+"""
+
+from _common import emit
+
+from repro.analysis import render_table
+from repro.core import Config, Variant, make_fs
+from repro.dedup import DeNovaFS
+from repro.workloads import DataGenerator
+
+
+def crashed_fs(nfiles: int, drained_fraction: float):
+    fs, _ = make_fs(Variant.IMMEDIATE, Config(device_pages=16384,
+                                              max_inodes=nfiles + 32))
+    gen = DataGenerator(alpha=0.5, seed=21)
+    for i in range(nfiles):
+        ino = fs.create(f"/f{i}")
+        fs.write(ino, 0, gen.file_data(2 * 4096))
+    fs.daemon.drain(limit=int(nfiles * drained_fraction))
+    fs.dev.crash()
+    fs.dev.recover_view()
+    return fs.dev
+
+
+def recover_once(nfiles: int, drained: float):
+    dev = crashed_fs(nfiles, drained)
+    t0 = dev.clock.now_ns
+    fs = DeNovaFS.mount(dev)
+    mount_ns = dev.clock.now_ns - t0
+    rep = fs.last_recovery
+    return {
+        "mount_ms": mount_ns / 1e6,
+        "inodes": rep.inodes_recovered,
+        "entries": rep.entries_replayed,
+        "dwq_rebuilt": rep.extra["dedup"]["dwq_rebuilt"],
+        "uc_discarded": rep.extra["dedup"]["uc_discarded"],
+        "fs": fs,
+    }
+
+
+def test_recovery_scales_with_filesystem(benchmark):
+    sizes = [50, 150, 400]
+    results = [recover_once(n, drained=0.5) for n in sizes]
+    benchmark.pedantic(lambda: recover_once(100, 0.5), rounds=1,
+                       iterations=1)
+    rows = [[n, round(r["mount_ms"], 2), r["inodes"], r["entries"],
+             r["dwq_rebuilt"]]
+            for n, r in zip(sizes, results)]
+    emit("recovery_cost", render_table(
+        ["files", "unclean mount ms (sim)", "inodes", "entries replayed",
+         "DWQ rebuilt"],
+        rows,
+        title="Unclean-mount recovery cost vs filesystem size",
+    ))
+    # Linear-ish growth in replayed work.
+    assert results[-1]["entries"] > results[0]["entries"]
+    assert results[-1]["mount_ms"] < 200, "recovery blew its budget"
+    # Half the queue was unprocessed -> about half the nodes come back.
+    for n, r in zip(sizes, results):
+        assert abs(r["dwq_rebuilt"] - n // 2) <= n // 10
+
+
+def test_recovered_fs_completes_outstanding_dedup(benchmark):
+    res = benchmark.pedantic(lambda: recover_once(120, 0.25), rounds=1,
+                             iterations=1)
+    fs = res["fs"]
+    fs.daemon.drain()
+    st = fs.space_stats()
+    assert st["space_saving"] > 0.3
+    assert len(fs.dwq) == 0
+
+
+def test_clean_mount_is_cheaper_than_unclean(benchmark):
+    def once(clean: bool):
+        fs, _ = make_fs(Variant.IMMEDIATE, Config(device_pages=8192,
+                                                  max_inodes=256))
+        gen = DataGenerator(alpha=0.5, seed=3)
+        for i in range(150):
+            ino = fs.create(f"/f{i}")
+            fs.write(ino, 0, gen.file_data(4096))
+        if clean:
+            fs.daemon.drain()
+            fs.unmount()
+        else:
+            fs.dev.crash()
+            fs.dev.recover_view()
+        t0 = fs.dev.clock.now_ns
+        DeNovaFS.mount(fs.dev)
+        return fs.dev.clock.now_ns - t0
+
+    clean_ns = benchmark.pedantic(lambda: once(True), rounds=1,
+                                  iterations=1)
+    unclean_ns = once(False)
+    # Unclean pays the FACT structural scan + flag scan on top.
+    assert unclean_ns > clean_ns

@@ -1,0 +1,116 @@
+"""Reflink / snapshot cost: O(metadata) copies via FACT refcounts.
+
+Not a paper experiment — an extension DeNova's reference counts enable
+almost for free — but the numbers make the design's value concrete:
+copying N pages by reflink costs a couple of log appends and N atomic
+count updates; a byte copy costs N page writes (plus N new pages).
+"""
+
+from _common import emit
+
+from repro.analysis import render_table
+from repro.core import Config, Variant, make_fs
+from repro.nova import PAGE_SIZE
+from repro.workloads import DataGenerator
+
+SIZES_PAGES = [4, 16, 64, 256]
+
+
+def costs(npages: int):
+    fs, _ = make_fs(Variant.IMMEDIATE, Config(device_pages=4 * npages + 2048,
+                                              max_inodes=64))
+    gen = DataGenerator(alpha=0.0, seed=44)
+    data = gen.file_data(npages * PAGE_SIZE)
+    src = fs.create("/src")
+    fs.write(src, 0, data)
+    fs.daemon.drain()
+
+    t0 = fs.clock.now_ns
+    used0 = fs.statfs()["used_pages"]
+    bytes0 = fs.dev.stats.bytes_written
+    fs.reflink("/src", "/reflinked")
+    reflink_ns = fs.clock.now_ns - t0
+    reflink_pages = fs.statfs()["used_pages"] - used0
+    reflink_bytes = fs.dev.stats.bytes_written - bytes0
+
+    t1 = fs.clock.now_ns
+    used1 = fs.statfs()["used_pages"]
+    bytes1 = fs.dev.stats.bytes_written
+    dst = fs.create("/copied")
+    fs.write(dst, 0, data)
+    copy_ns = fs.clock.now_ns - t1
+    copy_pages = fs.statfs()["used_pages"] - used1
+    copy_bytes = fs.dev.stats.bytes_written - bytes1
+    return (reflink_ns, reflink_pages, reflink_bytes,
+            copy_ns, copy_pages, copy_bytes)
+
+
+def build_rows():
+    rows = []
+    for npages in SIZES_PAGES:
+        r_ns, r_pages, r_bytes, c_ns, c_pages, c_bytes = costs(npages)
+        rows.append([
+            f"{npages * 4} KB", round(r_ns / 1000, 1), r_pages, r_bytes,
+            round(c_ns / 1000, 1), c_pages, c_bytes,
+            round(c_bytes / max(1, r_bytes), 1),
+        ])
+    return rows
+
+
+def test_reflink_vs_copy(benchmark):
+    rows = benchmark.pedantic(build_rows, rounds=1, iterations=1)
+    emit("snapshots_reflink", render_table(
+        ["file size", "reflink us", "pages", "NVM B", "copy us",
+         "pages", "NVM B", "media-byte ratio"],
+        rows,
+        title="Reflink vs byte copy (reflink = FACT refcount bumps only)",
+    ))
+    for (label, r_ns, r_pages, r_bytes, c_ns, c_pages, c_bytes,
+         ratio), npages in zip(rows, SIZES_PAGES):
+        assert r_pages <= 2, f"{label}: reflink allocated data pages"
+        assert c_pages >= npages, label
+        # Both are O(pages) in *time* on PM (FACT walks vs page writes),
+        # but reflink touches ~2 cache lines per page where copy streams
+        # 4 KB — the space and endurance wins are the headline.
+        assert r_ns < c_ns, label
+        assert ratio > 20, f"{label}: media-byte ratio only {ratio}"
+    ratios = [row[7] for row in rows]
+    assert ratios[-1] >= ratios[0]
+
+
+def test_snapshot_churn(benchmark):
+    """Daily snapshots of a mutating tree: space grows by deltas only,
+    expiry returns it, invariants hold throughout."""
+    from repro.failure import check_fs_invariants
+
+    def run():
+        fs, _ = make_fs(Variant.IMMEDIATE, Config(device_pages=16384,
+                                                  max_inodes=2048))
+        gen = DataGenerator(alpha=0.0, seed=45)
+        fs.mkdir("/data")
+        inos = []
+        for i in range(10):
+            ino = fs.create(f"/data/f{i}")
+            fs.write(ino, 0, gen.file_data(4 * PAGE_SIZE))
+            inos.append(ino)
+        fs.daemon.drain()
+        mut = DataGenerator(alpha=0.0, seed=46, stream=2)
+        growth = []
+        for day in range(5):
+            fs.snapshot(f"day{day}")
+            before = fs.statfs()["used_pages"]
+            fs.write(inos[day % 10], 0, mut.file_data(PAGE_SIZE))
+            fs.daemon.drain()
+            growth.append(fs.statfs()["used_pages"] - before)
+        used_full = fs.statfs()["used_pages"]
+        for day in range(4):
+            fs.delete_snapshot(f"day{day}")
+        fs.scrub()
+        check_fs_invariants(fs)
+        return growth, used_full, fs.statfs()["used_pages"]
+
+    growth, used_full, used_after = benchmark.pedantic(run, rounds=1,
+                                                       iterations=1)
+    # Each day's growth is bounded by the delta (1 page) + log metadata.
+    assert all(g <= 4 for g in growth), growth
+    assert used_after < used_full

@@ -1,0 +1,117 @@
+#!/usr/bin/env python3
+"""Crash-consistency demo: power-fail DeNova mid-deduplication, recover.
+
+Walks the paper's §V-C scenarios live:
+
+1. a crash with queued (not yet deduplicated) write entries — the DWQ is
+   rebuilt from the ``dedupe_needed`` flags (Inconsistency Handling I);
+2. a crash in the middle of Algorithm 1 — the ``in_process`` entries are
+   resumed from step 6 and stale update counts are discarded (II, III);
+3. a crash while reclaiming a shared page — the reference counts keep
+   the survivor's data safe.
+
+    python examples/crash_recovery_demo.py
+"""
+
+from repro import Config, DeNovaFS, Variant, make_fs
+from repro.failure import check_fs_invariants
+from repro.failure.injector import run_with_crash
+from repro.nova import PAGE_SIZE
+
+
+def page(tag: int) -> bytes:
+    return bytes([tag]) * PAGE_SIZE
+
+
+def scenario_queued_entries() -> None:
+    print("=== 1. crash with a full DWQ (Handling I) ===")
+    fs, _ = make_fs(Variant.IMMEDIATE, Config(device_pages=2048,
+                                              max_inodes=64))
+    for i in range(5):
+        ino = fs.create(f"/f{i}")
+        fs.write(ino, 0, page(7) + page(i))
+    print(f"  queued entries before crash: {len(fs.dwq)}")
+    fs.dev.crash()           # power failure: DRAM (and the DWQ) is gone
+    fs.dev.recover_view()
+    fs2 = DeNovaFS.mount(fs.dev)
+    rep = fs2.last_recovery.extra["dedup"]
+    print(f"  DWQ rebuilt from flag scan: {rep['dwq_rebuilt']} entries")
+    fs2.daemon.drain()
+    st = fs2.space_stats()
+    print(f"  dedup completed after recovery: {st['pages_saved']} pages "
+          f"saved ({st['space_saving']:.0%})")
+    check_fs_invariants(fs2)
+    print("  invariants: OK\n")
+
+
+def scenario_mid_dedup_crash() -> None:
+    print("=== 2. crash inside Algorithm 1 (Handling II/III) ===")
+
+    def build():
+        fs, _ = make_fs(Variant.IMMEDIATE, Config(device_pages=2048,
+                                                  max_inodes=64))
+        a = fs.create("/a")
+        b = fs.create("/b")
+        fs.write(a, 0, page(1) + page(2))
+        fs.write(b, 0, page(1) + page(2))
+
+        def scenario():
+            fs.daemon.drain()
+
+        return fs.dev, scenario
+
+    # Crash at the 7th persistence event — mid-transaction.
+    outcome = run_with_crash(build, point=7, phase="pre", mode="torn")
+    print(f"  crashed mid-dedup: {outcome.crashed}")
+    fs = DeNovaFS.mount(outcome.dev)
+    rep = fs.last_recovery.extra["dedup"]
+    print(f"  recovery: resumed {rep['in_process_resumed']} in-process "
+          f"entries, discarded {rep['uc_discarded']} stale UCs, "
+          f"re-queued {rep['dwq_rebuilt']} targets")
+    assert fs.read(fs.lookup("/a"), 0, 2 * PAGE_SIZE) == page(1) + page(2)
+    assert fs.read(fs.lookup("/b"), 0, 2 * PAGE_SIZE) == page(1) + page(2)
+    fs.daemon.drain()
+    print(f"  post-recovery dedup: {fs.space_stats()['pages_saved']} pages "
+          f"saved; contents verified byte-for-byte")
+    check_fs_invariants(fs)
+    print("  invariants: OK\n")
+
+
+def scenario_shared_reclaim_crash() -> None:
+    print("=== 3. crash while reclaiming a shared page (§V-C2) ===")
+
+    def build():
+        fs, _ = make_fs(Variant.IMMEDIATE, Config(device_pages=2048,
+                                                  max_inodes=64))
+        a = fs.create("/a")
+        b = fs.create("/b")
+        fs.write(a, 0, page(5))
+        fs.write(b, 0, page(5))
+        fs.daemon.drain()     # /a and /b now share one physical page
+
+        def scenario():
+            fs.unlink("/a")   # must NOT free the page /b still uses
+
+        return fs.dev, scenario
+
+    outcome = run_with_crash(build, point=2, phase="pre")
+    fs = DeNovaFS.mount(outcome.dev)
+    survivor = fs.read(fs.lookup("/b"), 0, PAGE_SIZE)
+    assert survivor == page(5), "shared page lost!"
+    print("  /b's data survived the crashed unlink of /a")
+    scrub = fs.scrub()
+    print(f"  scrubber: removed {scrub['entries_removed']} stale entries, "
+          f"freed {scrub['pages_freed']} leaked pages")
+    check_fs_invariants(fs)
+    print("  invariants: OK\n")
+
+
+def main() -> None:
+    scenario_queued_entries()
+    scenario_mid_dedup_crash()
+    scenario_shared_reclaim_crash()
+    print("all crash scenarios recovered consistently")
+
+
+if __name__ == "__main__":
+    main()

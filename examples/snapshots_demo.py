@@ -1,0 +1,83 @@
+#!/usr/bin/env python3
+"""Snapshots and reflinks: what FACT reference counting buys for free.
+
+DeNova's dedup metadata already counts references per data page, which
+makes reflink copies (``cp --reflink``) and whole-tree snapshots nearly
+free extensions: a snapshot bumps refcounts instead of copying bytes.
+
+    python examples/snapshots_demo.py
+"""
+
+from repro import Config, Variant, make_fs
+from repro.analysis import render_table
+from repro.nova import PAGE_SIZE
+from repro.nova.fs import ReadOnlyFile
+from repro.workloads import DataGenerator
+
+
+def main() -> None:
+    fs, _ = make_fs(Variant.IMMEDIATE, Config(device_pages=8192,
+                                              max_inodes=512))
+    gen = DataGenerator(alpha=0.2, seed=31, dup_pool_size=4)
+
+    # A working tree: a small "project" of 8 files.
+    fs.mkdir("/project")
+    for i in range(8):
+        ino = fs.create(f"/project/src{i}.c")
+        fs.write(ino, 0, gen.file_data(3 * PAGE_SIZE))
+    fs.daemon.drain()
+    used0 = fs.statfs()["used_pages"]
+
+    # Nightly snapshots around ongoing edits.
+    timeline = []
+    editor = DataGenerator(alpha=0.0, seed=32, stream=9)
+    for day in ("mon", "tue", "wed"):
+        rep = fs.snapshot(day)
+        fs.write(fs.lookup("/project/src0.c"), 0,
+                 editor.file_data(PAGE_SIZE))
+        fs.daemon.drain()
+        timeline.append([day, rep["files"],
+                         fs.statfs()["used_pages"] - used0])
+    print(render_table(
+        ["snapshot", "files", "pages grown since start"],
+        timeline,
+        title="Three snapshots + daily edits "
+              f"(working set = {used0} pages)",
+    ))
+
+    # Point-in-time reads: each snapshot kept its version of src0.c.
+    versions = {
+        day: fs.read(fs.lookup(f"/.snapshots/{day}/project/src0.c"),
+                     0, 16)
+        for day in ("mon", "tue", "wed")
+    }
+    assert versions["mon"] != versions["wed"]
+    print("\nsnapshot versions of src0.c differ as expected "
+          f"({len(set(versions.values()))} distinct versions)")
+
+    # Snapshots are immutable.
+    try:
+        fs.write(fs.lookup("/.snapshots/mon/project/src0.c"), 0, b"hack")
+    except ReadOnlyFile as exc:
+        print(f"write into a snapshot rejected: {exc}")
+
+    # Retention: drop the oldest snapshot, space returns.
+    before = fs.statfs()["used_pages"]
+    fs.delete_snapshot("mon")
+    fs.scrub()
+    print(f"deleted 'mon': {before - fs.statfs()['used_pages']} pages "
+          f"returned; remaining snapshots: {fs.list_snapshots()}")
+
+    # Reflink: instant clone of the whole current file.
+    fs.reflink("/project/src1.c", "/project/src1_experiment.c")
+    st = fs.space_stats()
+    print(f"\nreflink clone added 0 data pages "
+          f"(logical {st['logical_pages']} vs physical "
+          f"{st['physical_pages']} pages, "
+          f"saving {st['space_saving']:.0%})")
+    assert fs.deep_verify()["clean"]
+    print("deep verify: all canonical pages match their fingerprints")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,84 @@
+#!/usr/bin/env python3
+"""Storage-efficiency report: dedup savings and metadata footprints.
+
+Sweeps the duplicate ratio, reports achieved space savings, FACT
+occupancy (DAA vs IAA, chain lengths), and compares DeNova's DRAM-free
+metadata bill against the NVDedup-style DRAM index the paper argues
+against (§III).
+
+    python examples/space_savings_report.py
+"""
+
+from repro import Config, Variant, make_fs
+from repro.analysis import (
+    dram_index_overhead,
+    fact_overhead,
+    nvdedup_metadata_overhead,
+    render_table,
+)
+from repro.workloads import DataGenerator
+
+GB = 1 << 30
+
+
+def savings_sweep() -> None:
+    rows = []
+    for alpha in (0.0, 0.25, 0.5, 0.75, 0.9):
+        fs, _ = make_fs(Variant.IMMEDIATE, Config(device_pages=6144,
+                                                  max_inodes=1024))
+        gen = DataGenerator(alpha=alpha, seed=7)
+        for i in range(150):
+            ino = fs.create(f"/f{i}")
+            fs.write(ino, 0, gen.file_data(4 * 4096))
+        fs.daemon.drain()
+        st = fs.space_stats()
+        occ = st["fact"]
+        rows.append([
+            f"{alpha:.0%}",
+            st["logical_pages"],
+            st["physical_pages"],
+            f"{st['space_saving']:.1%}",
+            occ["daa_used"],
+            occ["iaa_used"],
+            round(occ["mean_chain"], 2),
+        ])
+    print(render_table(
+        ["dup ratio", "logical", "physical", "saved",
+         "DAA used", "IAA used", "mean chain"],
+        rows,
+        title="DeNova space savings vs duplicate ratio "
+              "(150 files x 16 KB)",
+    ))
+
+
+def metadata_bill() -> None:
+    rows = []
+    for size_gb in (64, 256, 1024):
+        size = size_gb * GB
+        rows.append([
+            f"{size_gb} GB",
+            f"{fact_overhead(size):.2%} NVM",
+            "0 B",
+            f"{nvdedup_metadata_overhead(size):.2%} NVM",
+            f"{dram_index_overhead(size) * size / GB:.1f} GB DRAM",
+        ])
+    print()
+    print(render_table(
+        ["device", "DeNova FACT", "DeNova DRAM",
+         "NVDedup table", "NVDedup DRAM index"],
+        rows,
+        title="Metadata bills (§III / §IV-C): DeNova trades 2x NVM table "
+              "space for zero DRAM",
+    ))
+    print("\nThe paper's example: a 1 TB device under NVDedup needs ~6 GB "
+          "of DRAM\n(18.75% of a 32 GB server) just for the dedup index; "
+          "DeNova needs none.")
+
+
+def main() -> None:
+    savings_sweep()
+    metadata_bill()
+
+
+if __name__ == "__main__":
+    main()

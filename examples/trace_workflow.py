@@ -1,0 +1,81 @@
+#!/usr/bin/env python3
+"""Trace-driven testing: record once, replay everywhere.
+
+Records a realistic workload on baseline NOVA, saves the trace, then
+replays it against every dedup variant with digest verification —
+demonstrating that deduplication (inline or offline, with background
+daemon interleaving) is observationally invisible, and measuring what
+each variant paid for the same logical work.
+
+    python examples/trace_workflow.py
+"""
+
+import tempfile
+
+from repro import Config, Variant, make_fs
+from repro.analysis import render_table
+from repro.nova import PAGE_SIZE
+from repro.workloads import DataGenerator, Trace, TracedFS, replay
+
+
+def record_reference_workload() -> Trace:
+    fs, _ = make_fs(Variant.BASELINE, Config(device_pages=4096,
+                                             max_inodes=256))
+    tfs = TracedFS(fs)
+    gen = DataGenerator(alpha=0.6, seed=20, dup_pool_size=6)
+
+    tfs.mkdir("/projects")
+    inos = {}
+    for i in range(12):
+        path = f"/projects/doc{i}"
+        inos[path] = tfs.create(path)
+        tfs.write(inos[path], 0, gen.file_data(3 * PAGE_SIZE))
+    # Edits, reads, reorganization.
+    tfs.write(inos["/projects/doc0"], 500, b"edited section " * 20)
+    tfs.read(inos["/projects/doc0"], 0, PAGE_SIZE)
+    tfs.truncate(inos["/projects/doc1"], PAGE_SIZE // 2)
+    tfs.rename("/projects/doc2", "/projects/doc2_final")
+    tfs.link("/projects/doc3", "/projects/doc3_alias")
+    tfs.unlink("/projects/doc4")
+    for i in range(5, 9):
+        tfs.read(inos[f"/projects/doc{i}"], 0, 3 * PAGE_SIZE)
+    return tfs.trace
+
+
+def main() -> None:
+    trace = record_reference_workload()
+    with tempfile.NamedTemporaryFile(suffix=".jsonl", delete=False) as fh:
+        path = fh.name
+    trace.save(path)
+    reloaded = Trace.load(path)
+    print(f"recorded {len(trace)} operations "
+          f"({sum(1 for o in trace.ops if o.op == 'read')} verified "
+          f"reads); saved to {path}\n")
+
+    rows = []
+    for variant in (Variant.BASELINE, Variant.IMMEDIATE, Variant.INLINE,
+                    Variant.INLINE_ADAPTIVE):
+        fs, _ = make_fs(variant, Config(device_pages=4096, max_inodes=256))
+        t0 = fs.clock.now_ns
+        counters = replay(fs, reloaded, verify=True, drain_every=4)
+        elapsed_ms = (fs.clock.now_ns - t0) / 1e6
+        saving = (fs.space_stats()["space_saving"]
+                  if hasattr(fs, "space_stats") else 0.0)
+        rows.append([
+            variant.value,
+            counters["applied"],
+            counters["verified_reads"],
+            round(elapsed_ms, 2),
+            f"{saving:.0%}",
+        ])
+    print(render_table(
+        ["variant", "ops applied", "reads verified", "sim ms", "saved"],
+        rows,
+        title="One trace, four filesystems — identical bytes everywhere",
+    ))
+    print("\nAll digests matched: dedup never changed a single byte "
+          "an application could observe.")
+
+
+if __name__ == "__main__":
+    main()

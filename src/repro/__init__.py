@@ -1,0 +1,57 @@
+"""DeNova reproduction: offline deduplication for log-structured PM file
+systems (Kwon et al., "DENOVA: Deduplication Extended NOVA File System",
+IPDPS 2022).
+
+Quickstart::
+
+    from repro import Config, Variant, make_fs
+
+    fs, dd = make_fs(Variant.IMMEDIATE, Config(device_pages=4096))
+    ino = fs.create("/hello.txt")
+    fs.write(ino, 0, b"persistent memory says hi" * 1000)
+    fs.daemon.drain()                 # background dedup, driven manually
+    print(fs.space_stats())
+
+Package map (bottom-up): :mod:`repro.sim` (DES kernel), :mod:`repro.pm`
+(PM device emulation), :mod:`repro.nova` (the NOVA filesystem model),
+:mod:`repro.dedup` (DeNova: FACT/DWQ/daemon/inline baselines),
+:mod:`repro.workloads` (fio-like jobs + DES runner),
+:mod:`repro.analysis` (Eq. 1-5 model + statistics), :mod:`repro.failure`
+(crash injection), :mod:`repro.core` (variants and configuration).
+"""
+
+from repro.core import Config, TESTBED, Variant, make_device, make_fs
+from repro.dedup import DeNovaFS, InlineDedupFS
+from repro.nova import NovaFS
+from repro.pm import OPTANE_DCPM, PMDevice, SimClock
+from repro.workloads import (
+    DDMode,
+    JobSpec,
+    Mode,
+    large_file_job,
+    run_workload,
+    small_file_job,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "Config",
+    "Variant",
+    "make_fs",
+    "make_device",
+    "TESTBED",
+    "NovaFS",
+    "DeNovaFS",
+    "InlineDedupFS",
+    "PMDevice",
+    "SimClock",
+    "OPTANE_DCPM",
+    "DDMode",
+    "JobSpec",
+    "Mode",
+    "small_file_job",
+    "large_file_job",
+    "run_workload",
+    "__version__",
+]

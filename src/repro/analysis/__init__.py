@@ -1,0 +1,27 @@
+"""Analytical model (Eq. 1-5), statistics, and report formatting."""
+
+from repro.analysis.model import (
+    InlineModel,
+    dram_index_overhead,
+    fact_overhead,
+    nvdedup_metadata_overhead,
+)
+from repro.analysis.stats import (
+    cdf,
+    latency_breakdown,
+    percentile,
+    render_series,
+    render_table,
+)
+
+__all__ = [
+    "InlineModel",
+    "fact_overhead",
+    "nvdedup_metadata_overhead",
+    "dram_index_overhead",
+    "cdf",
+    "percentile",
+    "latency_breakdown",
+    "render_table",
+    "render_series",
+]

@@ -1,0 +1,397 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Operates on device *image files* (durable bytes of the emulated PM
+device), so state persists across invocations like a real filesystem
+image would:
+
+    python -m repro mkfs disk.img --pages 8192 --variant immediate
+    python -m repro put disk.img /hello.txt local_file.txt
+    python -m repro get disk.img /hello.txt -
+    python -m repro ls disk.img /
+    python -m repro dedup disk.img              # drain the daemon
+    python -m repro stats disk.img
+    python -m repro fsck disk.img
+    python -m repro crash disk.img              # simulate power loss
+    python -m repro workload disk.img --files 200 --dup 0.5
+    python -m repro bench-model --size 4096 --alpha 0.5
+
+Every command that mutates the image performs a clean unmount (or, for
+``crash``, deliberately does not) and writes the image back.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.analysis import InlineModel, render_table
+from repro.core import Config, Variant
+from repro.dedup import DeNovaFS
+from repro.nova import NovaFS
+from repro.nova.layout import Superblock
+from repro.pm import PMDevice, SimClock
+from repro.pm.latency import PROFILES
+
+__all__ = ["main"]
+
+
+def _open_fs(image: str):
+    dev = PMDevice.load_image(image, clock=SimClock())
+    geo = Superblock(dev).load_geometry()
+    cls = DeNovaFS if geo.fact_page else NovaFS
+    return cls.mount(dev)
+
+
+def _close(fs, image: str, clean: bool = True) -> None:
+    if clean:
+        if hasattr(fs, "daemon"):
+            pass  # the DWQ is saved, not drained — offline semantics
+        fs.unmount()
+    fs.dev.save_image(image)
+
+
+def cmd_mkfs(args) -> int:
+    variant = Variant(args.variant)
+    model = PROFILES[args.profile]
+    dev = PMDevice(args.pages * 4096, model=model, clock=SimClock())
+    cls = DeNovaFS if variant.has_dedup else NovaFS
+    fs = cls.mkfs(dev, max_inodes=args.inodes)
+    fs.unmount()
+    dev.save_image(args.image)
+    print(f"formatted {args.image}: {args.pages} pages "
+          f"({args.pages * 4 // 1024} MB), {variant.value}, "
+          f"{args.profile}, {args.inodes} inodes")
+    return 0
+
+
+def cmd_ls(args) -> int:
+    fs = _open_fs(args.image)
+    for name in fs.listdir(args.path):
+        ino = fs.lookup(f"{args.path.rstrip('/')}/{name}")
+        st = fs.stat(ino)
+        kind = "d" if st.itype == 2 else "-"
+        print(f"{kind} {st.size:>10}  ino={st.ino:<5} links={st.links}  "
+              f"{name}")
+    return 0
+
+
+def cmd_put(args) -> int:
+    data = (sys.stdin.buffer.read() if args.source == "-"
+            else open(args.source, "rb").read())
+    fs = _open_fs(args.image)
+    if not fs.exists(args.path):
+        fs.create(args.path)
+    ino = fs.lookup(args.path)
+    fs.truncate(ino, 0)
+    fs.write(ino, 0, data)
+    _close(fs, args.image)
+    print(f"wrote {len(data)} bytes to {args.path}")
+    return 0
+
+
+def cmd_get(args) -> int:
+    fs = _open_fs(args.image)
+    ino = fs.lookup(args.path)
+    data = fs.read(ino, 0, fs.stat(ino).size)
+    if args.dest == "-":
+        sys.stdout.buffer.write(data)
+    else:
+        open(args.dest, "wb").write(data)
+    _close(fs, args.image)
+    return 0
+
+
+def cmd_rm(args) -> int:
+    fs = _open_fs(args.image)
+    fs.unlink(args.path)
+    _close(fs, args.image)
+    print(f"removed {args.path}")
+    return 0
+
+
+def cmd_dedup(args) -> int:
+    fs = _open_fs(args.image)
+    if not hasattr(fs, "daemon"):
+        print("image has no dedup layer (formatted as baseline NOVA)",
+              file=sys.stderr)
+        return 1
+    n = fs.daemon.drain()
+    st = fs.space_stats()
+    _close(fs, args.image)
+    print(f"deduplicated {n} write entries; "
+          f"{st['pages_saved']} pages saved "
+          f"({st['space_saving']:.1%} of logical data)")
+    return 0
+
+
+def cmd_stats(args) -> int:
+    fs = _open_fs(args.image)
+    s = fs.statfs()
+    rows = [["total pages", s["total_pages"]],
+            ["data pages", s["data_pages"]],
+            ["used pages", s["used_pages"]],
+            ["free pages", s["free_pages"]]]
+    if hasattr(fs, "space_stats"):
+        st = fs.space_stats()
+        rows += [["logical pages", st["logical_pages"]],
+                 ["physical pages", st["physical_pages"]],
+                 ["dedup saving", f"{st['space_saving']:.1%}"],
+                 ["DWQ backlog", st["dwq_backlog"]],
+                 ["FACT entries", st["fact"]["entries"]],
+                 ["FACT DAA/IAA", f"{st['fact']['daa_used']}"
+                                  f"/{st['fact']['iaa_used']}"]]
+    print(render_table(["metric", "value"], rows,
+                       title=f"{args.image}"))
+    _close(fs, args.image)
+    return 0
+
+
+def cmd_fsck(args) -> int:
+    from repro.failure import InvariantViolation, check_fs_invariants
+
+    fs = _open_fs(args.image)
+    rep = fs.last_recovery
+    print(f"mounted ({'clean' if rep.clean else 'recovered'}): "
+          f"{rep.inodes_recovered} inodes, "
+          f"{rep.entries_replayed} log entries, "
+          f"{rep.orphans_collected} orphans collected")
+    try:
+        result = check_fs_invariants(fs)
+    except InvariantViolation as exc:
+        print(f"FSCK FAILED: {exc}", file=sys.stderr)
+        return 1
+    print(f"invariants OK: {len(result['page_refs'])} data pages live, "
+          f"{len(result['log_pages'])} log pages")
+    if "fact" in result:
+        print(f"FACT OK: {result['fact']['live_entries']} live entries")
+    if args.scrub and hasattr(fs, "scrub"):
+        srep = fs.scrub()
+        print(f"scrub: {srep}")
+    if args.deep and hasattr(fs, "deep_verify"):
+        vrep = fs.deep_verify()
+        if not vrep["clean"]:
+            print(f"DEEP VERIFY FAILED: corrupt canonical pages "
+                  f"{vrep['corrupt']}", file=sys.stderr)
+            return 1
+        print(f"deep verify: {vrep['checked']} canonical pages match "
+              f"their fingerprints")
+    _close(fs, args.image)
+    return 0
+
+
+def cmd_crash(args) -> int:
+    dev = PMDevice.load_image(args.image, clock=SimClock())
+    fs_cls = (DeNovaFS if Superblock(dev).load_geometry().fact_page
+              else NovaFS)
+    fs = fs_cls.mount(dev)
+    # Leave some work in flight so the crash is interesting, then pull
+    # the plug without unmounting.
+    dev.crash()
+    dev.recover_view()
+    dev.save_image(args.image)
+    print(f"simulated power failure on {args.image} "
+          f"(next mount will recover)")
+    return 0
+
+
+def cmd_workload(args) -> int:
+    from repro.workloads import DDMode, run_workload, small_file_job
+
+    fs = _open_fs(args.image)
+    dd = (DDMode.immediate() if hasattr(fs, "daemon") else DDMode.none())
+    spec = small_file_job(nfiles=args.files, dup_ratio=args.dup,
+                          threads=args.threads, seed=args.seed)
+    res = run_workload(fs, spec, dd=dd)
+    print(render_table(
+        ["metric", "value"],
+        [["files", res.files_done],
+         ["throughput MB/s (sim)", round(res.throughput_mb_s, 1)],
+         ["files/s (sim)", round(res.files_per_s)],
+         ["mean op latency us", round(res.mean_op_latency_us, 2)],
+         ["dedup nodes", res.dd_nodes],
+         ["space saving", f"{res.space.get('space_saving', 0):.1%}"]],
+        title=f"workload on {args.image}"))
+    _close(fs, args.image)
+    return 0
+
+
+def cmd_tree(args) -> int:
+    fs = _open_fs(args.image)
+    for dirpath, dirnames, filenames in fs.walk(args.path):
+        depth = max(0, dirpath.rstrip("/").count("/"))
+        indent = "  " * depth
+        label = dirpath.rstrip("/").rsplit("/", 1)[-1]
+        print("/" if not label else f"{indent}{label}/")
+        for name in filenames:
+            full = f"{dirpath.rstrip('/')}/{name}"
+            ino = fs.lookup(full, follow=False)
+            cache = fs.caches[ino]
+            if cache.inode.itype == 3:
+                print(f"{indent}  {name} -> {cache.symlink_target}")
+            else:
+                print(f"{indent}  {name} ({cache.inode.size} B)")
+    return 0
+
+
+def cmd_du(args) -> int:
+    fs = _open_fs(args.image)
+    rep = fs.du(args.path)
+    print(render_table(
+        ["metric", "value"],
+        [["files", rep["files"]], ["dirs", rep["dirs"]],
+         ["logical bytes", rep["logical_bytes"]],
+         ["unique data pages", rep["unique_pages"]],
+         ["physical bytes", rep["physical_bytes"]]],
+        title=f"du {args.path} on {args.image} (dedup-aware)"))
+    return 0
+
+
+def cmd_reflink(args) -> int:
+    fs = _open_fs(args.image)
+    if not hasattr(fs, "reflink"):
+        print("reflink needs a dedup-enabled image", file=sys.stderr)
+        return 1
+    fs.reflink(args.src, args.dst)
+    _close(fs, args.image)
+    print(f"reflinked {args.src} -> {args.dst} (shared pages, O(metadata))")
+    return 0
+
+
+def cmd_snap(args) -> int:
+    fs = _open_fs(args.image)
+    if not hasattr(fs, "snapshot"):
+        print("snapshots need a dedup-enabled image", file=sys.stderr)
+        return 1
+    code = 0
+    if args.action == "create":
+        rep = fs.snapshot(args.name)
+        print(f"snapshot {rep['name']!r}: {rep['files']} files, "
+              f"{rep['dirs']} dirs at {rep['path']}")
+    elif args.action == "list":
+        for name in fs.list_snapshots():
+            print(name)
+    elif args.action == "delete":
+        removed = fs.delete_snapshot(args.name)
+        print(f"deleted snapshot {args.name!r} ({removed} files)")
+    _close(fs, args.image)
+    return code
+
+
+def cmd_bench_model(args) -> int:
+    model = InlineModel()
+    print(render_table(
+        ["quantity", "us"],
+        [["T_w", model.t_w(args.size) / 1000],
+         ["T_f", model.t_f(args.size) / 1000],
+         ["T_fw", model.t_fw(args.size) / 1000],
+         ["baseline write", model.baseline_write_time(args.size) / 1000],
+         [f"inline @ a={args.alpha}",
+          model.inline_write_time(args.size, args.alpha) / 1000],
+         [f"adaptive @ a={args.alpha}",
+          model.adaptive_write_time(args.size, args.alpha) / 1000]],
+        title=f"Eq. 1-5 model, {args.size} B writes"))
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    p = argparse.ArgumentParser(prog="repro",
+                                description=__doc__.split("\n\n")[0])
+    sub = p.add_subparsers(dest="command", required=True)
+
+    s = sub.add_parser("mkfs", help="format a new device image")
+    s.add_argument("image")
+    s.add_argument("--pages", type=int, default=8192)
+    s.add_argument("--inodes", type=int, default=1024)
+    s.add_argument("--variant", default="denova-immediate",
+                   choices=[v.value for v in Variant])
+    s.add_argument("--profile", default="OptaneDCPM",
+                   choices=sorted(PROFILES))
+    s.set_defaults(fn=cmd_mkfs)
+
+    s = sub.add_parser("ls", help="list a directory")
+    s.add_argument("image")
+    s.add_argument("path", nargs="?", default="/")
+    s.set_defaults(fn=cmd_ls)
+
+    s = sub.add_parser("put", help="copy a local file in")
+    s.add_argument("image")
+    s.add_argument("path")
+    s.add_argument("source", help="local file, or - for stdin")
+    s.set_defaults(fn=cmd_put)
+
+    s = sub.add_parser("get", help="copy a file out")
+    s.add_argument("image")
+    s.add_argument("path")
+    s.add_argument("dest", help="local file, or - for stdout")
+    s.set_defaults(fn=cmd_get)
+
+    s = sub.add_parser("rm", help="unlink a file")
+    s.add_argument("image")
+    s.add_argument("path")
+    s.set_defaults(fn=cmd_rm)
+
+    s = sub.add_parser("dedup", help="run the dedup daemon to completion")
+    s.add_argument("image")
+    s.set_defaults(fn=cmd_dedup)
+
+    s = sub.add_parser("stats", help="space and dedup statistics")
+    s.add_argument("image")
+    s.set_defaults(fn=cmd_stats)
+
+    s = sub.add_parser("fsck", help="mount, recover, verify invariants")
+    s.add_argument("image")
+    s.add_argument("--scrub", action="store_true",
+                   help="also run the FACT scrubber")
+    s.add_argument("--deep", action="store_true",
+                   help="fingerprint-verify every canonical page")
+    s.set_defaults(fn=cmd_fsck)
+
+    s = sub.add_parser("crash", help="simulate power failure on the image")
+    s.add_argument("image")
+    s.set_defaults(fn=cmd_crash)
+
+    s = sub.add_parser("workload", help="run a fio-like workload")
+    s.add_argument("image")
+    s.add_argument("--files", type=int, default=100)
+    s.add_argument("--dup", type=float, default=0.5)
+    s.add_argument("--threads", type=int, default=1)
+    s.add_argument("--seed", type=int, default=42)
+    s.set_defaults(fn=cmd_workload)
+
+    s = sub.add_parser("tree", help="print the directory tree")
+    s.add_argument("image")
+    s.add_argument("path", nargs="?", default="/")
+    s.set_defaults(fn=cmd_tree)
+
+    s = sub.add_parser("du", help="dedup-aware tree usage")
+    s.add_argument("image")
+    s.add_argument("path", nargs="?", default="/")
+    s.set_defaults(fn=cmd_du)
+
+    s = sub.add_parser("reflink", help="O(metadata) copy via shared pages")
+    s.add_argument("image")
+    s.add_argument("src")
+    s.add_argument("dst")
+    s.set_defaults(fn=cmd_reflink)
+
+    s = sub.add_parser("snap", help="manage snapshots")
+    s.add_argument("image")
+    s.add_argument("action", choices=["create", "list", "delete"])
+    s.add_argument("name", nargs="?", default="")
+    s.set_defaults(fn=cmd_snap)
+
+    s = sub.add_parser("bench-model", help="print the Eq. 1-5 numbers")
+    s.add_argument("--size", type=int, default=4096)
+    s.add_argument("--alpha", type=float, default=0.5)
+    s.set_defaults(fn=cmd_bench_model)
+
+    return p
+
+
+def main(argv=None) -> int:
+    args = build_parser().parse_args(argv)
+    return args.fn(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,11 @@
+"""Top-level public API: variants, configuration, one-call setup."""
+
+from repro.core.config import (
+    Config,
+    Variant,
+    make_fs,
+    make_device,
+    TESTBED,
+)
+
+__all__ = ["Config", "Variant", "make_fs", "make_device", "TESTBED"]

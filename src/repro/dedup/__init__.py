@@ -1,0 +1,43 @@
+"""DeNova's deduplication layer — the paper's primary contribution.
+
+Components (paper §IV):
+
+* :mod:`repro.dedup.fingerprint` — 4 KB chunking, SHA-1 strong
+  fingerprints, CRC32 weak fingerprints (for the NVDedup-style adaptive
+  inline baseline), with modelled CPU cost.
+* :mod:`repro.dedup.fact` — the Failure Atomic Consistent Table: a
+  DRAM-free, persistent dedup metadata table split into a direct access
+  area (indexed by fingerprint prefix) and an indirect access area
+  (collision chains as doubly linked lists), with count-based (UC/RFC)
+  consistency and delete-pointer indirection for reclamation.
+* :mod:`repro.dedup.reorder` — the Fig. 7 chain-reordering protocol with
+  its commit-flag crash recovery.
+* :mod:`repro.dedup.dwq` — the deduplication work queue.
+* :mod:`repro.dedup.daemon` — the deduplication daemon (Algorithm 1),
+  immediate and delayed(n, m) trigger modes.
+* :mod:`repro.dedup.inline` — the DeNova-Inline baseline (NVDedup-style
+  inline dedup, plus the workload-adaptive weak-fingerprint variant).
+* :mod:`repro.dedup.recovery` — §V-C recovery: DWQ rebuild, in-process
+  transaction resumption, stale-UC discard, FACT↔bitmap reconciliation,
+  and the background scrubber.
+* :mod:`repro.dedup.denova` — :class:`DeNovaFS`, NOVA + all of the above.
+"""
+
+from repro.dedup.fingerprint import Fingerprinter, fp_prefix
+from repro.dedup.fact import FACT, FactEntry
+from repro.dedup.dwq import DWQ, DWQNode
+from repro.dedup.daemon import DedupDaemon
+from repro.dedup.denova import DeNovaFS
+from repro.dedup.inline import InlineDedupFS
+
+__all__ = [
+    "Fingerprinter",
+    "fp_prefix",
+    "FACT",
+    "FactEntry",
+    "DWQ",
+    "DWQNode",
+    "DedupDaemon",
+    "DeNovaFS",
+    "InlineDedupFS",
+]

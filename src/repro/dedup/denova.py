@@ -1,0 +1,216 @@
+"""DeNovaFS: NOVA + offline deduplication (the paper's system).
+
+Integration points with the base filesystem:
+
+* every committed write entry starts with dedupe-flag ``dedupe_needed``
+  and is enqueued on the DWQ (``on_write_committed``);
+* page reclamation consults FACT through the delete pointer (exactly two
+  NVM reads) and frees a page only when its RFC reaches zero (§IV-D3);
+* log-page GC is vetoed for pages holding entries still awaiting dedup;
+* clean unmount saves the DWQ to PM; unclean mounts run the §V-C
+  recovery (:mod:`repro.dedup.recovery`).
+
+The dedup daemon itself is *driven by the caller* (or the DES workload
+runner): ``fs.daemon.drain()`` for DeNova-Immediate semantics,
+``fs.daemon.tick(m)`` every n ms for DeNova-Delayed(n, m).
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from typing import Iterable, Optional
+
+from repro.dedup.daemon import DedupDaemon
+from repro.dedup.dwq import DWQ, DWQNode
+from repro.dedup.fact import FACT
+from repro.dedup.fingerprint import Fingerprinter
+from repro.nova.entries import DEDUPE_NEEDED, WriteEntry
+from repro.nova.fs import NovaFS
+from repro.nova.layout import PAGE_SIZE, Geometry
+from repro.pm.device import PMDevice
+
+__all__ = ["DeNovaFS"]
+
+
+class DeNovaFS(NovaFS):
+    """The DeNova file system (offline dedup, DRAM-free metadata)."""
+
+    def __init__(self, dev: PMDevice, geo: Geometry, cpus: int = 1):
+        super().__init__(dev, geo, cpus)
+        if not geo.fact_page:
+            raise ValueError(
+                "DeNovaFS needs a FACT region; format with "
+                "DeNovaFS.mkfs(...) or NovaFS.mkfs(..., with_dedup=True)")
+        self.fact = FACT(dev, geo)
+        self.fingerprinter = Fingerprinter(self.cpu_model, self.clock)
+        self.dwq = DWQ(self.cpu_model, self.clock)
+        self.daemon = DedupDaemon(self)
+        self._pending_pages: Counter[int] = Counter()  # log page -> entries
+        self.dedup_counters = {
+            "shared_page_keeps": 0,   # reclaim skipped: RFC still > 0
+            "fact_entry_removes": 0,  # RFC hit zero -> entry retired
+            "direct_frees": 0,        # page had no FACT entry
+        }
+
+    # ------------------------------------------------------------ mkfs/mount
+
+    @classmethod
+    def mkfs(cls, dev: PMDevice, max_inodes: int = 1024, cpus: int = 1,
+             fact_prefix_bits: Optional[int] = None,
+             dwq_save_pages: int = 8, **_ignored) -> "DeNovaFS":
+        return super().mkfs(dev, max_inodes=max_inodes, cpus=cpus,
+                            with_dedup=True,
+                            fact_prefix_bits=fact_prefix_bits,
+                            dwq_save_pages=dwq_save_pages)
+
+    def _pre_unmount(self) -> None:
+        """§IV-B1: on a normal shutdown the DWQ is saved to NVM."""
+        self.dwq.save(self.dev, self.geo)
+
+    def _post_recover(self, report, clean: bool) -> None:
+        if clean:
+            restored = self.dwq.restore(self.dev, self.geo)
+            if restored >= 0:
+                for node in list(self.dwq._q):
+                    self._pending_pages[node.entry_addr // PAGE_SIZE] += 1
+                report.extra["dwq_restored"] = restored
+                return
+            # The shutdown backlog overflowed the save area: fall through
+            # to the crash-style recovery, whose flag scan rebuilds the
+            # queue losslessly.
+            report.extra["dwq_restored"] = "overflow->scan"
+        from repro.dedup.recovery import dedup_recover
+        report.extra["dedup"] = dedup_recover(self, report)
+
+    # ------------------------------------------------------------ write-path hooks
+
+    def initial_dedupe_flag(self) -> int:
+        return DEDUPE_NEEDED
+
+    def on_write_committed(self, ino: int, entry_addr: int,
+                           entry: WriteEntry, cpu: int) -> None:
+        self._pending_pages[entry_addr // PAGE_SIZE] += 1
+        self.dwq.enqueue(DWQNode(ino=ino, entry_addr=entry_addr))
+
+    def note_dedup_pending(self, entry_addr: int) -> None:
+        """An in_process entry exists at this address (daemon bookkeeping)."""
+        self._pending_pages[entry_addr // PAGE_SIZE] += 1
+
+    def note_dedup_done(self, entry_addr: int) -> None:
+        page = entry_addr // PAGE_SIZE
+        if self._pending_pages.get(page, 0) > 0:
+            self._pending_pages[page] -= 1
+            if not self._pending_pages[page]:
+                del self._pending_pages[page]
+
+    def log_page_gc_allowed(self, page: int) -> bool:
+        return self._pending_pages.get(page, 0) == 0
+
+    def thorough_gc_allowed(self, ino: int, chain_pages: list[int]) -> bool:
+        """Compaction moves entries; raw DWQ addresses must not dangle."""
+        return all(self._pending_pages.get(p, 0) == 0 for p in chain_pages)
+
+    # ------------------------------------------------------------ RFC-checked reclaim
+
+    def reclaim_extents(self, extents: Iterable[tuple[int, int]],
+                        cpu: int) -> None:
+        """§IV-D3: a page is freed only when its reference count is zero.
+
+        Per page: two NVM reads through the delete pointer, then an
+        atomic RFC decrement with a cache-line flush; when RFC reaches 0
+        the FACT entry is unlinked (up to three more flushed line
+        updates — the Fig. 11 overwrite overhead) and the page freed.
+        """
+        for start, count in extents:
+            run_start = None  # batch contiguous freeable pages
+            run_len = 0
+            for page in range(start, start + count):
+                ent = self.fact.entry_for_block(page)
+                freeable = False
+                if ent is None:
+                    self.dedup_counters["direct_frees"] += 1
+                    freeable = True
+                else:
+                    if self.fact.dec_rfc(ent.idx) == 0:
+                        self.fact.remove(ent.idx)
+                        self.dedup_counters["fact_entry_removes"] += 1
+                        freeable = True
+                    else:
+                        self.dedup_counters["shared_page_keeps"] += 1
+                if freeable:
+                    if run_start is None:
+                        run_start = page
+                        run_len = 1
+                    elif page == run_start + run_len:
+                        run_len += 1
+                    else:
+                        self.allocator.free(run_start, run_len, cpu)
+                        self.counters["pages_reclaimed"] += run_len
+                        run_start, run_len = page, 1
+                elif run_start is not None:
+                    self.allocator.free(run_start, run_len, cpu)
+                    self.counters["pages_reclaimed"] += run_len
+                    run_start = None
+                    run_len = 0
+            if run_start is not None:
+                self.allocator.free(run_start, run_len, cpu)
+                self.counters["pages_reclaimed"] += run_len
+
+    # ------------------------------------------------------------ maintenance
+
+    def scrub(self) -> dict:
+        """Background FACT↔file reconciliation (§V-C2)."""
+        from repro.dedup.recovery import scrub
+        return scrub(self)
+
+    def deep_verify(self) -> dict:
+        """Fingerprint-verify every canonical page (integrity audit)."""
+        from repro.dedup.recovery import deep_verify
+        return deep_verify(self)
+
+    # ------------------------------------------------------------ reflink/snapshots
+
+    def reflink(self, src: str, dst: str, immutable: bool = False) -> int:
+        """O(metadata) copy: dst shares every data page of src."""
+        from repro.dedup.reflink import reflink
+        self._check_mounted()
+        self.clock.advance(self.cpu_model.syscall_ns)
+        return reflink(self, src, dst, immutable=immutable)
+
+    def snapshot(self, name: str) -> dict:
+        """Reflink the tree into /.snapshots/<name> (files immutable)."""
+        from repro.dedup.reflink import snapshot
+        self._check_mounted()
+        return snapshot(self, name)
+
+    def list_snapshots(self) -> list[str]:
+        from repro.dedup.reflink import list_snapshots
+        return list_snapshots(self)
+
+    def delete_snapshot(self, name: str) -> int:
+        from repro.dedup.reflink import delete_snapshot
+        self._check_mounted()
+        return delete_snapshot(self, name)
+
+    # ------------------------------------------------------------ reporting
+
+    def space_stats(self) -> dict:
+        """Logical vs physical usage — the space-savings headline."""
+        logical_pages = 0
+        physical: set[int] = set()
+        for cache in self.caches.values():
+            if cache.inode.itype != 1:  # files only
+                continue
+            for pgoff, (_a, entry) in cache.index._slots.items():
+                logical_pages += 1
+                physical.add(entry.block_for(pgoff))
+        phys = len(physical)
+        return {
+            "logical_pages": logical_pages,
+            "physical_pages": phys,
+            "pages_saved": logical_pages - phys,
+            "dedup_ratio": logical_pages / phys if phys else 1.0,
+            "space_saving": 1 - phys / logical_pages if logical_pages else 0.0,
+            "dwq_backlog": len(self.dwq),
+            "fact": self.fact.occupancy(),
+        }

@@ -1,0 +1,149 @@
+"""The Deduplication Work Queue (paper §IV-B1).
+
+A DRAM FIFO of "write entry awaiting deduplication" nodes.  Writers
+enqueue after committing a write entry; the deduplication daemon
+dequeues.  Enqueue/dequeue cost a DRAM structure touch — negligible next
+to NVM accesses, which is the paper's argument for why sharing the DWQ
+between foreground writers and the daemon costs < 1 % throughput.
+
+Lifecycle:
+
+* **clean shutdown** — nodes are serialized into the device's DWQ save
+  area (16 bytes per node) and restored on the next mount;
+* **crash** — the queue is *rebuilt* by a fast scan of all write entries,
+  re-enqueuing those whose dedupe-flag is still ``dedupe_needed``
+  (Inconsistency Handling I).
+
+The queue also records per-node lingering time (dequeue − enqueue), the
+metric behind the paper's Fig. 10 CDF.
+"""
+
+from __future__ import annotations
+
+import struct
+from collections import deque
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.nova.layout import PAGE_SIZE, Geometry, Superblock
+from repro.pm.clock import SimClock
+from repro.pm.device import PMDevice
+from repro.pm.latency import CpuModel
+
+__all__ = ["DWQ", "DWQNode"]
+
+_NODE_FMT = "<QQ"  # ino, write-entry addr
+_NODE_BYTES = struct.calcsize(_NODE_FMT)
+
+
+@dataclass
+class DWQNode:
+    """One pending dedup unit: a committed write entry."""
+
+    ino: int
+    entry_addr: int
+    enqueue_time_ns: float = 0.0
+
+
+class DWQ:
+    """DRAM FIFO with lingering-time accounting and PM save/restore."""
+
+    def __init__(self, cpu: CpuModel, clock: SimClock):
+        self._cpu = cpu
+        self._clock = clock
+        self._q: deque[DWQNode] = deque()
+        self.enqueued = 0
+        self.dequeued = 0
+        self.peak_length = 0
+        self.lingering_ns: list[float] = []
+
+    def __len__(self) -> int:
+        return len(self._q)
+
+    def enqueue(self, node: DWQNode) -> None:
+        """Writer side: stamp and append (one DRAM touch)."""
+        self._clock.advance(self._cpu.dram_touch_ns)
+        node.enqueue_time_ns = self._clock.now_ns
+        self._q.append(node)
+        self.enqueued += 1
+        if len(self._q) > self.peak_length:
+            self.peak_length = len(self._q)
+
+    def dequeue(self) -> Optional[DWQNode]:
+        """Daemon side: pop the oldest node, recording lingering time."""
+        self._clock.advance(self._cpu.dram_touch_ns)
+        if not self._q:
+            return None
+        node = self._q.popleft()
+        self.dequeued += 1
+        self.lingering_ns.append(self._clock.now_ns - node.enqueue_time_ns)
+        return node
+
+    def peek_addrs(self) -> set[int]:
+        """Entry addresses currently queued (log-GC veto set)."""
+        return {n.entry_addr for n in self._q}
+
+    def clear(self) -> None:
+        self._q.clear()
+
+    # ------------------------------------------------------------ persistence
+
+    def capacity_on(self, geo: Geometry) -> int:
+        return geo.dwq_save_pages * PAGE_SIZE // _NODE_BYTES
+
+    #: Superblock sentinel: the queue outgrew the save area; the next
+    #: mount must rebuild it from the dedupe-flag scan instead.
+    OVERFLOWED = (1 << 64) - 1
+
+    def save(self, dev: PMDevice, geo: Geometry) -> int:
+        """Clean-shutdown persistence: write nodes to the save area.
+
+        Returns how many nodes were saved.  A backlog larger than the
+        save area cannot be silently truncated — dropped nodes would
+        leave their entries ``dedupe_needed`` forever on a clean mount —
+        so overflow stores the :attr:`OVERFLOWED` sentinel and the next
+        mount falls back to the crash-style flag-scan rebuild.
+        """
+        base = geo.dwq_save_page * PAGE_SIZE
+        cap = self.capacity_on(geo)
+        if len(self._q) > cap:
+            Superblock(dev).set_dwq_saved_count(self.OVERFLOWED)
+            return 0
+        nodes = list(self._q)
+        if nodes:
+            blob = b"".join(struct.pack(_NODE_FMT, n.ino, n.entry_addr)
+                            for n in nodes)
+            dev.write(base, blob, nt=True)
+            dev.sfence()
+        Superblock(dev).set_dwq_saved_count(len(nodes))
+        return len(nodes)
+
+    def restore(self, dev: PMDevice, geo: Geometry) -> int:
+        """Clean-mount restore: reload saved nodes into DRAM.
+
+        Returns the node count, or -1 when the shutdown overflowed the
+        save area and the caller must rebuild by scanning dedupe-flags.
+        """
+        count = Superblock(dev).dwq_saved_count
+        if count == self.OVERFLOWED:
+            Superblock(dev).set_dwq_saved_count(0)
+            return -1
+        if count == 0:
+            return 0
+        base = geo.dwq_save_page * PAGE_SIZE
+        raw = dev.read(base, count * _NODE_BYTES)
+        for i in range(count):
+            ino, addr = struct.unpack_from(_NODE_FMT, raw, i * _NODE_BYTES)
+            self.enqueue(DWQNode(ino=ino, entry_addr=addr))
+        Superblock(dev).set_dwq_saved_count(0)
+        return count
+
+    # ------------------------------------------------------------ statistics
+
+    def lingering_percentile(self, q: float) -> float:
+        """The Fig. 10 statistic: q-quantile of lingering time (ns)."""
+        if not self.lingering_ns:
+            return 0.0
+        data = sorted(self.lingering_ns)
+        pos = min(len(data) - 1, int(q * len(data)))
+        return data[pos]

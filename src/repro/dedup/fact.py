@@ -1,0 +1,554 @@
+"""FACT — the Failure Atomic Consistent Table (paper §IV-C).
+
+A static linear table of 64-byte (one cache line) entries on PM, with no
+DRAM index.  It is split in half:
+
+* **DAA** (direct access area, indexes ``0 .. 2^n``): addressed directly
+  by the top *n* bits of the SHA-1 fingerprint — one NVM read when there
+  is no prefix collision.
+* **IAA** (indirect access area, indexes ``2^n .. 2^(n+1)``): holds
+  entries whose prefix collided; all entries sharing a prefix form a
+  doubly linked list rooted at the DAA slot.
+
+Each entry carries a reference count (RFC — the number of write entries
+pointing at the block), an update count (UC — in-flight dedup
+transactions targeting the block), the fingerprint, the block address,
+``prev``/``next`` chain links, and the **delete pointer** column: the
+delete field of slot *B* maps *block address B* to the index of the FACT
+entry describing block *B*, so reclamation reaches its entry in exactly
+two NVM reads without re-fingerprinting (§IV-C).
+
+Layout notes vs. the paper's Fig. 4
+-----------------------------------
+Field *order* within the 64 bytes differs from the figure: all 8-byte
+fields are placed at 8-aligned offsets (counts@0, block@8, prev@16,
+next@24, delete@32, fp@40) so that every pointer/count update is a
+legal atomic 64-bit store — the property the consistency scheme needs.
+RFC and UC share the aligned word at offset 0, which is what lets
+"decrease UC and increase RFC" happen in **one** atomic store.
+Link and delete fields store ``index + 1`` with 0 meaning "none", so a
+freshly zeroed table is valid without a 2^(n+1)-entry initialization
+pass (the paper's ``-1`` sentinel, re-encoded).
+
+The delete column of a slot is independent of the slot's own entry:
+every mutation here is field-wise and never touches bytes 32..40 of a
+slot except through :meth:`FACT.set_delete` / :meth:`FACT.clear_delete`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator, Optional
+
+import numpy as np
+
+from repro.dedup.fingerprint import FP_BYTES, fp_prefix
+from repro.nova.layout import PAGE_SIZE, Geometry
+from repro.pm.device import PMDevice
+
+__all__ = ["FACT", "FactEntry", "FactFull", "FactCorruption", "LookupResult"]
+
+ENTRY = 64
+_OFF_COUNTS = 0
+_OFF_BLOCK = 8
+_OFF_PREV = 16
+_OFF_NEXT = 24
+_OFF_DELETE = 32
+_OFF_FP = 40
+
+_UC_UNIT = 1 << 32
+_RFC_MASK = (1 << 32) - 1
+
+_SCAN_DTYPE = np.dtype({
+    "names": ["counts", "block", "prev", "next", "delete"],
+    "formats": ["<u8"] * 5,
+    "offsets": [_OFF_COUNTS, _OFF_BLOCK, _OFF_PREV, _OFF_NEXT, _OFF_DELETE],
+    "itemsize": ENTRY,
+})
+
+
+class FactFull(Exception):
+    """The IAA has no free slot for a colliding fingerprint."""
+
+
+class FactCorruption(AssertionError):
+    """A FACT structural invariant does not hold."""
+
+
+@dataclass
+class FactEntry:
+    """Decoded DRAM view of one slot (links as indexes, -1 = none)."""
+
+    idx: int
+    refcount: int
+    update_count: int
+    block: int
+    prev: int
+    next: int
+    delete: int
+    fp: bytes
+
+    @property
+    def valid(self) -> bool:
+        return self.block != 0
+
+
+@dataclass
+class LookupResult:
+    """Outcome of a fingerprint lookup."""
+
+    found: Optional[FactEntry]   # None = unique chunk
+    tail_idx: int                # last chain slot visited (insert point)
+    steps: int                   # NVM entry reads performed
+    head_empty: bool             # the DAA slot itself is writable
+
+
+class FACT:
+    """The persistent dedup metadata table."""
+
+    def __init__(self, dev: PMDevice, geo: Geometry):
+        if not geo.fact_page:
+            raise ValueError("filesystem was formatted without a FACT region")
+        self.dev = dev
+        self.base = geo.fact_page * PAGE_SIZE
+        self.prefix_bits = geo.fact_prefix_bits
+        self.daa_size = 2 ** geo.fact_prefix_bits
+        self.total = 2 * self.daa_size
+        self._iaa_free: list[int] = list(
+            range(self.total - 1, self.daa_size - 1, -1))
+        # Observability (DRAM, rebuilt freely).
+        self.stats = {
+            "lookups": 0, "lookup_steps": 0, "daa_hits": 0,
+            "inserts": 0, "removes": 0, "reorders": 0,
+            "iaa_inserts": 0,
+        }
+        self.chain_accesses: dict[int, int] = {}  # head idx -> deep lookups
+
+    # ------------------------------------------------------------ raw slot access
+
+    def addr(self, idx: int) -> int:
+        if not 0 <= idx < self.total:
+            raise ValueError(f"FACT index {idx} out of range (<{self.total})")
+        return self.base + idx * ENTRY
+
+    def read_entry(self, idx: int) -> FactEntry:
+        """One NVM read of a full entry (the unit of lookup cost)."""
+        raw = self.dev.read(self.addr(idx), ENTRY)
+        return self._decode(idx, raw)
+
+    @staticmethod
+    def _decode(idx: int, raw: bytes) -> FactEntry:
+        counts = int.from_bytes(raw[_OFF_COUNTS:_OFF_COUNTS + 8], "little")
+        return FactEntry(
+            idx=idx,
+            refcount=counts & _RFC_MASK,
+            update_count=counts >> 32,
+            block=int.from_bytes(raw[_OFF_BLOCK:_OFF_BLOCK + 8], "little"),
+            prev=int.from_bytes(raw[_OFF_PREV:_OFF_PREV + 8], "little") - 1,
+            next=int.from_bytes(raw[_OFF_NEXT:_OFF_NEXT + 8], "little") - 1,
+            delete=int.from_bytes(raw[_OFF_DELETE:_OFF_DELETE + 8],
+                                  "little") - 1,
+            fp=raw[_OFF_FP:_OFF_FP + FP_BYTES],
+        )
+
+    def _write_fields(self, idx: int, counts: int, block: int, prev: int,
+                      nxt: int, fp: bytes) -> None:
+        """Store everything *except* the delete column, then persist.
+
+        The whole slot is one cache line, so this is still a single
+        clwb + sfence — the §IV-C "fit in a cache line" property.
+        """
+        a = self.addr(idx)
+        front = (counts.to_bytes(8, "little")
+                 + block.to_bytes(8, "little")
+                 + (prev + 1).to_bytes(8, "little")
+                 + (nxt + 1).to_bytes(8, "little"))
+        self.dev.write(a, front)
+        self.dev.write(a + _OFF_FP, fp + bytes(ENTRY - _OFF_FP - len(fp)))
+        self.dev.persist(a, ENTRY)
+
+    def _write_u64(self, idx: int, off: int, value: int) -> None:
+        a = self.addr(idx) + off
+        self.dev.write_atomic64(a, value)
+        self.dev.persist(a, 8)
+
+    def _read_u64(self, idx: int, off: int) -> int:
+        return self.dev.read_u64(self.addr(idx) + off)
+
+    # ------------------------------------------------------------ prefix / chains
+
+    def head_of(self, fp: bytes) -> int:
+        return fp_prefix(fp, self.prefix_bits)
+
+    def chain(self, head_idx: int, silent: bool = False) -> Iterator[FactEntry]:
+        """Walk a chain via ``next`` links (cycle-guarded)."""
+        idx = head_idx
+        seen = 0
+        while idx >= 0:
+            if seen > self.total:
+                raise FactCorruption(f"chain at {head_idx} has a cycle")
+            if silent:
+                ent = self._decode(idx, self.dev.read_silent(self.addr(idx),
+                                                             ENTRY))
+            else:
+                ent = self.read_entry(idx)
+            yield ent
+            idx = ent.next
+            seen += 1
+
+    # ------------------------------------------------------------ lookup / insert
+
+    def lookup(self, fp: bytes) -> LookupResult:
+        """Find the entry for ``fp`` (§IV-C lookup path).
+
+        Cost: one NVM entry read per chain position visited — one read
+        when the answer sits in the DAA, more as the chain grows (the
+        motivation for the §IV-E reordering).
+        """
+        head_idx = self.head_of(fp)
+        self.stats["lookups"] += 1
+        steps = 0
+        tail = head_idx
+        head_empty = False
+        for ent in self.chain(head_idx):
+            steps += 1
+            tail = ent.idx
+            if ent.idx == head_idx and not ent.valid:
+                head_empty = True
+                continue
+            if ent.valid and ent.fp == fp:
+                self.stats["lookup_steps"] += steps
+                if steps == 1:
+                    self.stats["daa_hits"] += 1
+                else:
+                    self.chain_accesses[head_idx] = \
+                        self.chain_accesses.get(head_idx, 0) + 1
+                return LookupResult(found=ent, tail_idx=tail, steps=steps,
+                                    head_empty=head_empty)
+        self.stats["lookup_steps"] += steps
+        return LookupResult(found=None, tail_idx=tail, steps=steps,
+                            head_empty=head_empty)
+
+    def insert(self, fp: bytes, block: int,
+               hint: Optional[LookupResult] = None) -> int:
+        """Insert a new entry for a unique chunk with ``UC=1, RFC=0``.
+
+        Persistence order is the crash-safety argument:
+
+        1. entry fields (counts/block/links/fp) — persisted, unreachable;
+        2. delete pointer for ``block`` — persisted, still unreachable;
+        3. chain link (tail's ``next`` or the DAA head itself) — the
+           atomic publish.
+
+        A crash before step 3 leaves an orphan slot that recovery zeroes;
+        after step 3 the entry exists with UC=1, which recovery either
+        commits (an ``in_process`` write entry references it) or discards.
+        """
+        if block <= 0:
+            raise ValueError("block 0 is reserved as the invalid marker")
+        head_idx = self.head_of(fp)
+        if hint is None:
+            hint = self.lookup(fp)
+        if hint.found is not None:
+            raise ValueError("insert of a fingerprint already present")
+        self.stats["inserts"] += 1
+        if hint.head_empty or hint.steps == 0:
+            # The DAA slot is free: write it in place, preserving any
+            # existing chain continuation in its next link.
+            cur_next = self._read_u64(head_idx, _OFF_NEXT)
+            self._write_fields(head_idx, _UC_UNIT, block, -1,
+                               cur_next - 1, fp)
+            self.set_delete(block, head_idx)
+            return head_idx
+        if not self._iaa_free:
+            raise FactFull("no free IAA slot for colliding fingerprint")
+        new_idx = self._iaa_free.pop()
+        self.stats["iaa_inserts"] += 1
+        self._write_fields(new_idx, _UC_UNIT, block, hint.tail_idx, -1, fp)
+        self.set_delete(block, new_idx)
+        self._write_u64(hint.tail_idx, _OFF_NEXT, new_idx + 1)  # publish
+        return new_idx
+
+    # ------------------------------------------------------------ counts (UC/RFC)
+
+    def inc_uc(self, idx: int) -> None:
+        """Begin a dedup transaction against this entry (Alg. 1 step 3)."""
+        counts = self._read_u64(idx, _OFF_COUNTS)
+        self._write_u64(idx, _OFF_COUNTS, counts + _UC_UNIT)
+
+    def commit_uc(self, idx: int) -> bool:
+        """UC -= 1, RFC += 1 in one atomic store (Alg. 1 step 6).
+
+        Returns False (no-op) when UC is already 0 — the recovery path
+        re-runs commits and counts are fungible across transactions, so
+        skipping on zero is exactly the paper's idempotence argument.
+        """
+        counts = self._read_u64(idx, _OFF_COUNTS)
+        if counts >> 32 == 0:
+            return False
+        self._write_u64(idx, _OFF_COUNTS, counts + 1 - _UC_UNIT)
+        return True
+
+    def discard_uc(self, idx: int) -> None:
+        """Drop staged UC (failed transaction, §V-C1 handling II)."""
+        counts = self._read_u64(idx, _OFF_COUNTS)
+        if counts >> 32:
+            self._write_u64(idx, _OFF_COUNTS, counts & _RFC_MASK)
+
+    def dec_rfc(self, idx: int) -> int:
+        """RFC -= 1 (reclaim path); returns the new RFC."""
+        counts = self._read_u64(idx, _OFF_COUNTS)
+        rfc = counts & _RFC_MASK
+        if rfc == 0:
+            raise FactCorruption(f"FACT[{idx}]: RFC underflow")
+        self._write_u64(idx, _OFF_COUNTS, counts - 1)
+        return rfc - 1
+
+    def refcount(self, idx: int) -> int:
+        return self._read_u64(idx, _OFF_COUNTS) & _RFC_MASK
+
+    # ------------------------------------------------------------ delete pointers
+
+    def set_delete(self, block: int, idx: int) -> None:
+        """Map block address -> entry index (stored in slot ``block``)."""
+        self._write_u64(block, _OFF_DELETE, idx + 1)
+
+    def clear_delete(self, block: int) -> None:
+        self._write_u64(block, _OFF_DELETE, 0)
+
+    def entry_for_block(self, block: int) -> Optional[FactEntry]:
+        """The §IV-C reclaim path: exactly two NVM reads.
+
+        Step 1: read slot ``block``'s delete pointer; step 2: read the
+        entry it names.  Returns None when the block has no dedup entry
+        (it was never fingerprinted, or its entry was removed).
+        """
+        val = self._read_u64(block, _OFF_DELETE)  # read 1
+        if val == 0:
+            return None
+        ent = self.read_entry(val - 1)            # read 2
+        if not ent.valid or ent.block != block:
+            return None
+        return ent
+
+    # ------------------------------------------------------------ removal
+
+    def remove(self, idx: int) -> None:
+        """Retire an entry whose RFC reached 0.
+
+        IAA slots are unlinked (``prev.next`` first — the atomic publish
+        of the removal; stale ``prev`` links are canonicalized by
+        recovery) then zeroed; a DAA head is zeroed in place, keeping its
+        ``next`` so the rest of the chain stays reachable.  The slot's
+        own delete *column* is never touched — only the mapping for the
+        removed entry's block.
+        """
+        ent = self.read_entry(idx)
+        if not ent.valid:
+            raise ValueError(f"remove of invalid FACT[{idx}]")
+        self.stats["removes"] += 1
+        if idx < self.daa_size:
+            self.clear_delete(ent.block)
+            cur_next = self._read_u64(idx, _OFF_NEXT)
+            self._write_fields(idx, 0, 0, -1, cur_next - 1, bytes(FP_BYTES))
+            return
+        # IAA: unlink, then scrub.
+        self._write_u64(ent.prev, _OFF_NEXT, ent.next + 1)  # publish removal
+        if ent.next >= 0:
+            self._write_u64(ent.next, _OFF_PREV, ent.prev + 1)
+        self.clear_delete(ent.block)
+        self._write_fields(idx, 0, 0, -1, -1, bytes(FP_BYTES))
+        self._iaa_free.append(idx)
+
+    # ------------------------------------------------------------ bulk scans
+
+    def _scan(self) -> np.ndarray:
+        """Vectorized whole-table scan (recovery / analysis).
+
+        Charges one bulk NVM read for the region, then decodes with a
+        NumPy structured view — no per-entry Python loop for the common
+        fields (per the HPC guides: vectorize the bulk path).
+        """
+        raw = self.dev.read(self.base, self.total * ENTRY)
+        return np.frombuffer(raw, dtype=_SCAN_DTYPE)
+
+    def live_entries(self, silent: bool = True) -> dict[int, FactEntry]:
+        """Decoded view of every valid slot (invariant checks, reports)."""
+        read = self.dev.read_silent if silent else self.dev.read
+        raw = read(self.base, self.total * ENTRY)
+        arr = np.frombuffer(raw, dtype=_SCAN_DTYPE)
+        out = {}
+        for idx in np.nonzero(arr["block"])[0]:
+            i = int(idx)
+            out[i] = self._decode(i, raw[i * ENTRY:(i + 1) * ENTRY])
+        return out
+
+    def occupancy(self) -> dict:
+        """DAA/IAA usage and chain-length statistics."""
+        arr = np.frombuffer(self.dev.read_silent(self.base,
+                                                 self.total * ENTRY),
+                            dtype=_SCAN_DTYPE)
+        valid = arr["block"] != 0
+        daa_used = int(valid[:self.daa_size].sum())
+        iaa_used = int(valid[self.daa_size:].sum())
+        lengths = []
+        for head in range(self.daa_size):
+            if valid[head] or arr["next"][head]:
+                n = 0
+                idx = head
+                while idx >= 0:
+                    if valid[idx]:
+                        n += 1
+                    idx = int(arr["next"][idx]) - 1
+                lengths.append(n)
+        return {
+            "daa_used": daa_used,
+            "iaa_used": iaa_used,
+            "entries": daa_used + iaa_used,
+            "iaa_free": len(self._iaa_free),
+            "max_chain": max(lengths, default=0),
+            "mean_chain": float(np.mean(lengths)) if lengths else 0.0,
+            "bytes": self.total * ENTRY,
+        }
+
+    # ------------------------------------------------------------ recovery
+
+    def structural_recover(self) -> dict:
+        """Repair table structure after a crash (before log-based fixups).
+
+        * resume/roll back any in-flight chain reorder (Fig. 7 protocol);
+        * canonicalize ``prev`` links from the authoritative ``next``
+          chain (stale prevs from crashed removals);
+        * zero valid-but-unlinked IAA slots (crashed inserts) and clear
+          their delete pointers;
+        * drop delete pointers that no longer match their entry;
+        * rebuild the volatile IAA free list.
+        """
+        from repro.dedup.reorder import recover_reorder
+        report = {"reorders_recovered": 0, "orphans_zeroed": 0,
+                  "prevs_fixed": 0, "deletes_cleared": 0}
+        arr = self._scan()
+        # Pass 1: reorder recovery on chains whose commit flag is set.
+        for head in range(self.daa_size):
+            if arr["prev"][head] != 0:
+                recover_reorder(self, head)
+                report["reorders_recovered"] += 1
+        arr = self._scan()
+        # Pass 2: canonicalize prev links; collect linked IAA slots.
+        linked: set[int] = set()
+        for head in range(self.daa_size):
+            prev_idx = -1
+            idx = head
+            hops = 0
+            while idx >= 0:
+                if hops > self.total:
+                    raise FactCorruption(f"post-recovery cycle at {head}")
+                if idx != head:
+                    linked.add(idx)
+                want = 0 if idx == head else prev_idx + 1
+                if int(arr["prev"][idx]) != want:
+                    self._write_u64(idx, _OFF_PREV, want)
+                    report["prevs_fixed"] += 1
+                prev_idx = idx
+                idx = int(arr["next"][idx]) - 1
+                hops += 1
+        # Pass 3: orphan IAA slots (valid, never linked).
+        for idx in range(self.daa_size, self.total):
+            if arr["block"][idx] != 0 and idx not in linked:
+                block = int(arr["block"][idx])
+                # Clear the orphan's delete pointer only if it points here.
+                if self._read_u64(block, _OFF_DELETE) == idx + 1:
+                    self.clear_delete(block)
+                    report["deletes_cleared"] += 1
+                self._write_fields(idx, 0, 0, -1, -1, bytes(FP_BYTES))
+                report["orphans_zeroed"] += 1
+        # Pass 4: delete-pointer validation.
+        arr = self._scan()
+        for slot in range(self.total):
+            val = int(arr["delete"][slot])
+            if val == 0:
+                continue
+            tgt = val - 1
+            if (tgt >= self.total or arr["block"][tgt] != slot):
+                self.clear_delete(slot)
+                report["deletes_cleared"] += 1
+        # Pass 5: volatile free list.
+        arr = self._scan()
+        self._iaa_free = [
+            idx for idx in range(self.total - 1, self.daa_size - 1, -1)
+            if arr["block"][idx] == 0
+        ]
+        return report
+
+    def discard_all_uc(self) -> int:
+        """§V-C1: leftover UCs are failed transactions — zero them."""
+        arr = self._scan()
+        discarded = 0
+        for idx in np.nonzero(arr["counts"] >> 32)[0]:
+            self.discard_uc(int(idx))
+            discarded += 1
+        return discarded
+
+    def remove_dead(self) -> int:
+        """Remove linked entries with RFC == 0 and UC == 0."""
+        arr = self._scan()
+        removed = 0
+        for idx in np.nonzero((arr["block"] != 0) & (arr["counts"] == 0))[0]:
+            self.remove(int(idx))
+            removed += 1
+        return removed
+
+    # ------------------------------------------------------------ invariants
+
+    def check_chains(self) -> None:
+        """Raise :class:`FactCorruption` on any structural violation."""
+        arr = np.frombuffer(self.dev.read_silent(self.base,
+                                                 self.total * ENTRY),
+                            dtype=_SCAN_DTYPE)
+        linked: set[int] = set()
+        for head in range(self.daa_size):
+            if int(arr["prev"][head]) != 0:
+                raise FactCorruption(
+                    f"head {head}: reorder commit flag left set")
+            prev_idx = -1
+            idx = head
+            hops = 0
+            while idx >= 0:
+                if hops > self.total:
+                    raise FactCorruption(f"cycle in chain {head}")
+                if idx != head:
+                    if idx < self.daa_size:
+                        raise FactCorruption(
+                            f"chain {head} links into the DAA at {idx}")
+                    if idx in linked:
+                        raise FactCorruption(
+                            f"slot {idx} linked from two chains")
+                    linked.add(idx)
+                    if arr["block"][idx] == 0:
+                        raise FactCorruption(
+                            f"chain {head} links invalid slot {idx}")
+                    if int(arr["prev"][idx]) != prev_idx + 1:
+                        raise FactCorruption(
+                            f"slot {idx}: prev={int(arr['prev'][idx]) - 1} "
+                            f"but chain predecessor is {prev_idx}")
+                if arr["block"][idx] != 0:
+                    raw = self.dev.read_silent(self.addr(idx), ENTRY)
+                    fp = raw[_OFF_FP:_OFF_FP + FP_BYTES]
+                    if fp_prefix(fp, self.prefix_bits) != head:
+                        raise FactCorruption(
+                            f"slot {idx} in chain {head} has prefix "
+                            f"{fp_prefix(fp, self.prefix_bits)}")
+                prev_idx = idx
+                idx = int(arr["next"][idx]) - 1
+                hops += 1
+        # Every valid IAA slot is reachable from exactly one chain.
+        for idx in range(self.daa_size, self.total):
+            if arr["block"][idx] != 0 and idx not in linked:
+                raise FactCorruption(f"valid IAA slot {idx} is unreachable")
+        # Delete pointers of valid entries resolve to themselves.
+        for idx in np.nonzero(arr["block"])[0]:
+            block = int(arr["block"][int(idx)])
+            if int(arr["delete"][block]) != int(idx) + 1:
+                raise FactCorruption(
+                    f"entry {int(idx)} (block {block}): delete pointer "
+                    f"is {int(arr['delete'][block]) - 1}")

@@ -1,0 +1,288 @@
+"""Inline-deduplication baselines (paper §III / §V "DeNova-Inline").
+
+:class:`InlineDedupFS` performs the full dedup pipeline — chunking,
+SHA-1 fingerprinting, FACT lookup, metadata update — *inside the write
+path*, the way NVDedup/LO-Dedup do.  It shares FACT and the UC/RFC
+consistency scheme with offline DeNova (entries are appended
+``in_process`` and completed after the count commits, so the same §V-C
+recovery applies), which isolates the experiment variable: *when* the
+dedup work happens.
+
+:class:`AdaptiveInlineFS` additionally models NVDedup's
+workload-adaptive fingerprinting (Eq. 4): a cheap CRC32 weak fingerprint
+always, the expensive SHA-1 only when the weak fingerprint collides —
+including the lazy strong-fingerprint generation for previously
+weak-only chunks.  Its metadata table is the DRAM index + modelled-NVM
+record scheme of NVDedup (costs charged, not crash-consistent; it is a
+throughput baseline, which is all the paper uses it for).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.dedup.denova import DeNovaFS
+from repro.dedup.fact import FactFull
+from repro.nova.entries import (
+    DEDUPE_COMPLETE,
+    DEDUPE_IN_PROCESS,
+    WriteEntry,
+)
+from repro.nova.fs import NoSpace
+from repro.nova.layout import PAGE_SIZE
+from repro.pm.allocator import AllocError
+
+__all__ = ["InlineDedupFS", "AdaptiveInlineFS"]
+
+
+@dataclass
+class _Decision:
+    pgoff: int
+    content: bytes
+    is_dup: bool
+    canonical: Optional[int] = None   # device page for duplicates
+    fact_idx: Optional[int] = None    # staged-UC entry (strong variant)
+    fp: Optional[bytes] = None
+    weak: Optional[int] = None        # CRC32 (adaptive variant)
+    new_block: Optional[int] = None   # assigned device page for uniques
+
+
+class InlineDedupFS(DeNovaFS):
+    """DeNova-Inline: strong-fingerprint dedup in the critical write path."""
+
+    variant_name = "DeNova-Inline"
+
+    def on_write_committed(self, ino, entry_addr, entry, cpu) -> None:
+        """Inline dedup leaves nothing for a background daemon."""
+
+    def initial_dedupe_flag(self) -> int:  # unused: write() is overridden
+        return DEDUPE_COMPLETE
+
+    # -- per-page classification (overridden by the adaptive variant) ------
+
+    def _classify(self, pgoff: int, content: bytes) -> _Decision:
+        fp = self.fingerprinter.strong(content)
+        res = self.fact.lookup(fp)
+        if res.found is not None:
+            self.fact.inc_uc(res.found.idx)
+            return _Decision(pgoff, content, is_dup=True,
+                             canonical=res.found.block,
+                             fact_idx=res.found.idx, fp=fp)
+        return _Decision(pgoff, content, is_dup=False, fp=fp)
+
+    def _register_unique(self, dec: _Decision) -> None:
+        try:
+            dec.fact_idx = self.fact.insert(dec.fp, dec.new_block)
+        except FactFull:
+            dec.fact_idx = None  # stored un-deduplicated
+
+    def _commit_meta(self, decisions: list[_Decision]) -> None:
+        for dec in decisions:
+            if dec.fact_idx is not None:
+                self.fact.commit_uc(dec.fact_idx)
+
+    # -- the inline write path ---------------------------------------------------
+
+    def write(self, ino: int, offset: int, data: bytes, cpu: int = 0) -> int:
+        """CoW write with the dedup pipeline inlined before storage.
+
+        Duplicate pages are never written — their write entries point at
+        the existing canonical pages; unique pages are batched into
+        contiguous runs.  One atomic tail update commits the whole write.
+        """
+        self._check_mounted()
+        if offset < 0:
+            raise ValueError("negative offset")
+        if not data:
+            return 0
+        self.clock.advance(self.cpu_model.syscall_ns)
+        cache = self._file_cache(ino, for_write=True)
+        self.counters["writes"] += 1
+
+        pg_first = offset // PAGE_SIZE
+        pg_last = (offset + len(data) - 1) // PAGE_SIZE
+        npages = pg_last - pg_first + 1
+
+        # Assemble final page contents (head/tail merge), then classify
+        # each page before anything is stored — the inline property.
+        buf = bytearray(npages * PAGE_SIZE)
+        head_pad = offset - pg_first * PAGE_SIZE
+        if head_pad:
+            buf[:head_pad] = self._read_page(cache, pg_first)[:head_pad]
+        tail_end = offset + len(data) - pg_first * PAGE_SIZE
+        if tail_end % PAGE_SIZE and offset + len(data) < cache.inode.size:
+            buf[tail_end:] = self._read_page(cache, pg_last)[
+                tail_end % PAGE_SIZE:]
+        buf[head_pad:tail_end] = data
+
+        # Sequential per-page pass: classify, and store+register uniques
+        # immediately so a later identical page in the same write hits
+        # the just-inserted metadata (intra-write duplicates dedup too).
+        decisions: list[_Decision] = []
+        try:
+            for i in range(npages):
+                content = bytes(buf[i * PAGE_SIZE:(i + 1) * PAGE_SIZE])
+                dec = self._classify(pg_first + i, content)
+                if not dec.is_dup:
+                    dec.new_block = self.allocator.alloc(1, cpu)
+                    self.dev.write(dec.new_block * PAGE_SIZE, content,
+                                   nt=True)
+                    self._register_unique(dec)
+                decisions.append(dec)
+        except AllocError as exc:
+            # Roll back: nothing was published (no tail update yet).
+            for dec in decisions:
+                if dec.is_dup and dec.fact_idx is not None:
+                    self.fact.discard_uc(dec.fact_idx)
+                elif dec.new_block is not None:
+                    if dec.fact_idx is not None:
+                        self.fact.discard_uc(dec.fact_idx)
+                        self.fact.remove(dec.fact_idx)
+                    self.allocator.free(dec.new_block, 1, cpu)
+            raise NoSpace(str(exc)) from None
+
+        # Build write entries: consecutive uniques (in file order *and*
+        # device order) coalesce; each duplicate is a single-page entry.
+        new_size = max(cache.inode.size, offset + len(data))
+        mtime = int(self.clock.now_ns)
+        entries: list[WriteEntry] = []
+        for dec in decisions:
+            if dec.is_dup:
+                entries.append(WriteEntry(
+                    file_pgoff=dec.pgoff, num_pages=1, block=dec.canonical,
+                    size_after=new_size, ino=ino, mtime=mtime,
+                    dedupe_flag=DEDUPE_IN_PROCESS))
+            else:
+                last = entries[-1] if entries else None
+                if (last is not None
+                        and last.file_pgoff + last.num_pages == dec.pgoff
+                        and last.block + last.num_pages == dec.new_block):
+                    last.num_pages += 1
+                else:
+                    entries.append(WriteEntry(
+                        file_pgoff=dec.pgoff, num_pages=1,
+                        block=dec.new_block, size_after=new_size, ino=ino,
+                        mtime=mtime, dedupe_flag=DEDUPE_IN_PROCESS))
+
+        head, first_tail = self.log.ensure_log(ino, cache.inode.log_head, cpu)
+        if cache.inode.log_head == 0:
+            cache.inode.log_head = head
+            cache.tail = first_tail
+        tail = cache.tail
+        appended: list[tuple[int, WriteEntry]] = []
+        for we in entries:
+            addr, tail = self.log.append(ino, tail, we.pack(), cpu)
+            appended.append((addr, we))
+        self.log.commit(ino, tail)  # the single atomic commit point
+        cache.tail = tail
+        cache.inode.log_tail = tail
+        cache.entry_count += len(appended)
+        cache.inode.size = new_size
+        cache.inode.mtime = mtime
+
+        # Settle metadata counts, then mark the entries complete.
+        self._commit_meta(decisions)
+        for addr, _we in appended:
+            self.set_dedupe_flag(addr, DEDUPE_COMPLETE)
+
+        # Radix update + RFC-checked reclaim of displaced pages.
+        for addr, we in appended:
+            displaced = cache.index.install(addr, we)
+            if displaced.total_pages:
+                self.counters["overwrite_pages"] += displaced.total_pages
+            self._note_dead_entries(cache, displaced)
+            self.reclaim_extents(displaced.extents, cpu)
+        return len(data)
+
+
+@dataclass
+class _MetaRec:
+    """One NVDedup-style metadata record (weak FP, lazy strong FP)."""
+
+    weak: int
+    block: int
+    strong: Optional[bytes] = None
+    rfc: int = 0
+
+
+class AdaptiveInlineFS(InlineDedupFS):
+    """NVDedup's workload-adaptive fingerprinting on the inline path.
+
+    Weak (CRC32) fingerprints always; SHA-1 only on weak collision, with
+    lazy strong-fingerprint generation for stored weak-only chunks (the
+    stored chunk must be re-read and hashed — those costs are charged).
+    Metadata lives in a DRAM index with modelled NVM record writes, as
+    NVDedup does; it is not crash-consistent (throughput baseline only).
+    """
+
+    variant_name = "DeNova-Inline-Adaptive"
+
+    META_RECORD_BYTES = 64
+
+    def __init__(self, dev, geo, cpus: int = 1):
+        super().__init__(dev, geo, cpus)
+        self._weak_index: dict[int, list[_MetaRec]] = {}
+        self._by_block: dict[int, _MetaRec] = {}
+        self.adaptive_stats = {"weak_hits": 0, "weak_misses": 0,
+                               "lazy_strong": 0, "confirmed_dups": 0}
+
+    def _meta_write_cost(self) -> None:
+        """Charge one 64 B NVM metadata record update + flush."""
+        self.dev.clock.advance(
+            self.dev.model.write_cost(self.META_RECORD_BYTES)
+            + self.dev.model.clwb_ns + self.dev.model.sfence_ns)
+
+    def _classify(self, pgoff: int, content: bytes) -> _Decision:
+        weak = self.fingerprinter.weak(content)  # T_fw, always
+        candidates = self._weak_index.get(weak)
+        if not candidates:
+            self.adaptive_stats["weak_misses"] += 1
+            return _Decision(pgoff, content, is_dup=False, weak=weak)
+        self.adaptive_stats["weak_hits"] += 1
+        strong = self.fingerprinter.strong(content)  # T_f on collision
+        for rec in candidates:
+            if rec.strong is None:
+                # Lazy strong generation for a weak-only stored chunk.
+                stored = self.dev.read(rec.block * PAGE_SIZE, PAGE_SIZE)
+                rec.strong = self.fingerprinter.strong(stored)
+                self.adaptive_stats["lazy_strong"] += 1
+                self._meta_write_cost()
+            if self.fingerprinter.compare(rec.strong, strong):
+                self.adaptive_stats["confirmed_dups"] += 1
+                rec.rfc += 1
+                self._meta_write_cost()
+                return _Decision(pgoff, content, is_dup=True,
+                                 canonical=rec.block, fp=strong, weak=weak)
+        return _Decision(pgoff, content, is_dup=False, fp=strong, weak=weak)
+
+    def _register_unique(self, dec: _Decision) -> None:
+        weak = dec.weak
+        rec = _MetaRec(weak=weak, block=dec.new_block, strong=dec.fp, rfc=1)
+        self._weak_index.setdefault(weak, []).append(rec)
+        self._by_block[dec.new_block] = rec
+        self._meta_write_cost()
+
+    def _commit_meta(self, decisions: list[_Decision]) -> None:
+        """Counts were settled eagerly in the DRAM table."""
+
+    def reclaim_extents(self, extents, cpu: int) -> None:
+        """Reclaim against the DRAM metadata table instead of FACT."""
+        for start, count in extents:
+            for page in range(start, start + count):
+                rec = self._by_block.get(page)
+                if rec is None:
+                    self.allocator.free(page, 1, cpu)
+                    self.counters["pages_reclaimed"] += 1
+                    continue
+                rec.rfc -= 1
+                self._meta_write_cost()
+                if rec.rfc <= 0:
+                    self._weak_index[rec.weak].remove(rec)
+                    if not self._weak_index[rec.weak]:
+                        del self._weak_index[rec.weak]
+                    del self._by_block[page]
+                    self.allocator.free(page, 1, cpu)
+                    self.counters["pages_reclaimed"] += 1
+                else:
+                    self.dedup_counters["shared_page_keeps"] += 1

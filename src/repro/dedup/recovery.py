@@ -1,0 +1,199 @@
+"""DeNova crash recovery and the background scrubber (paper §V-C).
+
+Runs after the base NOVA recovery (logs replayed, radix trees rebuilt,
+in-use bitmap computed).  Steps, mapped to the paper's handling cases:
+
+1. **FACT structural repair** — resume/roll back in-flight reorders
+   (Fig. 7), canonicalize links, zero orphan half-inserted slots.
+2. **Flag scan** (one pass over all committed write entries):
+   ``dedupe_needed`` → re-enqueue on the DWQ (*Inconsistency Handling
+   I*); ``in_process`` → resume from Algorithm 1 step 6: commit one UC
+   per entry-page through the delete pointer, then mark complete
+   (*Handling II*, and *Handling III* falls out — the re-enqueued target
+   re-dedups only its unique pages).
+3. **Stale-UC discard** — any UC left after resumption belonged to a
+   transaction that never reached its tail update; zero them.
+4. **Dead-entry removal** — entries with RFC = UC = 0 (half inserts,
+   discarded transactions) are unlinked.
+5. **Bitmap reconciliation** — a live FACT entry whose block is not
+   in use (the free-list rebuild reclaimed it) is invalidated (§V-C2),
+   eliminating dangling dedup targets.
+
+:func:`scrub` is the paper's background thread: it compares every FACT
+entry's RFC against the actual number of live file references and
+retires over-counted entries whose files are all gone, reclaiming the
+leaked pages.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+
+from repro.nova.entries import (
+    DEDUPE_IN_PROCESS,
+    DEDUPE_NEEDED,
+    DEDUPE_COMPLETE,
+    WriteEntry,
+    decode_entry,
+)
+from repro.nova.inode import ITYPE_FILE
+from repro.dedup.dwq import DWQNode
+from repro.nova.layout import PAGE_SIZE
+
+__all__ = ["dedup_recover", "scrub", "deep_verify"]
+
+
+def dedup_recover(fs, report) -> dict:
+    """Full §V-C recovery for an uncleanly-mounted DeNovaFS."""
+    fact = fs.fact
+    out: dict = {}
+
+    # Step 1: structural repair (reorders, orphans, links, freelist).
+    out["structural"] = fact.structural_recover()
+
+    # Step 2: flag scan over every file inode's committed entries.
+    needed: list[tuple[int, int]] = []
+    resumed = 0
+    for ino, cache in sorted(fs.caches.items()):
+        if cache.inode.itype != ITYPE_FILE:
+            continue
+        for addr, raw in fs.log.iter_slots(cache.inode.log_head,
+                                           cache.inode.log_tail):
+            entry = decode_entry(raw)
+            if not isinstance(entry, WriteEntry):
+                continue
+            if entry.dedupe_flag == DEDUPE_NEEDED:
+                needed.append((ino, addr))
+            elif entry.dedupe_flag == DEDUPE_IN_PROCESS:
+                _resume_step6(fs, addr, entry)
+                resumed += 1
+    out["in_process_resumed"] = resumed
+
+    # Step 3: discard stale UCs; step 4: drop dead entries.
+    out["uc_discarded"] = fact.discard_all_uc()
+    out["dead_removed"] = fact.remove_dead()
+
+    # Step 5: FACT entries pointing at pages the free-list rebuild
+    # reclaimed are invalidated (over-increment, zero live references).
+    stale = 0
+    bitmap = report.bitmap
+    for idx, ent in sorted(fact.live_entries().items()):
+        if bitmap is not None and not bitmap[ent.block]:
+            # Force the count to zero, then retire the entry.
+            counts = fact._read_u64(idx, 0)
+            if counts:
+                fact._write_u64(idx, 0, 0)
+            fact.remove(idx)
+            stale += 1
+    out["stale_entries_invalidated"] = stale
+
+    # Step 6: undercount repair.  A crash between a target's tail update
+    # and its count commit can leave an entry whose RFC misses the
+    # target's own (self-canonical) reference — with *other* committed
+    # references alive, the next reclaim would free a shared page (the
+    # §IV-D1 data-loss hazard).  Recovery holds the complete radix state,
+    # so raise any RFC below the actual live reference count.  Only the
+    # undercount direction is repaired: over-increments stay, per §V-C2,
+    # until the background scrubber erodes them.
+    refs: Counter[int] = Counter()
+    for cache in fs.caches.values():
+        if cache.inode.itype != ITYPE_FILE:
+            continue
+        for pgoff, (_a, entry) in cache.index._slots.items():
+            refs[entry.block_for(pgoff)] += 1
+    repaired = 0
+    for idx, ent in sorted(fact.live_entries().items()):
+        actual = refs.get(ent.block, 0)
+        if ent.refcount < actual:
+            fact._write_u64(idx, 0, actual)  # UC is already 0 here
+            repaired += 1
+    out["undercounts_repaired"] = repaired
+
+    # Rebuild the DWQ from the dedupe_needed flags (Handling I).
+    fs.dwq.clear()
+    fs._pending_pages.clear()
+    for ino, addr in needed:
+        fs._pending_pages[addr // PAGE_SIZE] += 1
+        fs.dwq.enqueue(DWQNode(ino=ino, entry_addr=addr))
+    out["dwq_rebuilt"] = len(needed)
+    return out
+
+
+def _resume_step6(fs, addr: int, entry: WriteEntry) -> None:
+    """Complete a dedup transaction from Algorithm 1 step 6.
+
+    For each device page the entry references, reach its FACT entry via
+    the delete pointer and commit one staged UC (idempotent: commit_uc
+    is a no-op at UC == 0 — counts are fungible across the transactions
+    that crashed mid-commit).  Pages without a FACT entry are duplicate
+    pages of a target entry; their canonical UCs are committed by the
+    corresponding ``in_process`` redirect entries.
+    """
+    for page in entry.pages():
+        ent = fs.fact.entry_for_block(page)
+        if ent is not None:
+            fs.fact.commit_uc(ent.idx)
+    fs.set_dedupe_flag(addr, DEDUPE_COMPLETE)
+
+
+def deep_verify(fs) -> dict:
+    """Integrity audit: every canonical page must match its fingerprint.
+
+    FACT stores the full SHA-1 of each deduplicated block, which makes
+    end-to-end verification of shared data free of extra metadata: read
+    every live entry's block, re-hash, compare.  A mismatch means the
+    media (or a bug) corrupted a page that multiple files may share —
+    exactly the blast radius dedup amplifies, hence the audit.
+
+    Returns counts and the list of corrupt (idx, block) pairs.  Cost is
+    charged (one page read + one SHA-1 per entry), so callers can also
+    use it to budget a background integrity-scrub schedule.
+    """
+    from repro.nova.layout import PAGE_SIZE
+
+    checked = 0
+    corrupt: list[tuple[int, int]] = []
+    for idx, ent in sorted(fs.fact.live_entries().items()):
+        data = fs.dev.read(ent.block * PAGE_SIZE, PAGE_SIZE)
+        digest = fs.fingerprinter.strong(data)
+        checked += 1
+        if digest != ent.fp:
+            corrupt.append((idx, ent.block))
+    return {"checked": checked, "corrupt": corrupt,
+            "clean": not corrupt}
+
+
+def scrub(fs) -> dict:
+    """The §V-C2 background thread: retire FACT entries no file uses.
+
+    Builds the actual reference count per block from every file's radix
+    tree, then for each live FACT entry with zero references: removes
+    the entry and frees its page if the allocator still considers it in
+    use (the over-increment leak).  Over-counted entries that still have
+    references are left alone — they converge as references drop.
+    """
+    refs: Counter[int] = Counter()
+    for cache in fs.caches.values():
+        if cache.inode.itype != ITYPE_FILE:
+            continue
+        for pgoff, (_a, entry) in cache.index._slots.items():
+            refs[entry.block_for(pgoff)] += 1
+
+    removed = 0
+    pages_freed = 0
+    overcounted = 0
+    for idx, ent in sorted(fs.fact.live_entries().items()):
+        actual = refs.get(ent.block, 0)
+        if actual == 0:
+            counts = fs.fact._read_u64(idx, 0)
+            if counts:
+                fs.fact._write_u64(idx, 0, 0)
+            fs.fact.remove(idx)
+            removed += 1
+            if not fs.allocator.is_free(ent.block):
+                fs.allocator.free(ent.block, 1, 0)
+                pages_freed += 1
+        elif ent.refcount > actual:
+            overcounted += 1
+    return {"entries_removed": removed, "pages_freed": pages_freed,
+            "overcounted_remaining": overcounted}

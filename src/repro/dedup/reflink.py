@@ -1,0 +1,222 @@
+"""Reflink copies and snapshots on top of FACT reference counting.
+
+A **reflink** (``cp --reflink`` semantics) is deduplication with a known
+source: the destination file gets fresh write entries pointing at the
+*source's* data pages, and each shared page's FACT reference count rises
+by one.  Cost is O(metadata): no data pages move.  Source pages that
+were never fingerprinted (their dedup is still queued) are fingerprinted
+and inserted on the spot — a reflink *is* an eager dedup of its source.
+
+Crash consistency reuses Algorithm 1's machinery verbatim: stage UCs →
+append ``in_process`` entries → one atomic tail commit → settle counts →
+``dedupe_complete``.  The destination inode is published (dentry append)
+only after its content committed; a crash anywhere earlier leaves an
+orphan that recovery collects, and the staged UCs are discarded or
+resumed exactly as §V-C prescribes.
+
+A **snapshot** is a reflink of the whole tree into
+``/.snapshots/<name>/``, with every copied file marked immutable
+(:data:`repro.nova.inode.FLAG_IMMUTABLE`).  Snapshot creation is atomic
+per file, not per tree: a crash mid-snapshot leaves a readable partial
+snapshot directory that :func:`delete_snapshot` removes — documented
+behaviour, as cross-file atomicity would need a tree-wide journal.
+"""
+
+from __future__ import annotations
+
+from repro.dedup.fact import FactFull
+from repro.nova.entries import (
+    DEDUPE_COMPLETE,
+    DEDUPE_IN_PROCESS,
+    WriteEntry,
+)
+from repro.nova.fs import FileExists, FileNotFound, FSError, IsADirectory
+from repro.nova.inode import FLAG_IMMUTABLE, ITYPE_DIR, ITYPE_FILE
+from repro.nova.layout import PAGE_SIZE
+
+__all__ = ["reflink", "snapshot", "delete_snapshot", "list_snapshots",
+           "SNAPSHOT_DIR"]
+
+SNAPSHOT_DIR = "/.snapshots"
+
+
+def reflink(fs, src: str, dst: str, immutable: bool = False) -> int:
+    """Create ``dst`` sharing every data page of ``src``.  Returns its ino."""
+    src_ino = fs.lookup(src)
+    src_cache = fs.caches[src_ino]
+    if src_cache.inode.itype != ITYPE_FILE:
+        raise IsADirectory(src)
+    dpino, dname, dparent = fs._namei(dst)
+    if dname in dparent.dentries:
+        raise FileExists(dst)
+    cpu = src_ino % fs.cpus
+
+    # Stage: one UC per shared page; fingerprint-and-insert pages that
+    # have no FACT entry yet (pending offline dedup).
+    staged: list[int] = []  # FACT idx per page, aligned with runs below
+    runs: list[tuple[int, int, int]] = []  # (pgoff, block, count)
+    for pgoff in src_cache.index.mapped_offsets:
+        block = src_cache.index.block_of(pgoff)
+        ent = fs.fact.entry_for_block(block)
+        if ent is None:
+            data = fs.dev.read(block * PAGE_SIZE, PAGE_SIZE)
+            fp = fs.fingerprinter.strong(data)
+            res = fs.fact.lookup(fp)
+            if res.found is not None and res.found.block != block:
+                # The source page itself duplicates an existing canonical
+                # page; share *that* one (and this page will be reclaimed
+                # when the source's own dedup runs).
+                fs.fact.inc_uc(res.found.idx)
+                staged.append(res.found.idx)
+                block = res.found.block
+            else:
+                try:
+                    idx = fs.fact.insert(fp, block, hint=res)
+                except FactFull:
+                    raise FSError(
+                        "reflink needs a FACT slot per shared page and "
+                        "the table is full") from None
+                # The fresh entry must count the *source's* reference as
+                # well as the destination's (the source's queued dedup
+                # will self-hit with RFC >= 1 and correctly add nothing).
+                fs.fact.inc_uc(idx)
+                staged.append(idx)
+                staged.append(idx)
+        else:
+            fs.fact.inc_uc(ent.idx)
+            staged.append(ent.idx)
+        if runs and runs[-1][0] + runs[-1][2] == pgoff \
+                and runs[-1][1] + runs[-1][2] == block:
+            runs[-1] = (runs[-1][0], runs[-1][1], runs[-1][2] + 1)
+        else:
+            runs.append((pgoff, block, 1))
+
+    # Unpublished destination inode (orphan until the dentry lands).
+    dst_ino = fs._new_inode(ITYPE_FILE, cpu)
+    dst_cache = fs.caches[dst_ino]
+    if immutable:
+        dst_cache.inode.flags |= FLAG_IMMUTABLE
+        fs.itable.write(dst_ino, dst_cache.inode)
+
+    mtime = int(fs.clock.now_ns)
+    appended: list[tuple[int, WriteEntry]] = []
+    if not runs and src_cache.inode.size:
+        # Fully sparse source: no pages to share, but the size must be
+        # durable — a setattr entry is the only record of it.
+        from repro.nova.entries import SetattrEntry
+
+        head, first_tail = fs.log.ensure_log(dst_ino,
+                                             dst_cache.inode.log_head, cpu)
+        if dst_cache.inode.log_head == 0:
+            dst_cache.inode.log_head = head
+            dst_cache.tail = first_tail
+        entry = SetattrEntry(ino=dst_ino, new_size=src_cache.inode.size,
+                             mtime=mtime)
+        _addr, tail = fs.log.append(dst_ino, dst_cache.tail, entry.pack(),
+                                    cpu)
+        fs.log.commit(dst_ino, tail)
+        dst_cache.tail = tail
+        dst_cache.inode.log_tail = tail
+        dst_cache.entry_count += 1
+    if runs:
+        head, first_tail = fs.log.ensure_log(dst_ino,
+                                             dst_cache.inode.log_head, cpu)
+        if dst_cache.inode.log_head == 0:
+            dst_cache.inode.log_head = head
+            dst_cache.tail = first_tail
+        tail = dst_cache.tail
+        for pgoff, block, count in runs:
+            we = WriteEntry(file_pgoff=pgoff, num_pages=count, block=block,
+                            size_after=src_cache.inode.size, ino=dst_ino,
+                            mtime=mtime, dedupe_flag=DEDUPE_IN_PROCESS)
+            addr, tail = fs.log.append(dst_ino, tail, we.pack(), cpu)
+            appended.append((addr, we))
+            fs.note_dedup_pending(addr)
+        fs.log.commit(dst_ino, tail)  # the atomic commit of the copy
+        dst_cache.tail = tail
+        dst_cache.inode.log_tail = tail
+        dst_cache.entry_count += len(appended)
+    dst_cache.inode.size = src_cache.inode.size
+    dst_cache.inode.mtime = mtime
+
+    # Settle the counts, complete the flags, build the DRAM index.
+    for idx in staged:
+        fs.fact.commit_uc(idx)
+    for addr, we in appended:
+        fs.set_dedupe_flag(addr, DEDUPE_COMPLETE)
+        fs.note_dedup_done(addr)
+        dst_cache.index.install(addr, we)
+
+    # Publish.
+    fs._append_dentry(dpino, dname, dst_ino, valid=1, cpu=cpu)
+    return dst_ino
+
+
+def _ensure_snapshot_root(fs) -> None:
+    if not fs.exists(SNAPSHOT_DIR):
+        fs.mkdir(SNAPSHOT_DIR)
+
+
+def snapshot(fs, name: str) -> dict:
+    """Reflink the whole tree (except snapshots) into /.snapshots/name."""
+    if "/" in name or not name:
+        raise ValueError(f"bad snapshot name {name!r}")
+    _ensure_snapshot_root(fs)
+    base = f"{SNAPSHOT_DIR}/{name}"
+    if fs.exists(base):
+        raise FileExists(base)
+    fs.mkdir(base)
+    files = 0
+    dirs = 0
+
+    def walk(src_dir: str, dst_dir: str):
+        nonlocal files, dirs
+        for entry in fs.listdir(src_dir):
+            src_path = f"{src_dir.rstrip('/')}/{entry}"
+            if src_path == SNAPSHOT_DIR:
+                continue
+            dst_path = f"{dst_dir}/{entry}"
+            ino = fs.lookup(src_path, follow=False)
+            itype = fs.caches[ino].inode.itype
+            if itype == ITYPE_DIR:
+                fs.mkdir(dst_path)
+                dirs += 1
+                walk(src_path, dst_path)
+            elif itype == ITYPE_FILE:
+                reflink(fs, src_path, dst_path, immutable=True)
+                files += 1
+            else:  # symlink: copied as a symlink, not its target
+                fs.symlink(fs.readlink(src_path), dst_path)
+                files += 1
+
+    walk("/", base)
+    return {"name": name, "files": files, "dirs": dirs, "path": base}
+
+
+def list_snapshots(fs) -> list[str]:
+    if not fs.exists(SNAPSHOT_DIR):
+        return []
+    return fs.listdir(SNAPSHOT_DIR)
+
+
+def delete_snapshot(fs, name: str) -> int:
+    """Remove a snapshot tree; shared pages' RFCs drop accordingly."""
+    base = f"{SNAPSHOT_DIR}/{name}"
+    if not fs.exists(base):
+        raise FileNotFound(base)
+    removed = 0
+
+    def teardown(path: str):
+        nonlocal removed
+        for entry in list(fs.listdir(path)):
+            child = f"{path}/{entry}"
+            ino = fs.lookup(child, follow=False)
+            if fs.caches[ino].inode.itype == ITYPE_DIR:
+                teardown(child)
+            else:
+                fs.unlink(child)
+                removed += 1
+        fs.rmdir(path)
+
+    teardown(base)
+    return removed

@@ -1,0 +1,134 @@
+"""Post-recovery consistency invariants.
+
+These encode the paper's consistency claims as executable checks:
+
+* **No dangling data** — every device page a recovered file references is
+  marked in-use (never on a free list): the §IV-D3 hazard.
+* **No lost free space accounting** — free + referenced + unreferenced
+  partitions the data region exactly.
+* **Log integrity** — every log chain terminates and every committed
+  entry decodes.
+* **RFC never undercounts** (DeNova) — a shared page's reference count is
+  at least the number of file-page mappings to it.  Overcounting is
+  permitted after a crash (§V-C2: "this over-increment does not affect
+  the system consistency") — the background scrubber erodes it.
+* **UC quiescent** (DeNova) — after recovery completes, every update
+  count is zero (Inconsistency Handling II: stale UCs are discarded).
+* **FACT chain integrity** (DeNova) — IAA doubly-linked lists are
+  mutually consistent, acyclic, and prefix-homogeneous even after a
+  crash mid-reorder (Fig. 7).
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+
+from repro.nova.entries import decode_entry
+from repro.nova.inode import ITYPE_DIR, ITYPE_FILE
+
+__all__ = ["InvariantViolation", "check_fs_invariants"]
+
+
+class InvariantViolation(AssertionError):
+    """A recovered filesystem violated a consistency invariant."""
+
+
+def _fail(msg: str) -> None:
+    raise InvariantViolation(msg)
+
+
+def check_fs_invariants(fs, check_dedup: bool = True) -> dict:
+    """Run every applicable invariant on a mounted filesystem.
+
+    Returns a small report dict (page reference counts etc.) so tests can
+    layer scenario-specific assertions on top.
+    """
+    refs: Counter[int] = Counter()
+    log_pages: set[int] = set()
+
+    for ino, cache in fs.caches.items():
+        # Log chains terminate and committed entries decode.
+        for page in fs.log.iter_pages(cache.inode.log_head, silent=True):
+            if page in log_pages:
+                _fail(f"log page {page} shared by two inodes")
+            log_pages.add(page)
+        for addr, raw in fs.log.iter_slots(cache.inode.log_head,
+                                           cache.inode.log_tail,
+                                           silent=True):
+            try:
+                if decode_entry(raw) is None:
+                    _fail(f"ino {ino}: committed empty slot at {addr:#x}")
+            except ValueError as exc:
+                _fail(f"ino {ino}: corrupt committed entry at {addr:#x}: {exc}")
+        # Directory entries resolve.
+        if cache.inode.itype == ITYPE_DIR:
+            for name, child in cache.dentries.items():
+                if child not in fs.caches:
+                    _fail(f"dangling dentry {name!r} -> ino {child}")
+        # File data mappings.
+        if cache.inode.itype == ITYPE_FILE:
+            for pgoff, (_addr, entry) in cache.index._slots.items():
+                refs[entry.block_for(pgoff)] += 1
+
+    data_lo, data_hi = fs.geo.data_start_page, fs.geo.total_pages
+
+    for page in refs:
+        if not data_lo <= page < data_hi:
+            _fail(f"file data references non-data page {page}")
+        if fs.allocator.is_free(page):
+            _fail(f"dangling pointer: referenced page {page} is on a "
+                  f"free list")
+    for page in log_pages:
+        if fs.allocator.is_free(page):
+            _fail(f"live log page {page} is on a free list")
+
+    used = (data_hi - data_lo) - fs.allocator.free_pages
+    live = len(set(refs) | log_pages)
+    if live > used:
+        _fail(f"accounting: {live} live pages but only {used} marked used")
+
+    report = {"page_refs": refs, "log_pages": log_pages, "used_pages": used}
+
+    fact = getattr(fs, "fact", None)
+    if check_dedup and fact is not None:
+        report["fact"] = _check_fact(fs, fact, refs)
+    return report
+
+
+def _check_fact(fs, fact, refs: Counter) -> dict:
+    """DeNova-specific invariants over the FACT table."""
+    entries = fact.live_entries()
+    by_block = {}
+    for idx, ent in entries.items():
+        if ent.block in by_block:
+            _fail(f"two live FACT entries ({by_block[ent.block]} and "
+                  f"{idx}) claim block {ent.block}")
+        by_block[ent.block] = idx
+        if ent.update_count != 0:
+            _fail(f"FACT[{idx}]: UC={ent.update_count} after recovery "
+                  f"(stale UCs must be discarded)")
+        if ent.refcount < 0:
+            _fail(f"FACT[{idx}]: negative RFC")
+
+    # RFC never undercounts live references for tracked blocks.
+    for block, count in refs.items():
+        idx = by_block.get(block)
+        if idx is None:
+            # Block not (yet) fingerprinted — legal: dedup is offline and
+            # the write may still be queued.
+            continue
+        rfc = entries[idx].refcount
+        if rfc < count:
+            _fail(f"FACT[{idx}] block {block}: RFC={rfc} undercounts "
+                  f"{count} live file references (data-loss hazard)")
+
+    # A live FACT entry whose RFC > 0 must reference an in-use page
+    # (otherwise reclaim freed a page the table still exposes as a
+    # dedup target -> future writes would alias garbage).
+    for idx, ent in entries.items():
+        if ent.refcount > 0 and fs.allocator.is_free(ent.block):
+            _fail(f"FACT[{idx}]: RFC={ent.refcount} but block "
+                  f"{ent.block} is free")
+
+    fact.check_chains()  # raises InvariantViolation on structural damage
+    return {"live_entries": len(entries)}

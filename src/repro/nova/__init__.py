@@ -1,0 +1,47 @@
+"""A user-space model of the NOVA log-structured PM file system.
+
+NOVA (Xu & Swanson, FAST '16) is the substrate DeNova extends.  This
+package implements the pieces DeNova's mechanisms depend on, with real
+on-"PM" layouts and real persistence ordering on :class:`repro.pm.PMDevice`:
+
+* per-inode metadata logs (linked lists of 4 KB log pages) with 64-byte
+  entries, committed by an atomic 64-bit tail update (Fig. 1 of the paper);
+* copy-on-write data pages allocated from per-CPU free lists;
+* a DRAM radix-tree index per file, rebuilt from the logs at recovery;
+* crash recovery: log scan, radix rebuild, in-use page bitmap, free-list
+  reconstruction, orphan-inode garbage collection.
+
+Every write-entry carries DeNova's ``dedupe-flag`` byte so the dedup layer
+(:mod:`repro.dedup`) can be layered on without changing the log format.
+"""
+
+from repro.nova.layout import Geometry, Superblock, PAGE_SIZE
+from repro.nova.entries import (
+    DentryEntry,
+    SetattrEntry,
+    WriteEntry,
+    DEDUPE_NEEDED,
+    DEDUPE_IN_PROCESS,
+    DEDUPE_COMPLETE,
+    ENTRY_SIZE,
+)
+from repro.nova.inode import Inode, InodeTable, ROOT_INO
+from repro.nova.fs import FSError, NovaFS
+
+__all__ = [
+    "PAGE_SIZE",
+    "ENTRY_SIZE",
+    "Geometry",
+    "Superblock",
+    "WriteEntry",
+    "DentryEntry",
+    "SetattrEntry",
+    "DEDUPE_NEEDED",
+    "DEDUPE_IN_PROCESS",
+    "DEDUPE_COMPLETE",
+    "Inode",
+    "InodeTable",
+    "ROOT_INO",
+    "NovaFS",
+    "FSError",
+]

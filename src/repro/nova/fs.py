@@ -1,0 +1,831 @@
+"""The NOVA file system model.
+
+Implements the full write flow of the paper's Fig. 1:
+
+1. allocate contiguous CoW data pages from the per-CPU free list and fill
+   them with user data plus copied head/tail content of partially
+   overwritten pages;
+2. append a ``[file_pgoff, num_pages]`` write entry to the inode log
+   (allocating/linking a new log page when full);
+3. commit with an atomic 64-bit log-tail update;
+4. update the DRAM radix tree;
+5. reclaim the obsolete data pages through the per-CPU free list.
+
+Step 5 goes through the overridable :meth:`NovaFS.reclaim_extents` hook —
+DeNova replaces it with the reference-count-checked reclaim of §IV-D3.
+Step 3 is followed by the :meth:`NovaFS.on_write_committed` hook, where
+DeNova enqueues the DWQ node.
+
+Namespace operations (create/unlink/mkdir/rmdir) are ordered so that a
+crash between their two inode updates leaves an *orphan* (a valid inode
+no dentry references), which recovery garbage-collects — giving atomic
+namespace semantics without a journal.  DESIGN.md documents this
+simplification relative to kernel NOVA's per-CPU journal.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Iterable, Optional
+
+from repro.nova.entries import (
+    DEDUPE_COMPLETE,
+    DEDUPE_FLAG_OFFSET,
+    DEDUPE_NEEDED,
+    ENTRY_SIZE,
+    DentryEntry,
+    SetattrEntry,
+    SymlinkEntry,
+    WriteEntry,
+    decode_entry,
+)
+from repro.nova.inode import (
+    ITYPE_DIR,
+    ITYPE_FILE,
+    ITYPE_SYMLINK,
+    ROOT_INO,
+    Inode,
+    InodeTable,
+)
+from repro.nova.layout import PAGE_SIZE, Geometry, Superblock
+from repro.nova.log import LOG_HEADER_SIZE, LogManager
+from repro.nova.radix import Displaced, FileIndex
+from repro.pm.allocator import AllocError, PageAllocator
+from repro.pm.device import PMDevice
+
+__all__ = ["NovaFS", "FSError", "FileNotFound", "FileExists", "NoSpace",
+           "NotADirectory", "IsADirectory", "DirectoryNotEmpty", "Stat",
+           "InodeCache"]
+
+
+class FSError(Exception):
+    """Base class for filesystem errors."""
+
+
+class FileNotFound(FSError):
+    pass
+
+
+class FileExists(FSError):
+    pass
+
+
+class NoSpace(FSError):
+    pass
+
+
+class NotADirectory(FSError):
+    pass
+
+
+class IsADirectory(FSError):
+    pass
+
+
+class DirectoryNotEmpty(FSError):
+    pass
+
+
+class ReadOnlyFile(FSError):
+    """Write/truncate attempted on an immutable (snapshot) file."""
+
+
+@dataclass(frozen=True)
+class Stat:
+    ino: int
+    itype: int
+    size: int
+    mtime: int
+    links: int
+
+
+@dataclass
+class InodeCache:
+    """Per-inode DRAM state (what NOVA keeps in its in-memory inode)."""
+
+    inode: Inode
+    index: FileIndex
+    tail: int = 0                                   # cached log tail addr
+    dentries: dict[str, int] = field(default_factory=dict)  # dirs only
+    symlink_target: str = ""                        # symlinks only
+    entry_count: int = 0                            # committed log entries
+    invalid_entries: dict[int, int] = field(default_factory=dict)
+    #: log page -> count of dead entries (drives fast GC)
+
+
+class NovaFS:
+    """User-space NOVA on an emulated PM device."""
+
+    PAGE = PAGE_SIZE
+
+    def __init__(self, dev: PMDevice, geo: Geometry, cpus: int = 1):
+        self.dev = dev
+        self.geo = geo
+        self.cpus = cpus
+        self.sb = Superblock(dev)
+        self.itable = InodeTable(dev, geo)
+        from repro.nova.journal import Journal
+        self.journal = Journal(dev, geo)
+        self.allocator = PageAllocator(geo.data_start_page, geo.total_pages,
+                                       cpus)
+        self.log = LogManager(dev, self.allocator, self.itable)
+        self.caches: dict[int, InodeCache] = {}
+        self.cpu_model = dev.model.cpu
+        self.clock = dev.clock
+        self.mounted = False
+        self.last_recovery = None
+        # Extra observability for benchmarks.
+        self.counters = {
+            "writes": 0, "reads": 0, "overwrite_pages": 0,
+            "pages_reclaimed": 0, "log_pages_gced": 0,
+        }
+
+    # ------------------------------------------------------------------ lifecycle
+
+    @classmethod
+    def mkfs(cls, dev: PMDevice, max_inodes: int = 1024, cpus: int = 1,
+             with_dedup: bool = False,
+             fact_prefix_bits: Optional[int] = None,
+             dwq_save_pages: int = 8) -> "NovaFS":
+        """Format the device and return a mounted, empty filesystem."""
+        geo = Geometry.compute(dev.size // PAGE_SIZE, max_inodes,
+                               with_dedup=with_dedup,
+                               fact_prefix_bits=fact_prefix_bits,
+                               dwq_save_pages=dwq_save_pages)
+        Superblock(dev).format(geo)
+        fs = cls(dev, geo, cpus)
+        root = Inode(ino=ROOT_INO, valid=1, itype=ITYPE_DIR, links=2,
+                     mtime=int(fs.clock.now_ns))
+        fs.itable.write(ROOT_INO, root)
+        fs.caches[ROOT_INO] = InodeCache(
+            inode=root, index=FileIndex(fs.cpu_model, fs.clock))
+        fs.sb.set_clean(False)
+        fs.mounted = True
+        fs._post_mkfs()
+        return fs
+
+    def _post_mkfs(self) -> None:
+        """Subclass hook: initialize extra persistent regions (FACT)."""
+
+    @classmethod
+    def mount(cls, dev: PMDevice, cpus: int = 1) -> "NovaFS":
+        """Mount an existing filesystem, recovering if it's unclean."""
+        geo = Superblock(dev).load_geometry()
+        fs = cls(dev, geo, cpus)
+        from repro.nova.recovery import recover
+        fs.last_recovery = recover(fs, clean=fs.sb.clean)
+        fs.sb.bump_epoch()
+        fs.sb.set_clean(False)
+        fs.mounted = True
+        return fs
+
+    def unmount(self) -> None:
+        """Clean shutdown: persist lazy state and set the clean flag."""
+        self._check_mounted()
+        for ino, cache in self.caches.items():
+            if cache.inode.itype == ITYPE_FILE:
+                self.itable.update_size(ino, cache.inode.size)
+        self._pre_unmount()
+        self.sb.set_clean(True)
+        self.mounted = False
+
+    def _pre_unmount(self) -> None:
+        """Subclass hook: save the DWQ etc. before the clean flag."""
+
+    def _check_mounted(self) -> None:
+        if not self.mounted:
+            raise FSError("filesystem is not mounted")
+
+    # ------------------------------------------------------------------ namei
+
+    MAX_SYMLINK_DEPTH = 8
+
+    def _resolve(self, path: str, follow_final: bool) -> tuple[int, str]:
+        """Walk ``path``, expanding symlinks; returns (parent ino, name).
+
+        Intermediate symlinks are always followed; the final component
+        is expanded only when ``follow_final`` (lookup/read paths yes,
+        create/unlink/readlink no).  Returns ``(ROOT_INO, "")`` for the
+        root itself.
+        """
+        from collections import deque
+
+        parts = deque(p for p in path.split("/") if p)
+        if not parts:
+            return ROOT_INO, ""
+        cur = ROOT_INO
+        hops = 0
+        while parts:
+            comp = parts.popleft()
+            cache = self.caches[cur]
+            if cache.inode.itype != ITYPE_DIR:
+                raise NotADirectory(f"{comp!r} lookup under non-directory")
+            self.clock.advance(self.cpu_model.dram_touch_ns)
+            child = cache.dentries.get(comp)
+            is_final = not parts
+            if child is not None:
+                child_cache = self.caches.get(child)
+                if (child_cache is not None
+                        and child_cache.inode.itype == ITYPE_SYMLINK
+                        and (not is_final or follow_final)):
+                    hops += 1
+                    if hops > self.MAX_SYMLINK_DEPTH:
+                        raise FSError(
+                            f"too many levels of symbolic links: {path!r}")
+                    target = child_cache.symlink_target
+                    tparts = [p for p in target.split("/") if p]
+                    if target.startswith("/"):
+                        cur = ROOT_INO
+                    parts.extendleft(reversed(tparts))
+                    continue
+            if is_final:
+                return cur, comp
+            if child is None:
+                raise FileNotFound(f"no such directory: {comp!r} in {path!r}")
+            cur = child
+        return ROOT_INO, ""
+
+    def _namei(self, path: str) -> tuple[int, str, InodeCache]:
+        """Resolve ``path`` to (parent ino, leaf name, parent cache)."""
+        pino, name = self._resolve(path, follow_final=False)
+        if not name:
+            raise FSError("empty path")
+        parent = self.caches[pino]
+        if parent.inode.itype != ITYPE_DIR:
+            raise NotADirectory(f"parent of {name!r} is not a directory")
+        return pino, name, parent
+
+    def lookup(self, path: str, follow: bool = True) -> int:
+        """Resolve a path to an inode number (following symlinks)."""
+        self._check_mounted()
+        self.clock.advance(self.cpu_model.syscall_ns)
+        pino, name = self._resolve(path, follow_final=follow)
+        if not name:
+            return ROOT_INO
+        self.clock.advance(self.cpu_model.dram_touch_ns)
+        ino = self.caches[pino].dentries.get(name)
+        if ino is None:
+            raise FileNotFound(path)
+        return ino
+
+    def symlink(self, target: str, linkpath: str) -> int:
+        """Create a symbolic link (targets limited to 40 bytes)."""
+        self._check_mounted()
+        self.clock.advance(self.cpu_model.syscall_ns)
+        pino, name, parent = self._namei(linkpath)
+        if name in parent.dentries:
+            raise FileExists(linkpath)
+        cpu = ino_cpu(pino, self.cpus)
+        ino = self._new_inode(ITYPE_SYMLINK, cpu)
+        cache = self.caches[ino]
+        entry = SymlinkEntry(target=target, ino=ino,
+                             mtime=int(self.clock.now_ns))
+        self._append_and_commit(ino, cache, entry.pack(), cpu)
+        cache.symlink_target = target
+        self._append_dentry(pino, name, ino, valid=1, cpu=cpu)
+        return ino
+
+    def readlink(self, path: str) -> str:
+        """The target of a symlink (never follows the final component)."""
+        self._check_mounted()
+        self.clock.advance(self.cpu_model.syscall_ns)
+        ino = self.lookup(path, follow=False)
+        cache = self.caches[ino]
+        if cache.inode.itype != ITYPE_SYMLINK:
+            raise FSError(f"{path!r} is not a symlink")
+        return cache.symlink_target
+
+    def exists(self, path: str) -> bool:
+        try:
+            self.lookup(path)
+            return True
+        except FSError:
+            return False
+
+    # ------------------------------------------------------------------ namespace ops
+
+    def _append_dentry(self, parent_ino: int, name: str, ino: int,
+                       valid: int, cpu: int) -> None:
+        parent = self.caches[parent_ino]
+        entry = DentryEntry(name=name, ino=ino, valid=valid,
+                            mtime=int(self.clock.now_ns))
+        self._append_and_commit(parent_ino, parent, entry.pack(), cpu)
+        self.clock.advance(self.cpu_model.dram_touch_ns)
+        if valid:
+            parent.dentries[name] = ino
+        else:
+            parent.dentries.pop(name, None)
+
+    def _append_and_commit(self, ino: int, cache: InodeCache, raw: bytes,
+                           cpu: int) -> int:
+        head, first_tail = self.log.ensure_log(ino, cache.inode.log_head, cpu)
+        if cache.inode.log_head == 0:
+            cache.inode.log_head = head
+            cache.tail = first_tail
+        addr, new_tail = self.log.append(ino, cache.tail, raw, cpu)
+        self.log.commit(ino, new_tail)
+        cache.tail = new_tail
+        cache.inode.log_tail = new_tail
+        cache.entry_count += 1
+        return addr
+
+    def _new_inode(self, itype: int, cpu: int) -> int:
+        try:
+            ino = self.itable.alloc()
+        except RuntimeError as exc:
+            raise NoSpace(str(exc)) from None
+        inode = Inode(ino=ino, valid=1, itype=itype,
+                      links=2 if itype == ITYPE_DIR else 1,
+                      mtime=int(self.clock.now_ns))
+        self.itable.write(ino, inode)
+        self.caches[ino] = InodeCache(
+            inode=inode, index=FileIndex(self.cpu_model, self.clock))
+        return ino
+
+    def create(self, path: str) -> int:
+        """Create an empty regular file; returns its ino."""
+        self._check_mounted()
+        self.clock.advance(self.cpu_model.syscall_ns)
+        pino, name, parent = self._namei(path)
+        if name in parent.dentries:
+            raise FileExists(path)
+        # Order: valid inode first, then the dentry that publishes it.  A
+        # crash in between leaves an orphan inode that recovery collects.
+        ino = self._new_inode(ITYPE_FILE, cpu=ino_cpu(pino, self.cpus))
+        self._append_dentry(pino, name, ino, valid=1,
+                            cpu=ino_cpu(pino, self.cpus))
+        return ino
+
+    def mkdir(self, path: str) -> int:
+        self._check_mounted()
+        self.clock.advance(self.cpu_model.syscall_ns)
+        pino, name, parent = self._namei(path)
+        if name in parent.dentries:
+            raise FileExists(path)
+        ino = self._new_inode(ITYPE_DIR, cpu=ino_cpu(pino, self.cpus))
+        self._append_dentry(pino, name, ino, valid=1,
+                            cpu=ino_cpu(pino, self.cpus))
+        return ino
+
+    def listdir(self, path: str) -> list[str]:
+        self._check_mounted()
+        self.clock.advance(self.cpu_model.syscall_ns)
+        ino = self.lookup(path)
+        cache = self.caches[ino]
+        if cache.inode.itype != ITYPE_DIR:
+            raise NotADirectory(path)
+        return sorted(cache.dentries)
+
+    def unlink(self, path: str) -> None:
+        """Remove one name; the file body goes when the last link does."""
+        self._check_mounted()
+        self.clock.advance(self.cpu_model.syscall_ns)
+        pino, name, parent = self._namei(path)
+        ino = parent.dentries.get(name)
+        if ino is None:
+            raise FileNotFound(path)
+        cache = self.caches[ino]
+        if cache.inode.itype == ITYPE_DIR:
+            raise IsADirectory(path)
+        cpu = ino_cpu(ino, self.cpus)
+        # 1. Unpublish the name (the commit point of the unlink).
+        self._append_dentry(pino, name, ino, valid=0, cpu=cpu)
+        cache.inode.links -= 1
+        if cache.inode.links > 0:
+            return  # other hard links keep the body alive
+        # 2. Free the file body through the reclaim hook (RFC-aware in
+        #    DeNova), then its log pages, then the inode record.
+        self._drop_file_body(ino, cache, cpu)
+
+    def link(self, existing: str, newpath: str) -> None:
+        """Create a hard link (files only, as in POSIX/NOVA)."""
+        self._check_mounted()
+        self.clock.advance(self.cpu_model.syscall_ns)
+        ino = self.lookup(existing)
+        cache = self.caches[ino]
+        if cache.inode.itype != ITYPE_FILE:
+            raise IsADirectory(existing)
+        pino, name, parent = self._namei(newpath)
+        if name in parent.dentries:
+            raise FileExists(newpath)
+        self._append_dentry(pino, name, ino, valid=1,
+                            cpu=ino_cpu(pino, self.cpus))
+        cache.inode.links += 1
+
+    def rename(self, src: str, dst: str) -> None:
+        """Atomically move ``src`` to ``dst`` (dst must not exist).
+
+        Same-directory renames commit both dentry records with one log
+        tail update; cross-directory renames go through the redo journal
+        (§ :mod:`repro.nova.journal`), whose committed flag is the
+        linearization point.
+        """
+        self._check_mounted()
+        self.clock.advance(self.cpu_model.syscall_ns)
+        spino, sname, sparent = self._namei(src)
+        ino = sparent.dentries.get(sname)
+        if ino is None:
+            raise FileNotFound(src)
+        dpino, dname, dparent = self._namei(dst)
+        if dname in dparent.dentries:
+            raise FileExists(dst)
+        if self.caches[ino].inode.itype == ITYPE_DIR:
+            if ino == dpino or self._is_ancestor(ino, dpino):
+                raise FSError(f"cannot move {src!r} into its own subtree")
+        cpu = ino_cpu(dpino, self.cpus)
+        mtime = int(self.clock.now_ns)
+        if spino == dpino:
+            # One directory log: two appends, one atomic tail commit.
+            parent = self.caches[spino]
+            head, first_tail = self.log.ensure_log(
+                spino, parent.inode.log_head, cpu)
+            if parent.inode.log_head == 0:
+                parent.inode.log_head = head
+                parent.tail = first_tail
+            tail = parent.tail
+            for entry in (DentryEntry(name=dname, ino=ino, valid=1,
+                                      mtime=mtime),
+                          DentryEntry(name=sname, ino=ino, valid=0,
+                                      mtime=mtime)):
+                _addr, tail = self.log.append(spino, tail, entry.pack(), cpu)
+            self.log.commit(spino, tail)
+            parent.tail = tail
+            parent.inode.log_tail = tail
+            parent.entry_count += 2
+            self.clock.advance(2 * self.cpu_model.dram_touch_ns)
+            parent.dentries[dname] = ino
+            parent.dentries.pop(sname, None)
+            return
+        from repro.nova.journal import J_ADD, J_REMOVE, JournalRecord
+        self.journal.stage([
+            JournalRecord(op=J_ADD, parent_ino=dpino, name=dname, ino=ino),
+            JournalRecord(op=J_REMOVE, parent_ino=spino, name=sname,
+                          ino=ino),
+        ])
+        self.apply_journal()
+        self.journal.clear()
+
+    def apply_journal(self) -> int:
+        """Apply (or redo) the committed journal records, idempotently."""
+        from repro.nova.journal import J_ADD, J_REMOVE
+        applied = 0
+        for rec in self.journal.records():
+            parent = self.caches.get(rec.parent_ino)
+            if parent is None or parent.inode.itype != ITYPE_DIR:
+                continue  # directory vanished: nothing to redo into
+            cpu = ino_cpu(rec.parent_ino, self.cpus)
+            if rec.op == J_ADD:
+                if (parent.dentries.get(rec.name) != rec.ino
+                        and rec.ino in self.caches):
+                    self._append_dentry(rec.parent_ino, rec.name, rec.ino,
+                                        valid=1, cpu=cpu)
+                    applied += 1
+            elif rec.op == J_REMOVE:
+                if rec.name in parent.dentries:
+                    self._append_dentry(rec.parent_ino, rec.name, rec.ino,
+                                        valid=0, cpu=cpu)
+                    applied += 1
+        return applied
+
+    def _is_ancestor(self, maybe_ancestor: int, ino: int) -> bool:
+        """True if ``maybe_ancestor`` sits on ``ino``'s path to the root."""
+        parent_of: dict[int, int] = {}
+        for pino, cache in self.caches.items():
+            if cache.inode.itype == ITYPE_DIR:
+                for child in cache.dentries.values():
+                    parent_of[child] = pino
+        cur = ino
+        seen = set()
+        while cur in parent_of and cur not in seen:
+            seen.add(cur)
+            cur = parent_of[cur]
+            if cur == maybe_ancestor:
+                return True
+        return False
+
+    def _drop_file_body(self, ino: int, cache: InodeCache, cpu: int) -> None:
+        displaced = cache.index.clear()
+        self.reclaim_extents(displaced.extents, cpu)
+        for page in list(self.log.iter_pages(cache.inode.log_head)):
+            self.allocator.free(page, 1, cpu)
+        self.itable.release(ino)
+        del self.caches[ino]
+
+    def rmdir(self, path: str) -> None:
+        self._check_mounted()
+        self.clock.advance(self.cpu_model.syscall_ns)
+        pino, name, parent = self._namei(path)
+        ino = parent.dentries.get(name)
+        if ino is None:
+            raise FileNotFound(path)
+        cache = self.caches[ino]
+        if cache.inode.itype != ITYPE_DIR:
+            raise NotADirectory(path)
+        if cache.dentries:
+            raise DirectoryNotEmpty(path)
+        cpu = ino_cpu(ino, self.cpus)
+        self._append_dentry(pino, name, ino, valid=0, cpu=cpu)
+        for page in list(self.log.iter_pages(cache.inode.log_head)):
+            self.allocator.free(page, 1, cpu)
+        self.itable.release(ino)
+        del self.caches[ino]
+
+    # ------------------------------------------------------------------ data path
+
+    def write(self, ino: int, offset: int, data: bytes,
+              cpu: int = 0) -> int:
+        """CoW write (Fig. 1).  Returns the number of bytes written."""
+        self._check_mounted()
+        if offset < 0:
+            raise ValueError("negative offset")
+        if not data:
+            return 0
+        self.clock.advance(self.cpu_model.syscall_ns)
+        cache = self._file_cache(ino, for_write=True)
+        self.counters["writes"] += 1
+
+        pg_first = offset // PAGE_SIZE
+        pg_last = (offset + len(data) - 1) // PAGE_SIZE
+        npages = pg_last - pg_first + 1
+
+        # Step 1: allocate new pages; assemble their content.
+        try:
+            block = self.allocator.alloc(npages, cpu)
+        except AllocError as exc:
+            raise NoSpace(str(exc)) from None
+        buf = bytearray(npages * PAGE_SIZE)
+        head_pad = offset - pg_first * PAGE_SIZE
+        if head_pad:
+            old = self._read_page(cache, pg_first)
+            buf[:head_pad] = old[:head_pad]
+        tail_end = offset + len(data) - pg_first * PAGE_SIZE
+        if tail_end % PAGE_SIZE and offset + len(data) < cache.inode.size:
+            old = self._read_page(cache, pg_last)
+            buf[tail_end:] = old[tail_end % PAGE_SIZE:]
+        buf[head_pad:tail_end] = data
+        self.dev.write(block * PAGE_SIZE, bytes(buf), nt=True)
+
+        # Step 2: append the write entry (data + entry fence together).
+        new_size = max(cache.inode.size, offset + len(data))
+        entry = WriteEntry(
+            file_pgoff=pg_first, num_pages=npages, block=block,
+            size_after=new_size, ino=ino, mtime=int(self.clock.now_ns),
+            dedupe_flag=self.initial_dedupe_flag(),
+        )
+        head, first_tail = self.log.ensure_log(ino, cache.inode.log_head, cpu)
+        if cache.inode.log_head == 0:
+            cache.inode.log_head = head
+            cache.tail = first_tail
+        addr, new_tail = self.log.append(ino, cache.tail, entry.pack(), cpu)
+
+        # Step 3: atomic tail update — the commit point.
+        self.log.commit(ino, new_tail)
+        cache.tail = new_tail
+        cache.inode.log_tail = new_tail
+        cache.entry_count += 1
+        cache.inode.size = new_size
+        cache.inode.mtime = entry.mtime
+
+        # Step 4: radix tree update.
+        displaced = cache.index.install(addr, entry)
+        if displaced.total_pages:
+            self.counters["overwrite_pages"] += displaced.total_pages
+        self._note_dead_entries(cache, displaced)
+
+        # Step 5: reclaim obsolete pages (RFC-aware in DeNova).
+        self.reclaim_extents(displaced.extents, cpu)
+
+        self.on_write_committed(ino, addr, entry, cpu)
+        return len(data)
+
+    def read(self, ino: int, offset: int, length: int, cpu: int = 0) -> bytes:
+        """Read up to ``length`` bytes (short at EOF; holes read as zeros)."""
+        self._check_mounted()
+        if offset < 0 or length < 0:
+            raise ValueError("negative offset/length")
+        self.clock.advance(self.cpu_model.syscall_ns)
+        cache = self._file_cache(ino)
+        self.counters["reads"] += 1
+        size = cache.inode.size
+        if offset >= size:
+            return b""
+        length = min(length, size - offset)
+        out = bytearray()
+        pos = offset
+        end = offset + length
+        while pos < end:
+            pgoff = pos // PAGE_SIZE
+            in_page = pos - pgoff * PAGE_SIZE
+            take = min(PAGE_SIZE - in_page, end - pos)
+            block = cache.index.block_of(pgoff)
+            if block is None:
+                out += bytes(take)
+            else:
+                out += self.dev.read(block * PAGE_SIZE + in_page, take)
+            pos += take
+        return bytes(out)
+
+    def truncate(self, ino: int, size: int, cpu: int = 0) -> None:
+        """Set file size; shrinking reclaims pages past the new end."""
+        self._check_mounted()
+        if size < 0:
+            raise ValueError("negative size")
+        self.clock.advance(self.cpu_model.syscall_ns)
+        cache = self._file_cache(ino, for_write=True)
+        entry = SetattrEntry(ino=ino, new_size=size,
+                             mtime=int(self.clock.now_ns))
+        self._append_and_commit(ino, cache, entry.pack(), cpu)
+        shrunk = size < cache.inode.size
+        if shrunk:
+            keep = (size + PAGE_SIZE - 1) // PAGE_SIZE
+            displaced = cache.index.truncate_pages(keep)
+            self._note_dead_entries(cache, displaced)
+            self.reclaim_extents(displaced.extents, cpu)
+        cache.inode.size = size
+        cache.inode.mtime = entry.mtime
+        # POSIX: bytes past the new EOF must read as zeros if the file
+        # grows again.  Shrinking to mid-page keeps a partial page, so
+        # CoW-rewrite its head — the copy ends at EOF, zero-filling the
+        # tail (kernel NOVA zeroes the partial block the same way).
+        if shrunk and size % PAGE_SIZE:
+            pgoff = size // PAGE_SIZE
+            if cache.index.lookup(pgoff) is not None:
+                head = self._read_page(cache, pgoff)[:size % PAGE_SIZE]
+                self.write(ino, pgoff * PAGE_SIZE, head, cpu=cpu)
+
+    def stat(self, ino: int) -> Stat:
+        self._check_mounted()
+        self.clock.advance(self.cpu_model.syscall_ns)
+        cache = self.caches.get(ino)
+        if cache is None:
+            raise FileNotFound(f"ino {ino}")
+        i = cache.inode
+        return Stat(ino=i.ino, itype=i.itype, size=i.size, mtime=i.mtime,
+                    links=i.links)
+
+    def statfs(self) -> dict:
+        return {
+            "total_pages": self.geo.total_pages,
+            "data_pages": self.geo.data_pages,
+            "free_pages": self.allocator.free_pages,
+            "used_pages": self.geo.data_pages - self.allocator.free_pages,
+        }
+
+    def fsync(self, ino: int) -> None:
+        """NOVA writes are durable at return; fsync only pays the syscall."""
+        self._check_mounted()
+        self.clock.advance(self.cpu_model.syscall_ns)
+
+    def walk(self, top: str = "/"):
+        """Yield ``(dirpath, dirnames, filenames)`` like :func:`os.walk`.
+
+        Symlinks are listed among the files and never followed.
+        """
+        self._check_mounted()
+        ino = self.lookup(top)
+        cache = self.caches[ino]
+        if cache.inode.itype != ITYPE_DIR:
+            raise NotADirectory(top)
+        dirnames, filenames = [], []
+        for name in sorted(cache.dentries):
+            child = self.caches.get(cache.dentries[name])
+            if child is not None and child.inode.itype == ITYPE_DIR:
+                dirnames.append(name)
+            else:
+                filenames.append(name)
+        yield top, dirnames, filenames
+        for name in dirnames:
+            sub = f"{top.rstrip('/')}/{name}"
+            yield from self.walk(sub)
+
+    def du(self, top: str = "/") -> dict:
+        """Tree usage: logical bytes, and the *unique* data pages the
+        tree pins (shared pages counted once — dedup-aware)."""
+        logical = 0
+        nfiles = 0
+        ndirs = 0
+        pages: set[int] = set()
+        for dirpath, dirnames, filenames in self.walk(top):
+            ndirs += len(dirnames)
+            for name in filenames:
+                path = f"{dirpath.rstrip('/')}/{name}"
+                ino = self.lookup(path, follow=False)
+                cache = self.caches[ino]
+                if cache.inode.itype != ITYPE_FILE:
+                    continue
+                nfiles += 1
+                logical += cache.inode.size
+                pages.update(cache.index.referenced_pages())
+        return {"files": nfiles, "dirs": ndirs, "logical_bytes": logical,
+                "unique_pages": len(pages),
+                "physical_bytes": len(pages) * PAGE_SIZE}
+
+    # ------------------------------------------------------------------ helpers
+
+    def _file_cache(self, ino: int, for_write: bool = False) -> InodeCache:
+        from repro.nova.inode import FLAG_IMMUTABLE
+
+        cache = self.caches.get(ino)
+        if cache is None:
+            raise FileNotFound(f"ino {ino}")
+        if cache.inode.itype != ITYPE_FILE:
+            raise IsADirectory(f"ino {ino}")
+        if for_write and cache.inode.flags & FLAG_IMMUTABLE:
+            raise ReadOnlyFile(f"ino {ino} is immutable (snapshot member)")
+        return cache
+
+    def _read_page(self, cache: InodeCache, pgoff: int) -> bytes:
+        block = cache.index.block_of(pgoff)
+        if block is None:
+            return bytes(PAGE_SIZE)
+        return self.dev.read(block * PAGE_SIZE, PAGE_SIZE)
+
+    #: Auto-trigger thorough GC when a log has this many entries and
+    #: more than half are dead (scattered beyond fast GC's reach).
+    THOROUGH_GC_MIN_ENTRIES = 4 * 63
+    THOROUGH_GC_DEAD_RATIO = 0.5
+
+    def _note_dead_entries(self, cache: InodeCache,
+                           displaced: Displaced) -> None:
+        """Track fully-superseded entries per log page; GC full pages."""
+        for addr in displaced.dead_entries:
+            page = addr // PAGE_SIZE
+            cache.invalid_entries[page] = cache.invalid_entries.get(page, 0) + 1
+        self._maybe_gc_log(cache)
+        dead = sum(cache.invalid_entries.values())
+        if (cache.entry_count >= self.THOROUGH_GC_MIN_ENTRIES
+                and dead > self.THOROUGH_GC_DEAD_RATIO * cache.entry_count):
+            from repro.nova.gc import thorough_gc
+            thorough_gc(self, cache.inode.ino)
+
+    def _maybe_gc_log(self, cache: InodeCache) -> None:
+        """NOVA fast GC: splice out log pages whose entries are all dead.
+
+        Head and tail pages are never touched; a middle page is dead when
+        all of its committed entries have been superseded.
+        """
+        head = cache.inode.log_head
+        if not head:
+            return
+        tail_page = (cache.tail - 1) // PAGE_SIZE if cache.tail else 0
+        pages = list(self.log.iter_pages(head))
+        from repro.nova.log import ENTRIES_PER_PAGE
+        for prev, page in zip(pages, pages[1:]):
+            if page == tail_page:
+                continue
+            if (cache.invalid_entries.get(page, 0) >= ENTRIES_PER_PAGE
+                    and self.log_page_gc_allowed(page)):
+                self.log.unlink_middle_page(prev, page)
+                self.allocator.free(page, 1, 0)
+                cache.invalid_entries.pop(page, None)
+                self.counters["log_pages_gced"] += 1
+                return  # one page per call keeps the hot path bounded
+
+    def gc(self, ino: int) -> dict:
+        """Thorough log GC: compact a fragmented log (see nova.gc)."""
+        self._check_mounted()
+        from repro.nova.gc import thorough_gc
+        if ino not in self.caches:
+            raise FileNotFound(f"ino {ino}")
+        return thorough_gc(self, ino)
+
+    def thorough_gc_allowed(self, ino: int, chain_pages: list[int]) -> bool:
+        """DeNova vetoes compaction while dedup work references the log."""
+        return True
+
+    def set_dedupe_flag(self, entry_addr: int, flag: int) -> None:
+        """In-place, crash-atomic dedupe-flag update (Fig. 5)."""
+        self.dev.write(entry_addr + DEDUPE_FLAG_OFFSET, bytes([flag]))
+        self.dev.persist(entry_addr + DEDUPE_FLAG_OFFSET, 1)
+
+    def read_entry(self, addr: int):
+        return decode_entry(self.dev.read(addr, ENTRY_SIZE))
+
+    # ------------------------------------------------------------------ hooks
+
+    def initial_dedupe_flag(self) -> int:
+        """Plain NOVA marks writes complete: nothing will dedup them."""
+        return DEDUPE_COMPLETE
+
+    def reclaim_extents(self, extents: Iterable[tuple[int, int]],
+                        cpu: int) -> None:
+        """Free obsolete data pages.  DeNova overrides with RFC checks."""
+        for start, count in extents:
+            self.allocator.free(start, count, cpu)
+            self.counters["pages_reclaimed"] += count
+
+    def on_write_committed(self, ino: int, entry_addr: int,
+                           entry: WriteEntry, cpu: int) -> None:
+        """Called after the tail update.  DeNova enqueues the DWQ node."""
+
+    def log_page_gc_allowed(self, page: int) -> bool:
+        """DeNova vetoes GC of pages holding entries still awaiting dedup."""
+        return True
+
+    def _post_recover(self, report, clean: bool) -> None:
+        """Subclass hook run at the end of recovery (DWQ/FACT fix-ups)."""
+
+
+def ino_cpu(ino: int, cpus: int) -> int:
+    """Stable inode -> CPU affinity for allocator locality."""
+    return ino % cpus

@@ -1,0 +1,174 @@
+"""Inodes and the persistent inode table.
+
+Each inode is a 128-byte PM record.  The authoritative, crash-consistent
+per-file state is the **log** (head page + tail pointer); everything else
+(size, mtime) is recovered by replaying the log, exactly as NOVA does, so
+the write hot path persists only the log-tail update.
+
+``log_tail`` is an absolute device byte address of the next free entry
+slot; committing an append is one atomic 64-bit store of the new tail
+followed by ``clwb``/``sfence`` (§II-A "File System Consistency").
+"""
+
+from __future__ import annotations
+
+import struct
+from dataclasses import dataclass
+
+from repro.nova.layout import INODE_SIZE, PAGE_SIZE, Geometry
+from repro.pm.device import PMDevice
+
+__all__ = ["Inode", "InodeTable", "ROOT_INO", "ITYPE_FILE", "ITYPE_DIR",
+           "ITYPE_SYMLINK", "FLAG_IMMUTABLE"]
+
+ROOT_INO = 1
+
+ITYPE_FILE = 1
+ITYPE_DIR = 2
+ITYPE_SYMLINK = 3
+
+#: Inode flag: contents frozen (snapshot members) — writes and truncates
+#: are rejected; unlink stays legal (reference counts guard the data).
+FLAG_IMMUTABLE = 0x1
+
+_INODE_FMT = "<QBBHIQQQQQ72x"  # ino, valid, itype, flags, links, size,
+#                                log_head, log_tail, mtime, epoch
+assert struct.calcsize(_INODE_FMT) == INODE_SIZE
+
+# Field offsets within the record (for in-place atomic updates).
+_OFF_LOG_HEAD = 24
+_OFF_LOG_TAIL = 32
+_OFF_SIZE = 16
+_OFF_VALID = 8
+
+
+@dataclass
+class Inode:
+    """DRAM view of one on-PM inode record."""
+
+    ino: int
+    valid: int = 0
+    itype: int = ITYPE_FILE
+    flags: int = 0
+    links: int = 0
+    size: int = 0
+    log_head: int = 0   # first log page number (0 = no log yet)
+    log_tail: int = 0   # abs byte addr of next free entry slot (0 = none)
+    mtime: int = 0
+    epoch: int = 0
+
+    def pack(self) -> bytes:
+        return struct.pack(_INODE_FMT, self.ino, self.valid, self.itype,
+                           self.flags, self.links, self.size, self.log_head,
+                           self.log_tail, self.mtime, self.epoch)
+
+    @classmethod
+    def unpack(cls, raw: bytes) -> "Inode":
+        (ino, valid, itype, flags, links, size, log_head, log_tail,
+         mtime, epoch) = struct.unpack(_INODE_FMT, raw)
+        return cls(ino=ino, valid=valid, itype=itype, flags=flags,
+                   links=links, size=size, log_head=log_head,
+                   log_tail=log_tail, mtime=mtime, epoch=epoch)
+
+
+class InodeTable:
+    """Persistent array of inode records with a DRAM free-slot cache."""
+
+    def __init__(self, dev: PMDevice, geo: Geometry):
+        self.dev = dev
+        self.base = geo.inode_table_page * PAGE_SIZE
+        self.capacity = geo.inode_capacity
+        self._free: list[int] = []
+        self._free_scanned = False
+
+    def addr_of(self, ino: int) -> int:
+        if not 1 <= ino <= self.capacity:
+            raise ValueError(f"ino {ino} outside table (1..{self.capacity})")
+        return self.base + (ino - 1) * INODE_SIZE
+
+    # -- whole-record I/O ----------------------------------------------------------
+
+    def read(self, ino: int) -> Inode:
+        return Inode.unpack(self.dev.read(self.addr_of(ino), INODE_SIZE))
+
+    def write(self, ino: int, inode: Inode) -> None:
+        """Persist a whole record (mkfs / create / unmount paths only)."""
+        if inode.ino != ino:
+            raise ValueError("record ino mismatch")
+        addr = self.addr_of(ino)
+        self.dev.write(addr, inode.pack())
+        self.dev.persist(addr, INODE_SIZE)
+
+    # -- allocation ------------------------------------------------------------------
+
+    def _scan_free(self) -> None:
+        self._free = []
+        for ino in range(self.capacity, 1, -1):  # pop() hands out low inos
+            # One 1-byte read per record models the mount-time table scan.
+            if self.dev.read(self.addr_of(ino) + _OFF_VALID, 1)[0] == 0:
+                self._free.append(ino)
+        self._free_scanned = True
+
+    def alloc(self) -> int:
+        """Reserve a free ino (not yet valid on PM — caller persists it)."""
+        if not self._free_scanned:
+            self._scan_free()
+        if not self._free:
+            raise RuntimeError("inode table full")
+        return self._free.pop()
+
+    def release(self, ino: int) -> None:
+        """Mark ``ino`` invalid on PM and return it to the free cache."""
+        addr = self.addr_of(ino) + _OFF_VALID
+        self.dev.write(addr, b"\x00")
+        self.dev.persist(addr, 1)
+        if self._free_scanned:
+            self._free.append(ino)
+
+    # -- in-place field updates (hot path) -----------------------------------------------
+
+    def update_log_tail(self, ino: int, tail: int) -> None:
+        """The commit point of every log append: atomic store + persist."""
+        addr = self.addr_of(ino) + _OFF_LOG_TAIL
+        self.dev.write_atomic64(addr, tail)
+        self.dev.persist(addr, 8)
+
+    def update_log_head(self, ino: int, head_page: int) -> None:
+        addr = self.addr_of(ino) + _OFF_LOG_HEAD
+        self.dev.write_atomic64(addr, head_page)
+        self.dev.persist(addr, 8)
+
+    def update_size(self, ino: int, size: int) -> None:
+        """Lazy size persistence (unmount path; recovery replays the log)."""
+        addr = self.addr_of(ino) + _OFF_SIZE
+        self.dev.write_atomic64(addr, size)
+        self.dev.persist(addr, 8)
+
+    # -- iteration (recovery) ---------------------------------------------------------------
+
+    def iter_valid(self):
+        """Yield every valid, self-consistent inode record."""
+        for ino in range(1, self.capacity + 1):
+            if self.dev.read(self.addr_of(ino) + _OFF_VALID, 1)[0] == 1:
+                rec = self.read(ino)
+                if rec.ino == ino:
+                    yield rec
+
+    def fsck(self) -> int:
+        """Release half-written records (torn crash during create).
+
+        An inode record spans two cache lines; a torn crash can persist
+        the valid flag without the ino field.  Such a record was never
+        published (its dentry commit comes later), so dropping it is the
+        correct completion of the interrupted create.
+        """
+        released = 0
+        for ino in range(1, self.capacity + 1):
+            if self.dev.read(self.addr_of(ino) + _OFF_VALID, 1)[0] != 1:
+                continue
+            rec = self.read(ino)
+            if rec.ino != ino or rec.itype not in (ITYPE_FILE, ITYPE_DIR,
+                                                   ITYPE_SYMLINK):
+                self.release(ino)
+                released += 1
+        return released

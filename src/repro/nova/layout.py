@@ -1,0 +1,199 @@
+"""On-device layout: superblock and region geometry.
+
+Device layout (page = 4 KB)::
+
+    page 0                superblock
+    pages 1 .. it_end     inode table (128 B inodes)
+    1 page                redo area reserved for future journal use
+    dwq_save_pages        DWQ save area (clean-shutdown persistence, §IV-B1)
+    fact_pages            FACT region (DeNova only; absent on plain NOVA)
+    data_start ..         log pages + data pages (allocated per-CPU)
+
+The superblock is written once at mkfs and updated only for the clean
+flag, the mount epoch, and the saved-DWQ length — each a small persisted
+field, never a rewrite of the whole block.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.pm.device import PMDevice
+
+__all__ = ["PAGE_SIZE", "MAGIC", "Geometry", "Superblock"]
+
+PAGE_SIZE = 4096
+MAGIC = 0x41564F4E_4544_2121  # "!!DENOVA" little-endian flavour
+INODE_SIZE = 128
+
+# Superblock field offsets (bytes from device start).
+_OFF_MAGIC = 0
+_OFF_VERSION = 8
+_OFF_CLEAN = 12
+_OFF_TOTAL_PAGES = 16
+_OFF_INODE_TABLE_PAGE = 24
+_OFF_INODE_CAPACITY = 32
+_OFF_JOURNAL_PAGE = 40
+_OFF_DWQ_SAVE_PAGE = 48
+_OFF_DWQ_SAVE_PAGES = 56
+_OFF_FACT_PAGE = 64
+_OFF_FACT_PREFIX_BITS = 72
+_OFF_DATA_START_PAGE = 80
+_OFF_DWQ_SAVED_COUNT = 88
+_OFF_EPOCH = 96
+_SB_BYTES = 104
+
+VERSION = 1
+
+
+@dataclass(frozen=True)
+class Geometry:
+    """Computed region placement for a device."""
+
+    total_pages: int
+    inode_table_page: int
+    inode_capacity: int
+    journal_page: int
+    dwq_save_page: int
+    dwq_save_pages: int
+    fact_page: int          # 0 when the filesystem has no dedup region
+    fact_prefix_bits: int   # n; FACT holds 2^(n+1) 64 B entries
+    data_start_page: int
+
+    @property
+    def data_pages(self) -> int:
+        return self.total_pages - self.data_start_page
+
+    @property
+    def fact_entries(self) -> int:
+        return 2 ** (self.fact_prefix_bits + 1) if self.fact_page else 0
+
+    @property
+    def fact_bytes(self) -> int:
+        return self.fact_entries * 64
+
+    @staticmethod
+    def compute(total_pages: int, max_inodes: int = 1024,
+                with_dedup: bool = False, fact_prefix_bits: int | None = None,
+                dwq_save_pages: int = 8) -> "Geometry":
+        """Plan the layout for a ``total_pages`` device.
+
+        The FACT prefix length follows the paper's sizing rule
+        ``n = ceil(log2(device pages))`` so the direct-access area can hold
+        one entry per data block even with zero duplicates (§IV-C); the
+        indirect area is sized equal to the DAA.
+        """
+        if total_pages < 16:
+            raise ValueError("device too small (need >= 16 pages)")
+        if max_inodes < 2:
+            raise ValueError("need at least 2 inodes (root + one file)")
+        inode_table_page = 1
+        it_pages = math.ceil(max_inodes * INODE_SIZE / PAGE_SIZE)
+        journal_page = inode_table_page + it_pages
+        dwq_save_page = journal_page + 1
+        fact_page = 0
+        n = 0
+        data_start = dwq_save_page + dwq_save_pages
+        if with_dedup:
+            n = (fact_prefix_bits if fact_prefix_bits is not None
+                 else max(1, math.ceil(math.log2(total_pages))))
+            fact_page = data_start
+            fact_pages = math.ceil((2 ** (n + 1)) * 64 / PAGE_SIZE)
+            data_start = fact_page + fact_pages
+            if 2 ** n < total_pages:
+                raise ValueError(
+                    f"FACT prefix bits n={n} too small: delete pointers "
+                    f"index the DAA by block address, so 2^n must cover "
+                    f"all {total_pages} device pages"
+                )
+        if data_start >= total_pages - 2:
+            raise ValueError(
+                f"layout leaves no data pages: metadata needs "
+                f"{data_start} of {total_pages} pages"
+            )
+        return Geometry(
+            total_pages=total_pages,
+            inode_table_page=inode_table_page,
+            inode_capacity=max_inodes,
+            journal_page=journal_page,
+            dwq_save_page=dwq_save_page,
+            dwq_save_pages=dwq_save_pages,
+            fact_page=fact_page,
+            fact_prefix_bits=n,
+            data_start_page=data_start,
+        )
+
+
+class Superblock:
+    """Typed accessor over the persisted superblock."""
+
+    def __init__(self, dev: PMDevice):
+        self.dev = dev
+
+    # -- mkfs / mount ------------------------------------------------------------
+
+    def format(self, geo: Geometry) -> None:
+        dev = self.dev
+        dev.zero_range(0, PAGE_SIZE)
+        dev.write_atomic64(_OFF_TOTAL_PAGES, geo.total_pages)
+        dev.write_atomic64(_OFF_INODE_TABLE_PAGE, geo.inode_table_page)
+        dev.write_atomic64(_OFF_INODE_CAPACITY, geo.inode_capacity)
+        dev.write_atomic64(_OFF_JOURNAL_PAGE, geo.journal_page)
+        dev.write_atomic64(_OFF_DWQ_SAVE_PAGE, geo.dwq_save_page)
+        dev.write_atomic64(_OFF_DWQ_SAVE_PAGES, geo.dwq_save_pages)
+        dev.write_atomic64(_OFF_FACT_PAGE, geo.fact_page)
+        dev.write_atomic64(_OFF_FACT_PREFIX_BITS, geo.fact_prefix_bits)
+        dev.write_atomic64(_OFF_DATA_START_PAGE, geo.data_start_page)
+        dev.write_atomic64(_OFF_DWQ_SAVED_COUNT, 0)
+        dev.write_atomic64(_OFF_EPOCH, 0)
+        dev.write_u32(_OFF_VERSION, VERSION)
+        dev.write_u32(_OFF_CLEAN, 1)
+        dev.persist(0, _SB_BYTES)
+        # Magic last: a crash mid-mkfs leaves no valid filesystem.
+        dev.write_atomic64(_OFF_MAGIC, MAGIC)
+        dev.persist(_OFF_MAGIC, 8)
+
+    def load_geometry(self) -> Geometry:
+        dev = self.dev
+        if dev.read_u64(_OFF_MAGIC) != MAGIC:
+            raise ValueError("no filesystem on device (bad magic)")
+        return Geometry(
+            total_pages=dev.read_u64(_OFF_TOTAL_PAGES),
+            inode_table_page=dev.read_u64(_OFF_INODE_TABLE_PAGE),
+            inode_capacity=dev.read_u64(_OFF_INODE_CAPACITY),
+            journal_page=dev.read_u64(_OFF_JOURNAL_PAGE),
+            dwq_save_page=dev.read_u64(_OFF_DWQ_SAVE_PAGE),
+            dwq_save_pages=dev.read_u64(_OFF_DWQ_SAVE_PAGES),
+            fact_page=dev.read_u64(_OFF_FACT_PAGE),
+            fact_prefix_bits=dev.read_u64(_OFF_FACT_PREFIX_BITS),
+            data_start_page=dev.read_u64(_OFF_DATA_START_PAGE),
+        )
+
+    # -- runtime flags --------------------------------------------------------------
+
+    @property
+    def clean(self) -> bool:
+        return self.dev.read_u32(_OFF_CLEAN) == 1
+
+    def set_clean(self, clean: bool) -> None:
+        self.dev.write_u32(_OFF_CLEAN, 1 if clean else 0)
+        self.dev.persist(_OFF_CLEAN, 4)
+
+    @property
+    def epoch(self) -> int:
+        return self.dev.read_u64(_OFF_EPOCH)
+
+    def bump_epoch(self) -> int:
+        epoch = self.epoch + 1
+        self.dev.write_atomic64(_OFF_EPOCH, epoch)
+        self.dev.persist(_OFF_EPOCH, 8)
+        return epoch
+
+    @property
+    def dwq_saved_count(self) -> int:
+        return self.dev.read_u64(_OFF_DWQ_SAVED_COUNT)
+
+    def set_dwq_saved_count(self, count: int) -> None:
+        self.dev.write_atomic64(_OFF_DWQ_SAVED_COUNT, count)
+        self.dev.persist(_OFF_DWQ_SAVED_COUNT, 8)

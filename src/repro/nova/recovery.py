@@ -1,0 +1,200 @@
+"""Mount-time recovery: log replay, orphan GC, free-list rebuild.
+
+NOVA's recovery story (§II-A of the paper): the per-inode logs are the
+ground truth.  Recovery scans the inode table, replays each valid inode's
+log up to its committed tail to rebuild the DRAM radix trees and sizes,
+garbage-collects orphan inodes (valid records no dentry reaches — the
+residue of a crash inside create/unlink), builds the in-use page bitmap,
+and reconstructs the per-CPU free lists from it.
+
+Any write entry past a tail, any data pages whose entry never committed,
+and any half-linked log page are automatically excluded — they were never
+visible, so the filesystem state is exactly "the write happened or it
+didn't".
+
+DeNova layers its own recovery on top via :meth:`NovaFS._post_recover`
+(DWQ rebuild, in-process dedup resumption, UC reset, FACT↔bitmap
+reconciliation — §V-C).
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.nova.entries import (
+    DentryEntry,
+    SetattrEntry,
+    SymlinkEntry,
+    WriteEntry,
+    decode_entry,
+)
+from repro.nova.inode import ITYPE_DIR, ITYPE_FILE, ITYPE_SYMLINK, ROOT_INO
+from repro.nova.layout import PAGE_SIZE
+from repro.nova.radix import FileIndex
+from repro.pm.allocator import PageAllocator
+
+__all__ = ["recover", "RecoveryReport"]
+
+
+@dataclass
+class RecoveryReport:
+    clean: bool = False
+    inodes_recovered: int = 0
+    entries_replayed: int = 0
+    orphans_collected: int = 0
+    pages_in_use: int = 0
+    corrupt_entries_skipped: int = 0
+    log_pages: int = 0
+    bitmap: np.ndarray | None = None
+    extra: dict = field(default_factory=dict)  # subclass (dedup) findings
+
+
+def recover(fs, clean: bool) -> RecoveryReport:
+    """Rebuild all DRAM state of ``fs`` from the device.  See module doc."""
+    from repro.nova.fs import InodeCache  # cycle-free late import
+
+    report = RecoveryReport(clean=clean)
+    fs.caches = {}
+
+    # Pass 0: drop half-written inode records (torn crash in create).
+    report.extra["corrupt_inodes_released"] = fs.itable.fsck()
+
+    # Pass 1: replay every valid inode's log.
+    from repro.nova.log import LOG_HEADER_SIZE
+
+    for inode in fs.itable.iter_valid():
+        if inode.log_head and not inode.log_tail:
+            # Crash between log-page allocation and the first commit:
+            # the log exists but holds nothing; appends resume at slot 0.
+            inode.log_tail = inode.log_head * PAGE_SIZE + LOG_HEADER_SIZE
+        elif inode.log_head and inode.log_tail:
+            # Crash between thorough GC's head and tail updates: the
+            # tail still points into the retired chain.  GC chains are
+            # zero-initialized, so the first empty slot is the tail.
+            chain = set(fs.log.iter_pages(inode.log_head))
+            if (inode.log_tail - 1) // PAGE_SIZE not in chain:
+                from repro.nova.gc import find_tail_by_scan
+                inode.log_tail = find_tail_by_scan(fs, inode.log_head)
+                fs.itable.update_log_tail(inode.ino, inode.log_tail)
+                report.extra["gc_tails_rebuilt"] = \
+                    report.extra.get("gc_tails_rebuilt", 0) + 1
+        cache = InodeCache(
+            inode=inode,
+            index=FileIndex(fs.cpu_model, fs.clock),
+            tail=inode.log_tail,
+        )
+        for addr, raw in fs.log.iter_slots(inode.log_head, inode.log_tail):
+            try:
+                entry = decode_entry(raw)
+            except ValueError:
+                report.corrupt_entries_skipped += 1
+                continue
+            if entry is None:
+                continue
+            report.entries_replayed += 1
+            cache.entry_count += 1
+            if isinstance(entry, WriteEntry) and inode.itype == ITYPE_FILE:
+                cache.index.install(addr, entry)
+                cache.inode.size = entry.size_after
+                cache.inode.mtime = max(cache.inode.mtime, entry.mtime)
+            elif isinstance(entry, SetattrEntry) and inode.itype == ITYPE_FILE:
+                keep = (entry.new_size + PAGE_SIZE - 1) // PAGE_SIZE
+                cache.index.truncate_pages(keep)
+                cache.inode.size = entry.new_size
+                cache.inode.mtime = max(cache.inode.mtime, entry.mtime)
+            elif isinstance(entry, DentryEntry) and inode.itype == ITYPE_DIR:
+                if entry.valid:
+                    cache.dentries[entry.name] = entry.ino
+                else:
+                    cache.dentries.pop(entry.name, None)
+            elif (isinstance(entry, SymlinkEntry)
+                    and inode.itype == ITYPE_SYMLINK):
+                cache.symlink_target = entry.target
+            else:
+                report.corrupt_entries_skipped += 1
+        fs.caches[inode.ino] = cache
+        report.inodes_recovered += 1
+
+    # Pass 1.5: redo any committed-but-unapplied journal transaction
+    # (cross-directory rename).  This must run before reachability: a
+    # crash mid-apply can leave the moved inode referenced by neither
+    # directory, and only the journal knows it is still alive.  The redo
+    # may append to directory logs, so it needs a safe allocator first —
+    # a conservative one that treats every currently-valid inode's pages
+    # (orphans included) as in use; the exact rebuild happens in pass 3.
+    fs.allocator = _build_allocator(fs)
+    fs.log.allocator = fs.allocator
+    report.extra["journal_redone"] = fs.apply_journal()
+    if fs.journal.committed:
+        fs.journal.clear()
+
+    # Pass 2: reachability from the root; collect orphans.
+    reachable: set[int] = set()
+    stack = [ROOT_INO] if ROOT_INO in fs.caches else []
+    while stack:
+        ino = stack.pop()
+        if ino in reachable:
+            continue
+        reachable.add(ino)
+        cache = fs.caches[ino]
+        if cache.inode.itype == ITYPE_DIR:
+            stack.extend(i for i in cache.dentries.values()
+                         if i in fs.caches)
+    for ino in sorted(set(fs.caches) - reachable):
+        fs.itable.release(ino)
+        del fs.caches[ino]
+        report.orphans_collected += 1
+    # Drop dangling dentries (name points at a collected/never-born ino).
+    for cache in fs.caches.values():
+        if cache.inode.itype == ITYPE_DIR:
+            for name in [n for n, i in cache.dentries.items()
+                         if i not in fs.caches]:
+                del cache.dentries[name]
+
+    # Recompute link counts from the surviving dentries (the hot path
+    # never persists them; the namespace is the ground truth).
+    link_counts = Counter(
+        child
+        for cache in fs.caches.values()
+        if cache.inode.itype == ITYPE_DIR
+        for child in cache.dentries.values()
+    )
+    for ino, cache in fs.caches.items():
+        if cache.inode.itype == ITYPE_DIR:
+            cache.inode.links = 2
+        else:  # files and symlinks
+            cache.inode.links = link_counts.get(ino, 0)
+
+    # Pass 3: in-use bitmap -> per-CPU free lists.
+    bitmap = _in_use_bitmap(fs, report)
+    fs.allocator = PageAllocator.from_bitmap(
+        fs.geo.data_start_page, fs.geo.total_pages, bitmap, fs.cpus)
+    fs.log.allocator = fs.allocator
+    report.pages_in_use = int(bitmap[fs.geo.data_start_page:].sum())
+    report.bitmap = bitmap
+
+    fs._post_recover(report, clean)
+    return report
+
+
+def _in_use_bitmap(fs, report: RecoveryReport | None = None) -> np.ndarray:
+    """Pages referenced by the current ``fs.caches`` (plus system area)."""
+    bitmap = np.zeros(fs.geo.total_pages, dtype=bool)
+    bitmap[:fs.geo.data_start_page] = True  # superblock/itable/FACT/etc.
+    for cache in fs.caches.values():
+        for page in fs.log.iter_pages(cache.inode.log_head):
+            bitmap[page] = True
+            if report is not None:
+                report.log_pages += 1
+        for page in cache.index.referenced_pages():
+            bitmap[page] = True
+    return bitmap
+
+
+def _build_allocator(fs) -> PageAllocator:
+    return PageAllocator.from_bitmap(
+        fs.geo.data_start_page, fs.geo.total_pages, _in_use_bitmap(fs),
+        fs.cpus)

@@ -1,0 +1,190 @@
+"""NOVA's per-CPU free page lists.
+
+NOVA partitions the device's pages across per-CPU free lists so allocation
+normally takes no shared lock.  A write entry records one *contiguous* run
+of data pages, so allocation is extent-based: first-fit within the calling
+CPU's list, falling back to stealing the largest extent from the fullest
+other list when the local list cannot satisfy the request.
+
+The allocator itself is DRAM state (NOVA rebuilds it from a log scan at
+recovery), so it carries no persistence logic — :mod:`repro.nova.recovery`
+reconstructs it from the in-use page bitmap.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+__all__ = ["PageAllocator", "AllocError", "Extent"]
+
+
+class AllocError(Exception):
+    """Raised when the device has no free extent large enough."""
+
+
+@dataclass(frozen=True)
+class Extent:
+    """A contiguous run of free pages: ``[start, start + count)``."""
+
+    start: int
+    count: int
+
+    @property
+    def end(self) -> int:
+        return self.start + self.count
+
+
+class PageAllocator:
+    """Extent-based per-CPU free lists over page numbers ``[lo, hi)``."""
+
+    def __init__(self, lo: int, hi: int, cpus: int = 1):
+        if hi <= lo:
+            raise ValueError("empty page range")
+        if cpus < 1:
+            raise ValueError("cpus must be >= 1")
+        self.lo = lo
+        self.hi = hi
+        self.cpus = cpus
+        self._lists: list[list[Extent]] = [[] for _ in range(cpus)]
+        total = hi - lo
+        share = total // cpus
+        for cpu in range(cpus):
+            start = lo + cpu * share
+            count = share if cpu < cpus - 1 else total - cpu * share
+            if count:
+                self._lists[cpu].append(Extent(start, count))
+        self.allocs = 0
+        self.frees = 0
+        self.steals = 0
+
+    # -- queries ---------------------------------------------------------------
+
+    @property
+    def free_pages(self) -> int:
+        return sum(e.count for lst in self._lists for e in lst)
+
+    def free_pages_on(self, cpu: int) -> int:
+        return sum(e.count for e in self._lists[cpu])
+
+    def largest_extent(self) -> int:
+        sizes = [e.count for lst in self._lists for e in lst]
+        return max(sizes) if sizes else 0
+
+    def is_free(self, page: int) -> bool:
+        return any(e.start <= page < e.end
+                   for lst in self._lists for e in lst)
+
+    # -- allocation ------------------------------------------------------------
+
+    def alloc(self, count: int, cpu: int = 0) -> int:
+        """Allocate ``count`` contiguous pages, preferring ``cpu``'s list.
+
+        Returns the first page number.  Raises :class:`AllocError` when no
+        single free extent can hold the run (the filesystem treats that as
+        ENOSPC; it does not split writes across extents because one write
+        entry describes one contiguous run).
+        """
+        if count < 1:
+            raise ValueError("count must be >= 1")
+        cpu %= self.cpus
+        start = self._take_from(cpu, count)
+        if start is None:
+            # Steal: scan other lists, fullest first, for a fitting extent.
+            order = sorted(
+                (c for c in range(self.cpus) if c != cpu),
+                key=self.free_pages_on,
+                reverse=True,
+            )
+            for other in order:
+                start = self._take_from(other, count)
+                if start is not None:
+                    self.steals += 1
+                    break
+        if start is None:
+            raise AllocError(
+                f"no contiguous extent of {count} pages "
+                f"({self.free_pages} pages free, largest extent "
+                f"{self.largest_extent()})"
+            )
+        self.allocs += 1
+        return start
+
+    def _take_from(self, cpu: int, count: int) -> Optional[int]:
+        lst = self._lists[cpu]
+        for i, ext in enumerate(lst):
+            if ext.count >= count:
+                if ext.count == count:
+                    lst.pop(i)
+                else:
+                    lst[i] = Extent(ext.start + count, ext.count - count)
+                return ext.start
+        return None
+
+    # -- free --------------------------------------------------------------------
+
+    def free(self, start: int, count: int, cpu: int = 0) -> None:
+        """Return ``[start, start+count)`` to ``cpu``'s list, merging extents."""
+        if count < 1:
+            raise ValueError("count must be >= 1")
+        if start < self.lo or start + count > self.hi:
+            raise ValueError(f"free of [{start}, {start + count}) outside range")
+        cpu %= self.cpus
+        lst = self._lists[cpu]
+        # Overlap check against every list: double frees corrupt filesystems
+        # silently, so fail loudly here instead.
+        for other in self._lists:
+            for ext in other:
+                if start < ext.end and ext.start < start + count:
+                    raise ValueError(
+                        f"double free: [{start}, {start + count}) overlaps "
+                        f"free extent [{ext.start}, {ext.end})"
+                    )
+        self.frees += 1
+        # Insert sorted by start, then merge with neighbours.
+        idx = 0
+        while idx < len(lst) and lst[idx].start < start:
+            idx += 1
+        lst.insert(idx, Extent(start, count))
+        self._merge_around(lst, idx)
+
+    @staticmethod
+    def _merge_around(lst: list[Extent], idx: int) -> None:
+        if idx + 1 < len(lst) and lst[idx].end == lst[idx + 1].start:
+            lst[idx] = Extent(lst[idx].start, lst[idx].count + lst[idx + 1].count)
+            lst.pop(idx + 1)
+        if idx > 0 and lst[idx - 1].end == lst[idx].start:
+            lst[idx - 1] = Extent(lst[idx - 1].start,
+                                  lst[idx - 1].count + lst[idx].count)
+            lst.pop(idx)
+
+    # -- recovery ---------------------------------------------------------------
+
+    @classmethod
+    def from_bitmap(cls, lo: int, hi: int, in_use, cpus: int = 1
+                    ) -> "PageAllocator":
+        """Rebuild free lists from an in-use bitmap (recovery path).
+
+        ``in_use`` is indexable by page number; truthy means occupied.
+        Free runs are distributed round-robin across CPUs to re-balance.
+        """
+        alloc = cls.__new__(cls)
+        alloc.lo, alloc.hi, alloc.cpus = lo, hi, cpus
+        alloc._lists = [[] for _ in range(cpus)]
+        alloc.allocs = alloc.frees = alloc.steals = 0
+        run_start: Optional[int] = None
+        runs: list[Extent] = []
+        for page in range(lo, hi):
+            if not in_use[page]:
+                if run_start is None:
+                    run_start = page
+            elif run_start is not None:
+                runs.append(Extent(run_start, page - run_start))
+                run_start = None
+        if run_start is not None:
+            runs.append(Extent(run_start, hi - run_start))
+        for i, ext in enumerate(runs):
+            alloc._lists[i % cpus].append(ext)
+        for lst in alloc._lists:
+            lst.sort(key=lambda e: e.start)
+        return alloc

@@ -1,0 +1,395 @@
+"""Generator-based discrete-event simulation engine.
+
+Design notes
+------------
+A :class:`Process` drives a generator.  Each ``yield`` must produce an
+:class:`Event`; the process suspends until the event *succeeds*, then
+resumes with the event's value sent into the generator.  The engine pops
+``(time, seq)``-ordered events off a heap, so same-time events fire in the
+order they were scheduled — simulations are fully deterministic.
+
+Times are plain floats.  The filesystem layers use nanoseconds, but the
+engine itself is unit-agnostic.
+"""
+
+from __future__ import annotations
+
+import heapq
+from collections import deque
+from typing import Any, Callable, Generator, Iterable, Optional
+
+__all__ = [
+    "Engine",
+    "Event",
+    "Process",
+    "Lock",
+    "Resource",
+    "FifoQueue",
+    "Interrupt",
+]
+
+
+class Interrupt(Exception):
+    """Raised inside a process when another process interrupts it."""
+
+    def __init__(self, cause: Any = None):
+        super().__init__(cause)
+        self.cause = cause
+
+
+class Event:
+    """A one-shot occurrence processes can wait on.
+
+    An event is *pending* until :meth:`succeed` (or :meth:`fail`) is
+    called, after which waiting processes are resumed with its value.
+    """
+
+    __slots__ = ("engine", "callbacks", "_value", "_exc", "triggered", "name")
+
+    def __init__(self, engine: "Engine", name: str = ""):
+        self.engine = engine
+        self.callbacks: Optional[list[Callable[["Event"], None]]] = []
+        self._value: Any = None
+        self._exc: Optional[BaseException] = None
+        self.triggered = False
+        self.name = name
+
+    @property
+    def value(self) -> Any:
+        if self._exc is not None:
+            raise self._exc
+        return self._value
+
+    @property
+    def ok(self) -> bool:
+        return self.triggered and self._exc is None
+
+    def succeed(self, value: Any = None) -> "Event":
+        """Trigger the event, resuming waiters at the current sim time."""
+        if self.triggered:
+            raise RuntimeError(f"event {self.name!r} already triggered")
+        self.triggered = True
+        self._value = value
+        self.engine._queue_callbacks(self)
+        return self
+
+    def fail(self, exc: BaseException) -> "Event":
+        """Trigger the event so waiters see ``exc`` raised at the yield."""
+        if self.triggered:
+            raise RuntimeError(f"event {self.name!r} already triggered")
+        self.triggered = True
+        self._exc = exc
+        self.engine._queue_callbacks(self)
+        return self
+
+    def add_callback(self, fn: Callable[["Event"], None]) -> None:
+        if self.callbacks is None:
+            # Already dispatched: run at the current time, immediately.
+            fn(self)
+        else:
+            self.callbacks.append(fn)
+
+
+class Process(Event):
+    """A running generator; also an event that fires on termination."""
+
+    __slots__ = ("gen", "_target", "_interrupts")
+
+    def __init__(self, engine: "Engine", gen: Generator, name: str = ""):
+        super().__init__(engine, name or getattr(gen, "__name__", "proc"))
+        self.gen = gen
+        self._target: Optional[Event] = None
+        self._interrupts: deque[Interrupt] = deque()
+        # Kick off at the current simulated time.
+        boot = Event(engine, f"{self.name}:boot")
+        boot.add_callback(self._resume)
+        boot.succeed()
+
+    @property
+    def is_alive(self) -> bool:
+        return not self.triggered
+
+    def interrupt(self, cause: Any = None) -> None:
+        """Throw :class:`Interrupt` into the process at its current yield."""
+        if self.triggered:
+            return
+        self._interrupts.append(Interrupt(cause))
+        target = self._target
+        if target is not None and not target.triggered:
+            # Detach from the event we were waiting on and resume now.
+            if target.callbacks is not None and self._resume in target.callbacks:
+                target.callbacks.remove(self._resume)
+            self._target = None
+            wake = Event(self.engine, f"{self.name}:interrupt")
+            wake.add_callback(self._resume)
+            wake.succeed()
+
+    def _resume(self, event: Event) -> None:
+        self._target = None
+        try:
+            if self._interrupts:
+                exc = self._interrupts.popleft()
+                nxt = self.gen.throw(exc)
+            elif event._exc is not None:
+                nxt = self.gen.throw(event._exc)
+            else:
+                nxt = self.gen.send(event._value)
+        except StopIteration as stop:
+            self.succeed(stop.value)
+            return
+        except Interrupt:
+            # Process chose not to handle the interrupt: treat as exit.
+            self.succeed(None)
+            return
+        if not isinstance(nxt, Event):
+            raise TypeError(
+                f"process {self.name!r} yielded {nxt!r}; processes must "
+                "yield Event instances (timeout/acquire/get/...)"
+            )
+        self._target = nxt
+        nxt.add_callback(self._resume)
+
+
+class Engine:
+    """The event loop: a heap of ``(time, seq, callback, event)`` entries."""
+
+    def __init__(self):
+        self.now: float = 0.0
+        self._heap: list[tuple[float, int, Event]] = []
+        self._seq = 0
+        self._dispatching = False
+
+    # -- event construction ------------------------------------------------
+
+    def event(self, name: str = "") -> Event:
+        """A manually-triggered event (condition-variable style)."""
+        return Event(self, name)
+
+    def timeout(self, delay: float, value: Any = None, name: str = "") -> Event:
+        """An event that fires ``delay`` time units from now."""
+        if delay < 0:
+            raise ValueError(f"negative delay {delay!r}")
+        ev = Event(self, name or f"timeout({delay})")
+        ev._value = value
+        self._push(self.now + delay, ev)
+        return ev
+
+    def process(self, gen: Generator, name: str = "") -> Process:
+        """Register a generator as a new simulated thread."""
+        return Process(self, gen, name)
+
+    def all_of(self, events: Iterable[Event], name: str = "all_of") -> Event:
+        """An event that fires once every given event has fired."""
+        events = list(events)
+        done = self.event(name)
+        remaining = [len(events)]
+        if not events:
+            done.succeed([])
+            return done
+
+        def on_fire(_ev: Event) -> None:
+            remaining[0] -= 1
+            if remaining[0] == 0:
+                done.succeed([e.value for e in events])
+
+        for e in events:
+            e.add_callback(on_fire)
+        return done
+
+    # -- scheduling internals ----------------------------------------------
+
+    def _push(self, when: float, ev: Event) -> None:
+        self._seq += 1
+        heapq.heappush(self._heap, (when, self._seq, ev))
+
+    def _queue_callbacks(self, ev: Event) -> None:
+        self._push(self.now, ev)
+
+    # -- run loop ------------------------------------------------------------
+
+    def run(self, until: Optional[float] = None) -> float:
+        """Dispatch events until the heap drains (or sim time passes `until`).
+
+        Returns the final simulated time.
+        """
+        if self._dispatching:
+            raise RuntimeError("Engine.run() is not reentrant")
+        self._dispatching = True
+        try:
+            while self._heap:
+                when, _seq, ev = self._heap[0]
+                if until is not None and when > until:
+                    self.now = until
+                    break
+                heapq.heappop(self._heap)
+                self.now = when
+                if ev.callbacks is None:
+                    continue  # already dispatched via succeed()
+                ev.triggered = True
+                callbacks, ev.callbacks = ev.callbacks, None
+                for fn in callbacks:
+                    fn(ev)
+            else:
+                if until is not None and until > self.now:
+                    self.now = until
+        finally:
+            self._dispatching = False
+        return self.now
+
+
+class Lock:
+    """A FIFO mutex for simulated threads.
+
+    ``contention_penalty_ns`` models cache-coherence cost per queued waiter
+    at acquire time: heavily contended locks (per-CPU allocator under
+    oversubscription) get progressively slower, which is what produces the
+    post-peak throughput decline in Fig. 9.
+    """
+
+    __slots__ = ("engine", "_holder", "_waiters", "acquisitions",
+                 "contended_acquisitions", "contention_penalty_ns")
+
+    def __init__(self, engine: Engine, contention_penalty_ns: float = 0.0):
+        self.engine = engine
+        self._holder: Optional[Event] = None
+        self._waiters: deque[Event] = deque()
+        self.acquisitions = 0
+        self.contended_acquisitions = 0
+        self.contention_penalty_ns = contention_penalty_ns
+
+    @property
+    def locked(self) -> bool:
+        return self._holder is not None
+
+    @property
+    def queue_length(self) -> int:
+        return len(self._waiters)
+
+    def acquire(self) -> Event:
+        ev = self.engine.event("lock.acquire")
+        self.acquisitions += 1
+        if self._holder is None:
+            self._holder = ev
+            ev.succeed()
+        else:
+            self.contended_acquisitions += 1
+            self._waiters.append(ev)
+        return ev
+
+    def release(self) -> None:
+        if self._holder is None:
+            raise RuntimeError("release of unheld Lock")
+        if self._waiters:
+            nxt = self._waiters.popleft()
+            self._holder = nxt
+            penalty = self.contention_penalty_ns * (1 + len(self._waiters))
+            if penalty:
+                # Hand-off is delayed by coherence traffic among waiters.
+                hand = self.engine.timeout(penalty)
+                hand.add_callback(lambda _e: nxt.succeed())
+            else:
+                nxt.succeed()
+        else:
+            self._holder = None
+
+    def held(self, body: Generator) -> Generator:
+        """Run a sub-generator while holding the lock (helper)."""
+        yield self.acquire()
+        try:
+            result = yield from body
+        finally:
+            self.release()
+        return result
+
+
+class Resource:
+    """A counting semaphore: at most ``capacity`` concurrent holders.
+
+    Used to model the memory controller's limited concurrency — requests
+    beyond capacity queue, which saturates device throughput.
+    """
+
+    __slots__ = ("engine", "capacity", "_in_use", "_waiters", "total_requests",
+                 "queued_requests")
+
+    def __init__(self, engine: Engine, capacity: int):
+        if capacity < 1:
+            raise ValueError("capacity must be >= 1")
+        self.engine = engine
+        self.capacity = capacity
+        self._in_use = 0
+        self._waiters: deque[Event] = deque()
+        self.total_requests = 0
+        self.queued_requests = 0
+
+    @property
+    def in_use(self) -> int:
+        return self._in_use
+
+    def request(self) -> Event:
+        ev = self.engine.event("resource.request")
+        self.total_requests += 1
+        if self._in_use < self.capacity:
+            self._in_use += 1
+            ev.succeed()
+        else:
+            self.queued_requests += 1
+            self._waiters.append(ev)
+        return ev
+
+    def release(self) -> None:
+        if self._in_use <= 0:
+            raise RuntimeError("release of idle Resource")
+        if self._waiters:
+            self._waiters.popleft().succeed()
+        else:
+            self._in_use -= 1
+
+
+class FifoQueue:
+    """Unbounded FIFO with blocking ``get`` — the DWQ's DRAM behaviour.
+
+    ``put`` never blocks (the DWQ is dynamic and unbounded in the paper);
+    ``get`` returns an event that fires when an item is available.
+    """
+
+    __slots__ = ("engine", "_items", "_getters", "puts", "gets", "peak_length")
+
+    def __init__(self, engine: Engine):
+        self.engine = engine
+        self._items: deque[Any] = deque()
+        self._getters: deque[Event] = deque()
+        self.puts = 0
+        self.gets = 0
+        self.peak_length = 0
+
+    def __len__(self) -> int:
+        return len(self._items)
+
+    def put(self, item: Any) -> None:
+        self.puts += 1
+        if self._getters:
+            self.gets += 1
+            self._getters.popleft().succeed(item)
+        else:
+            self._items.append(item)
+            if len(self._items) > self.peak_length:
+                self.peak_length = len(self._items)
+
+    def get(self) -> Event:
+        ev = self.engine.event("queue.get")
+        if self._items:
+            self.gets += 1
+            ev.succeed(self._items.popleft())
+        else:
+            self._getters.append(ev)
+        return ev
+
+    def get_nowait(self) -> Any:
+        """Pop an item immediately; raises IndexError when empty."""
+        self.gets += 1
+        return self._items.popleft()
+
+    def snapshot(self) -> list[Any]:
+        """Copy of queued items (for clean-shutdown persistence)."""
+        return list(self._items)

@@ -1,0 +1,41 @@
+"""Fio-like synthetic workloads and the DES workload runner.
+
+The paper generates its workloads with fio: sets of small (4 KB) or
+large (128 KB) files, a controlled duplicate ratio, think time, and a
+thread count.  This package provides the same knobs:
+
+* :class:`DataGenerator` — NumPy-vectorized page synthesis with an exact
+  duplicate ratio (every page is either drawn from a small duplicate
+  pool or stamped globally unique);
+* :class:`JobSpec` — the fio-style job description, with the paper's
+  small-file/large-file presets;
+* :func:`run_workload` — executes a job against a filesystem on the DES
+  engine: writer threads, the dedup daemon as a background process
+  (immediate or delayed(n, m)), a shared-DWQ lock, an iMC bandwidth
+  resource, and per-inode locks — producing throughput/latency results
+  in simulated time.
+"""
+
+from repro.workloads.datagen import DataGenerator
+from repro.workloads.fio import (
+    JobSpec,
+    Mode,
+    large_file_job,
+    small_file_job,
+)
+from repro.workloads.runner import DDMode, RunResult, run_workload
+from repro.workloads.trace import Trace, TracedFS, replay
+
+__all__ = [
+    "DataGenerator",
+    "JobSpec",
+    "Mode",
+    "small_file_job",
+    "large_file_job",
+    "DDMode",
+    "RunResult",
+    "run_workload",
+    "Trace",
+    "TracedFS",
+    "replay",
+]

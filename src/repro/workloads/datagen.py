@@ -1,0 +1,97 @@
+"""Duplicate-ratio-controlled data synthesis.
+
+fio's ``dedupe_percentage`` knob, reimplemented: each 4 KB page is drawn
+from a small pool of "duplicate" pages with probability α, otherwise it
+is globally unique.  Over many pages the realized duplicate fraction
+converges to α, and — crucially for dedup experiments — the *sequence*
+is deterministic per seed, so baseline and dedup variants see
+byte-identical workloads.
+
+Pages are synthesized in NumPy batches (one RNG call per request, no
+per-page Python loops) per the HPC guides; uniqueness is guaranteed by
+stamping a monotone 64-bit counter into each unique page, so no
+accidental collisions can inflate the dedup ratio.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["DataGenerator"]
+
+
+class DataGenerator:
+    """Deterministic page stream with duplicate ratio ``alpha``."""
+
+    def __init__(self, alpha: float, seed: int = 0, page_size: int = 4096,
+                 dup_pool_size: int = 16, compressible: bool = False,
+                 stream: int = 0):
+        """``stream`` separates parallel generators (one per writer
+        thread): streams share the same duplicate pool (so cross-thread
+        duplicates dedup against each other, as fio's shared buffer pool
+        does) but draw disjoint unique pages."""
+        if not 0.0 <= alpha <= 1.0:
+            raise ValueError(f"alpha must be in [0, 1], got {alpha}")
+        if dup_pool_size < 1:
+            raise ValueError("dup_pool_size must be >= 1")
+        self.alpha = alpha
+        self.page_size = page_size
+        pool_rng = np.random.default_rng(seed)  # stream-independent pool
+        self.rng = np.random.default_rng([seed, stream])
+        self._counter = stream << 40  # disjoint uniqueness namespaces
+        fill = (np.zeros if compressible
+                else lambda shape: pool_rng.integers(0, 256, shape,
+                                                     dtype=np.uint8))
+        # The duplicate pool: fixed pages reused for the α fraction.
+        self.pool = [
+            self._stamp(fill((page_size,)), tag)
+            for tag in range(dup_pool_size)
+        ]
+        self.pages_emitted = 0
+        self.dup_pages_emitted = 0
+
+    def _random_block(self, shape) -> np.ndarray:
+        return self.rng.integers(0, 256, shape, dtype=np.uint8)
+
+    def _stamp(self, arr: np.ndarray, tag: int) -> bytes:
+        arr = arr.astype(np.uint8, copy=True)
+        arr[:8] = np.frombuffer(int(tag).to_bytes(8, "little"),
+                                dtype=np.uint8)
+        arr[8] = 0xD7  # pool marker: distinct from unique pages' stamps
+        return arr.tobytes()
+
+    def pages(self, n: int) -> list[bytes]:
+        """The next ``n`` pages of the stream."""
+        if n <= 0:
+            return []
+        dup_mask = self.rng.random(n) < self.alpha
+        pool_picks = self.rng.integers(0, len(self.pool), n)
+        uniques_needed = int(n - dup_mask.sum())
+        blob = self._random_block((uniques_needed, self.page_size))
+        out: list[bytes] = []
+        u = 0
+        for i in range(n):
+            if dup_mask[i]:
+                out.append(self.pool[pool_picks[i]])
+                self.dup_pages_emitted += 1
+            else:
+                page = blob[u]
+                page[:8] = np.frombuffer(
+                    self._counter.to_bytes(8, "little"), dtype=np.uint8)
+                page[8] = 0x11  # unique marker
+                self._counter += 1
+                out.append(page.tobytes())
+                u += 1
+            self.pages_emitted += 1
+        return out
+
+    def file_data(self, nbytes: int) -> bytes:
+        """A file body of ``nbytes`` (page-granular duplicate control)."""
+        npages = (nbytes + self.page_size - 1) // self.page_size
+        return b"".join(self.pages(npages))[:nbytes]
+
+    @property
+    def realized_alpha(self) -> float:
+        if not self.pages_emitted:
+            return 0.0
+        return self.dup_pages_emitted / self.pages_emitted

@@ -1,0 +1,414 @@
+"""The DES workload runner.
+
+Bridges the synchronous filesystem to the discrete-event engine: each
+filesystem call runs under the clock's *capture* mode (its modelled cost
+is absorbed instead of advancing global time), then the simulated thread
+sleeps that long on the engine — so interleaving, lock queuing and
+bandwidth saturation are decided by the DES, not by call order.
+
+Contention model (what produces the paper's Fig. 9 shape):
+
+* an **iMC bandwidth resource** with ``bw_slots`` concurrent slots —
+  writers queue behind it, saturating device throughput;
+* a small **coherence penalty per queued waiter** on slot hand-off —
+  oversubscription makes everyone slightly slower, giving the post-peak
+  decline;
+* the **shared DWQ lock** between writers and the dedup daemon — the
+  paper's <1 % foreground cost, measured rather than assumed;
+* **per-inode locks** — held by the daemon for the whole Algorithm-1
+  node, exactly as DeNova holds the inode lock during deduplication.
+
+The dedup daemon runs as its own DES process: ``DDMode.immediate()``
+(aggressive polling, woken by enqueues) or ``DDMode.delayed(n_ms, m)``
+(every n ms, up to m nodes).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Optional
+
+from repro.sim import Engine, Lock, Resource
+from repro.workloads.datagen import DataGenerator
+from repro.workloads.fio import JobSpec, Mode
+
+__all__ = ["DDMode", "RunResult", "SimContext", "run_workload"]
+
+MS = 1_000_000.0  # ns per millisecond
+
+
+@dataclass(frozen=True)
+class DDMode:
+    """How the dedup daemon is driven during the run."""
+
+    kind: str                 # "none" | "immediate" | "delayed"
+    interval_ms: float = 0.0  # n of delayed(n, m)
+    batch: int = 0            # m of delayed(n, m)
+
+    @classmethod
+    def none(cls) -> "DDMode":
+        """No daemon (baseline NOVA, or inline variants)."""
+        return cls("none")
+
+    @classmethod
+    def immediate(cls) -> "DDMode":
+        return cls("immediate")
+
+    @classmethod
+    def delayed(cls, interval_ms: float, batch: int) -> "DDMode":
+        if interval_ms <= 0 or batch < 1:
+            raise ValueError("delayed(n, m) needs n > 0 ms and m >= 1")
+        return cls("delayed", interval_ms, batch)
+
+    def __str__(self) -> str:
+        if self.kind == "delayed":
+            return f"delayed({self.interval_ms:g},{self.batch})"
+        return self.kind
+
+
+@dataclass
+class RunResult:
+    """Simulated-time outcome of one job."""
+
+    spec: JobSpec
+    dd: str
+    files_done: int = 0
+    bytes_moved: int = 0
+    foreground_ns: float = 0.0     # writers' wall span (throughput basis)
+    total_ns: float = 0.0          # until the daemon drained too
+    io_ns: float = 0.0             # summed op costs (excl. think)
+    think_ns: float = 0.0
+    dd_busy_ns: float = 0.0
+    dd_nodes: int = 0
+    per_thread_ns: list = field(default_factory=list)
+    per_thread_bytes: list = field(default_factory=list)
+    dwq_peak: int = 0
+    lingering_ns: list = field(default_factory=list)
+    space: dict = field(default_factory=dict)
+    fs_counters: dict = field(default_factory=dict)
+
+    @property
+    def throughput_mb_s(self) -> float:
+        """Foreground throughput in MB/s of simulated time."""
+        if self.foreground_ns <= 0:
+            return 0.0
+        return (self.bytes_moved / (1 << 20)) / (self.foreground_ns / 1e9)
+
+    @property
+    def files_per_s(self) -> float:
+        if self.foreground_ns <= 0:
+            return 0.0
+        return self.files_done / (self.foreground_ns / 1e9)
+
+    @property
+    def mean_op_latency_us(self) -> float:
+        if not self.files_done:
+            return 0.0
+        return self.io_ns / self.files_done / 1000.0
+
+
+class SimContext:
+    """Engine + shared-resource bundle for driving one filesystem."""
+
+    def __init__(self, fs, bw_slots: int = 4,
+                 bw_queue_penalty_ns: float = 120.0,
+                 lock_penalty_ns: float = 60.0):
+        self.fs = fs
+        self.eng = Engine()
+        self.base_ns = fs.clock.now_ns
+        self.bw = Resource(self.eng, bw_slots)
+        self.bw_queue_penalty_ns = bw_queue_penalty_ns
+        self.dwq_lock = Lock(self.eng, contention_penalty_ns=lock_penalty_ns)
+        # Namespace updates (inode allocation + parent-dir dentry append)
+        # serialize harder than data writes; small-file workloads are
+        # create-dominated, which is why their throughput peaks at fewer
+        # threads than large-file workloads (the paper's Fig. 9: 2 vs 8).
+        self.namespace_lock = Lock(self.eng,
+                                   contention_penalty_ns=6 * lock_penalty_ns)
+        # Per-create coherence cost added for each *other* active thread:
+        # shared inode-table and directory cache lines ping-pong between
+        # cores, a per-thread tax the DES locks alone cannot express.
+        self.namespace_coherence_ns = 1500.0
+        self._ino_locks: dict[int, Lock] = {}
+        self.lock_penalty_ns = lock_penalty_ns
+
+    @property
+    def now_ns(self) -> float:
+        return self.base_ns + self.eng.now
+
+    def ino_lock(self, ino: int) -> Lock:
+        lock = self._ino_locks.get(ino)
+        if lock is None:
+            lock = Lock(self.eng, contention_penalty_ns=self.lock_penalty_ns)
+            self._ino_locks[ino] = lock
+        return lock
+
+    def op(self, fn: Callable[[], object], ino: Optional[int] = None,
+           use_bw: bool = True, extra_lock: Optional[Lock] = None,
+           extra_ns: float = 0.0):
+        """Run one filesystem call as a simulated-time operation.
+
+        ``extra_ns`` adds modelled overhead the filesystem itself cannot
+        see (cross-core coherence traffic on shared DRAM structures).
+        Generator protocol: ``result, cost_ns = yield from ctx.op(...)``.
+        """
+        lock = self.ino_lock(ino) if ino is not None else None
+        if lock is not None:
+            yield lock.acquire()
+        if extra_lock is not None:
+            yield extra_lock.acquire()
+        try:
+            penalty = 0.0
+            if use_bw:
+                waiting = self.bw.in_use >= self.bw.capacity
+                queued_behind = len(self.bw._waiters)
+                yield self.bw.request()
+                if waiting:
+                    # Oversubscription coherence/queuing cost: grows with
+                    # how crowded the controller was.
+                    penalty = self.bw_queue_penalty_ns * (1 + queued_behind)
+            try:
+                self.fs.clock.sync_to(max(self.fs.clock.now_ns, self.now_ns))
+                with self.fs.clock.capture() as cap:
+                    result = fn()
+                cost = cap.total_ns + penalty + extra_ns
+                if cost > 0:
+                    yield self.eng.timeout(cost)
+            finally:
+                if use_bw:
+                    self.bw.release()
+        finally:
+            if extra_lock is not None:
+                extra_lock.release()
+            if lock is not None:
+                lock.release()
+        return result, cost
+
+
+def _writer(ctx: SimContext, fs, spec: JobSpec, tid: int, gen: DataGenerator,
+            result: RunResult, mode_has_daemon: bool,
+            dd_wake: list, inos: list):
+    """One fio job thread (generator process)."""
+    my_files = range(tid, spec.nfiles, spec.threads)
+    io_ns = 0.0
+    think_ns = 0.0
+    bytes_moved = 0
+    start = ctx.eng.now
+    for i in my_files:
+        path = f"/t{tid}/f{i}"
+        file_io_ns = 0.0
+        if spec.mode == Mode.WRITE:
+            data = gen.file_data(spec.file_size)
+
+            def _create(path=path):
+                return fs.create(path)
+
+            coherence = ctx.namespace_coherence_ns * (spec.threads - 1)
+            ino, cost = yield from ctx.op(_create, use_bw=True,
+                                          extra_lock=ctx.namespace_lock,
+                                          extra_ns=coherence)
+            file_io_ns += cost
+            inos[i] = ino
+            chunk = spec.io_chunk or spec.file_size
+            for off in range(0, spec.file_size, chunk):
+                piece = data[off:off + chunk]
+
+                def _write(ino=ino, off=off, piece=piece):
+                    return fs.write(ino, off, piece, cpu=tid)
+
+                _, cost = yield from ctx.op(_write, ino=ino)
+                file_io_ns += cost
+                bytes_moved += len(piece)
+            if mode_has_daemon and dd_wake[0] is not None \
+                    and not dd_wake[0].triggered:
+                dd_wake[0].succeed()
+        elif spec.mode == Mode.OVERWRITE:
+            ino = inos[i]
+            data = gen.file_data(spec.file_size)
+
+            def _write(ino=ino, data=data):
+                return fs.write(ino, 0, data, cpu=tid)
+
+            _, cost = yield from ctx.op(_write, ino=ino)
+            file_io_ns += cost
+            bytes_moved += spec.file_size
+            if mode_has_daemon and dd_wake[0] is not None \
+                    and not dd_wake[0].triggered:
+                dd_wake[0].succeed()
+        elif spec.mode == Mode.READ or (spec.mode == Mode.READWRITE
+                                        and tid != 0):
+            ino = inos[i]
+
+            def _read(ino=ino):
+                return fs.read(ino, 0, spec.file_size, cpu=tid)
+
+            _, cost = yield from ctx.op(_read, ino=ino)
+            file_io_ns += cost
+            bytes_moved += spec.file_size
+        elif spec.mode == Mode.READWRITE:
+            # Thread 0 is the writer in the mixed workload (Fig. 12's
+            # second experiment); the rest measure read throughput.
+            ino = inos[i]
+            data = gen.file_data(spec.file_size)
+
+            def _write(ino=ino, data=data):
+                return fs.write(ino, 0, data, cpu=tid)
+
+            _, cost = yield from ctx.op(_write, ino=ino)
+            file_io_ns += cost
+            bytes_moved += spec.file_size
+            if mode_has_daemon and dd_wake[0] is not None \
+                    and not dd_wake[0].triggered:
+                dd_wake[0].succeed()
+        else:
+            raise ValueError(f"unsupported mode {spec.mode}")
+        io_ns += file_io_ns
+        if spec.think_ratio > 0:
+            # §V-B1: 0.1 ms of think time per 0.1 ms of I/O time.
+            think = file_io_ns * spec.think_ratio
+            think_ns += think
+            yield ctx.eng.timeout(think)
+    result.per_thread_ns[tid] = ctx.eng.now - start
+    result.per_thread_bytes[tid] = bytes_moved
+    result.io_ns += io_ns
+    result.think_ns += think_ns
+    result.bytes_moved += bytes_moved
+    result.files_done += len(my_files)
+
+
+def _daemon_proc(ctx: SimContext, fs, dd: DDMode, result: RunResult,
+                 stop: list, dd_wake: list):
+    """The DD as a DES process (immediate polling or delayed(n, m))."""
+    eng = ctx.eng
+    while True:
+        if dd.kind == "delayed":
+            yield eng.timeout(dd.interval_ms * MS)
+            budget = dd.batch
+        else:
+            if len(fs.dwq) == 0:
+                if stop[0]:
+                    break
+                dd_wake[0] = eng.event("dd-wake")
+                if len(fs.dwq) == 0 and not stop[0]:
+                    yield dd_wake[0]
+                dd_wake[0] = None
+                continue
+            budget = 1_000_000_000
+        processed = 0
+        while processed < budget:
+            def _dequeue():
+                return fs.dwq.dequeue()
+
+            node, cost = yield from ctx.op(_dequeue, use_bw=False,
+                                           extra_lock=ctx.dwq_lock)
+            result.dd_busy_ns += cost
+            if node is None:
+                break
+
+            def _process(node=node):
+                fs.daemon.process_node(node)
+
+            ino = node.ino if node.ino in fs.caches else None
+            _, cost = yield from ctx.op(_process, ino=ino, use_bw=False)
+            result.dd_busy_ns += cost
+            result.dd_nodes += 1
+            processed += 1
+        if dd.kind == "delayed" and stop[0] and len(fs.dwq) == 0:
+            break
+
+
+def prepopulate(fs, spec: JobSpec, drain: bool = True) -> list[int]:
+    """Create the job's file set outside measured time.
+
+    Returns inode numbers indexed by file number.  ``drain`` lets the
+    daemon finish all dedup first (Fig. 11/12 give the DD "plenty of
+    time" before overwrite/read phases).
+    """
+    inos = [0] * spec.nfiles
+    gens = [DataGenerator(spec.dup_ratio, seed=spec.seed, stream=t)
+            for t in range(spec.threads)]
+    for t in range(spec.threads):
+        if not fs.exists(f"/t{t}"):
+            fs.mkdir(f"/t{t}")
+    for i in range(spec.nfiles):
+        t = i % spec.threads
+        ino = fs.create(f"/t{t}/f{i}")
+        fs.write(ino, 0, gens[t].file_data(spec.file_size), cpu=t)
+        inos[i] = ino
+    if drain and hasattr(fs, "daemon"):
+        fs.daemon.drain()
+    return inos
+
+
+def run_workload(fs, spec: JobSpec, dd: Optional[DDMode] = None,
+                 bw_slots: int = 4, inos: Optional[list[int]] = None,
+                 drain_before: bool = True) -> RunResult:
+    """Execute a job on the DES engine and return simulated-time results.
+
+    For OVERWRITE/READ modes the file set must exist (pass ``inos`` from
+    :func:`prepopulate`, or the runner prepopulates with the same spec).
+    """
+    if dd is None:
+        dd = DDMode.immediate() if hasattr(fs, "daemon") else DDMode.none()
+    if dd.kind != "none" and not hasattr(fs, "daemon"):
+        raise ValueError(f"{type(fs).__name__} has no dedup daemon")
+    result = RunResult(spec=spec, dd=str(dd))
+    result.per_thread_ns = [0.0] * spec.threads
+    result.per_thread_bytes = [0] * spec.threads
+
+    if spec.mode in (Mode.OVERWRITE, Mode.READ, Mode.READWRITE):
+        if inos is None:
+            inos = prepopulate(fs, spec, drain=drain_before)
+    else:
+        inos = [0] * spec.nfiles
+        for t in range(spec.threads):
+            if not fs.exists(f"/t{t}"):
+                fs.mkdir(f"/t{t}")
+
+    ctx = SimContext(fs, bw_slots=bw_slots)
+    # Overwrite phases rewrite with *fresh* unique-stream offsets so the
+    # new data does not accidentally equal the old.
+    stream_base = 1000 if spec.mode == Mode.OVERWRITE else 0
+    gens = [DataGenerator(spec.dup_ratio, seed=spec.seed + 1,
+                          stream=stream_base + t)
+            for t in range(spec.threads)]
+
+    stop = [False]
+    dd_wake: list = [None]
+    has_daemon = dd.kind != "none"
+
+    writers = [
+        ctx.eng.process(
+            _writer(ctx, fs, spec, t, gens[t], result, has_daemon,
+                    dd_wake, inos),
+            name=f"writer-{t}")
+        for t in range(spec.threads)
+    ]
+    dd_proc = None
+    if has_daemon:
+        dd_proc = ctx.eng.process(
+            _daemon_proc(ctx, fs, dd, result, stop, dd_wake), name="dd")
+
+    def _coordinator():
+        yield ctx.eng.all_of(writers)
+        result.foreground_ns = ctx.eng.now
+        stop[0] = True
+        if dd_wake[0] is not None and not dd_wake[0].triggered:
+            dd_wake[0].succeed()
+        if dd_proc is not None:
+            yield dd_proc
+        result.total_ns = ctx.eng.now
+
+    coord = ctx.eng.process(_coordinator(), name="coordinator")
+    ctx.eng.run()
+    if not coord.triggered:
+        raise RuntimeError("workload deadlocked: coordinator never finished")
+
+    fs.clock.sync_to(max(fs.clock.now_ns, ctx.now_ns))
+    if hasattr(fs, "dwq"):
+        result.dwq_peak = fs.dwq.peak_length
+        result.lingering_ns = list(fs.dwq.lingering_ns)
+    if hasattr(fs, "space_stats"):
+        result.space = fs.space_stats()
+    result.fs_counters = dict(fs.counters)
+    return result

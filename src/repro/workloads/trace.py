@@ -1,0 +1,213 @@
+"""Filesystem operation traces: record, save, replay, verify.
+
+A :class:`TracedFS` wraps any filesystem and records every mutating (and
+optionally reading) operation into a :class:`Trace`, which serializes to
+JSON-lines (payloads base64-encoded, digests kept for verification).
+Replaying a trace against a fresh filesystem reproduces the exact
+namespace and contents; replaying with ``verify=True`` additionally
+checks every recorded read against its original digest — a regression
+harness for cross-variant equivalence (the same trace must produce the
+same bytes on NOVA, DeNova, and the inline variants).
+"""
+
+from __future__ import annotations
+
+import base64
+import hashlib
+import json
+from dataclasses import dataclass, field
+from typing import Iterable, Optional
+
+__all__ = ["Trace", "TracedFS", "TraceMismatch", "replay"]
+
+
+class TraceMismatch(AssertionError):
+    """A replayed read returned different bytes than the recording."""
+
+
+@dataclass
+class TraceOp:
+    op: str
+    path: Optional[str] = None
+    path2: Optional[str] = None
+    offset: int = 0
+    length: int = 0
+    data_b64: Optional[str] = None
+    digest: Optional[str] = None
+
+    def to_json(self) -> str:
+        body = {k: v for k, v in self.__dict__.items() if v not in
+                (None, 0) or k == "op"}
+        return json.dumps(body, sort_keys=True)
+
+    @classmethod
+    def from_json(cls, line: str) -> "TraceOp":
+        return cls(**json.loads(line))
+
+    @property
+    def data(self) -> bytes:
+        return base64.b64decode(self.data_b64) if self.data_b64 else b""
+
+
+@dataclass
+class Trace:
+    ops: list[TraceOp] = field(default_factory=list)
+
+    def __len__(self) -> int:
+        return len(self.ops)
+
+    def append(self, op: TraceOp) -> None:
+        self.ops.append(op)
+
+    def save(self, path) -> None:
+        with open(path, "w") as fh:
+            for op in self.ops:
+                fh.write(op.to_json() + "\n")
+
+    @classmethod
+    def load(cls, path) -> "Trace":
+        with open(path) as fh:
+            return cls(ops=[TraceOp.from_json(line)
+                            for line in fh if line.strip()])
+
+
+class TracedFS:
+    """A recording proxy: same public surface, every call traced.
+
+    File identity is recorded by *path*, not ino, so a trace replays
+    against any filesystem.  The proxy therefore tracks ino -> path for
+    handles its caller obtained through it.
+    """
+
+    def __init__(self, fs, record_reads: bool = True):
+        self.fs = fs
+        self.trace = Trace()
+        self.record_reads = record_reads
+        self._path_of: dict[int, str] = {}
+
+    # -- namespace ----------------------------------------------------------
+
+    def create(self, path: str) -> int:
+        ino = self.fs.create(path)
+        self._path_of[ino] = path
+        self.trace.append(TraceOp(op="create", path=path))
+        return ino
+
+    def mkdir(self, path: str) -> int:
+        ino = self.fs.mkdir(path)
+        self.trace.append(TraceOp(op="mkdir", path=path))
+        return ino
+
+    def unlink(self, path: str) -> None:
+        self.fs.unlink(path)
+        self.trace.append(TraceOp(op="unlink", path=path))
+
+    def rmdir(self, path: str) -> None:
+        self.fs.rmdir(path)
+        self.trace.append(TraceOp(op="rmdir", path=path))
+
+    def rename(self, src: str, dst: str) -> None:
+        self.fs.rename(src, dst)
+        for ino, p in self._path_of.items():
+            if p == src:
+                self._path_of[ino] = dst
+        self.trace.append(TraceOp(op="rename", path=src, path2=dst))
+
+    def link(self, existing: str, newpath: str) -> None:
+        self.fs.link(existing, newpath)
+        self.trace.append(TraceOp(op="link", path=existing, path2=newpath))
+
+    def lookup(self, path: str) -> int:
+        ino = self.fs.lookup(path)
+        self._path_of[ino] = path
+        return ino
+
+    def exists(self, path: str) -> bool:
+        return self.fs.exists(path)
+
+    def listdir(self, path: str):
+        return self.fs.listdir(path)
+
+    # -- data ------------------------------------------------------------------
+
+    def _path(self, ino: int) -> str:
+        path = self._path_of.get(ino)
+        if path is None:
+            raise KeyError(f"ino {ino} was not opened through this proxy")
+        return path
+
+    def write(self, ino: int, offset: int, data: bytes, cpu: int = 0) -> int:
+        n = self.fs.write(ino, offset, data, cpu=cpu)
+        self.trace.append(TraceOp(
+            op="write", path=self._path(ino), offset=offset,
+            length=len(data),
+            data_b64=base64.b64encode(data).decode()))
+        return n
+
+    def read(self, ino: int, offset: int, length: int, cpu: int = 0) -> bytes:
+        data = self.fs.read(ino, offset, length, cpu=cpu)
+        if self.record_reads:
+            self.trace.append(TraceOp(
+                op="read", path=self._path(ino), offset=offset,
+                length=length,
+                digest=hashlib.sha1(data).hexdigest()))
+        return data
+
+    def truncate(self, ino: int, size: int, cpu: int = 0) -> None:
+        self.fs.truncate(ino, size, cpu=cpu)
+        self.trace.append(TraceOp(op="truncate", path=self._path(ino),
+                                  length=size))
+
+    def stat(self, ino: int):
+        return self.fs.stat(ino)
+
+    def __getattr__(self, name):
+        return getattr(self.fs, name)
+
+
+def replay(fs, trace: Trace | Iterable[TraceOp], verify: bool = True,
+           drain_every: int = 0) -> dict:
+    """Apply a trace to ``fs``; returns counters.
+
+    ``verify=True`` re-checks recorded read digests (TraceMismatch on
+    drift).  ``drain_every > 0`` runs the dedup daemon after every N ops
+    when the filesystem has one — interleaving background dedup with the
+    replay, which must never change observable contents.
+    """
+    ops = trace.ops if isinstance(trace, Trace) else list(trace)
+    counters = {"applied": 0, "verified_reads": 0}
+    for i, op in enumerate(ops):
+        if op.op == "create":
+            fs.create(op.path)
+        elif op.op == "mkdir":
+            fs.mkdir(op.path)
+        elif op.op == "unlink":
+            fs.unlink(op.path)
+        elif op.op == "rmdir":
+            fs.rmdir(op.path)
+        elif op.op == "rename":
+            fs.rename(op.path, op.path2)
+        elif op.op == "link":
+            fs.link(op.path, op.path2)
+        elif op.op == "write":
+            fs.write(fs.lookup(op.path), op.offset, op.data)
+        elif op.op == "truncate":
+            fs.truncate(fs.lookup(op.path), op.length)
+        elif op.op == "read":
+            data = fs.read(fs.lookup(op.path), op.offset, op.length)
+            if verify and op.digest is not None:
+                got = hashlib.sha1(data).hexdigest()
+                if got != op.digest:
+                    raise TraceMismatch(
+                        f"op {i}: read {op.path}@{op.offset}+{op.length} "
+                        f"digest {got[:12]} != recorded {op.digest[:12]}")
+                counters["verified_reads"] += 1
+        else:
+            raise ValueError(f"unknown trace op {op.op!r}")
+        counters["applied"] += 1
+        if drain_every and hasattr(fs, "daemon") \
+                and (i + 1) % drain_every == 0:
+            fs.daemon.drain()
+    if hasattr(fs, "daemon"):
+        fs.daemon.drain()
+    return counters

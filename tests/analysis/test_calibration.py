@@ -1,0 +1,72 @@
+"""Calibration guards: the default cost model must stay anchored to the
+paper's published absolute numbers.
+
+These tests intentionally pin the *tuned* constants: if someone adjusts
+the latency or CPU model, the anchors below (paper Tables I and IV)
+flag any drift outside the justified bands — keeping the simulator's
+absolute outputs citable against the paper.
+"""
+
+import pytest
+
+from repro.core import Config, Variant, make_fs
+from repro.nova import PAGE_SIZE
+from repro.pm import OPTANE_DCPM
+from repro.workloads import DataGenerator
+
+
+def per_file_write_us(file_size: int, nfiles: int = 40) -> float:
+    fs, _ = make_fs(Variant.BASELINE, Config(device_pages=8192,
+                                             max_inodes=128))
+    gen = DataGenerator(alpha=0.0, seed=2)
+    inos = [fs.create(f"/f{i}") for i in range(nfiles)]
+    t0 = fs.clock.now_ns
+    for ino in inos:
+        fs.write(ino, 0, gen.file_data(file_size))
+    return (fs.clock.now_ns - t0) / nfiles / 1000.0
+
+
+def dedup_us_per_file(file_size: int, nfiles: int = 40):
+    fs, _ = make_fs(Variant.IMMEDIATE, Config(device_pages=8192,
+                                              max_inodes=128))
+    gen = DataGenerator(alpha=0.0, seed=2)
+    for i in range(nfiles):
+        ino = fs.create(f"/f{i}")
+        fs.write(ino, 0, gen.file_data(file_size))
+    t0 = fs.clock.now_ns
+    fs.daemon.drain()
+    return (fs.clock.now_ns - t0) / nfiles / 1000.0
+
+
+class TestTable4Anchors:
+    """Paper Table IV absolute values (their testbed, our model)."""
+
+    def test_4kb_write_latency(self):
+        # Paper: 2.85 us. Band: within 35%.
+        assert per_file_write_us(4096) == pytest.approx(2.85, rel=0.35)
+
+    def test_4kb_dedup_latency(self):
+        # Paper: 15.44 us. Band: within 35%.
+        assert dedup_us_per_file(4096) == pytest.approx(15.44, rel=0.35)
+
+    def test_128kb_write_latency(self):
+        # Paper: 39.86 us. Our per-byte SHA-1/write models don't speed up
+        # for large buffers like their hardware did: allow 2x.
+        assert 30 <= per_file_write_us(128 * 1024) <= 80
+
+    def test_sha1_throughput_anchor(self):
+        # 4 KB / 11.78 us  ==> ~348 MB/s SHA-1 single-core.
+        mbps = 4096 / (OPTANE_DCPM.cpu.sha1_cost(4096) / 1e9) / 1e6
+        assert mbps == pytest.approx(348, rel=0.15)
+
+
+class TestTable1Anchors:
+    def test_optane_bands(self):
+        assert 150 <= OPTANE_DCPM.read_latency_ns <= 350
+        assert 60 <= OPTANE_DCPM.write_latency_ns <= 100
+
+    def test_ratio_anchor_eq1(self):
+        """The whole paper rests on T_f/T_w >> 1 at 4 KB; pin the band."""
+        t_w = OPTANE_DCPM.write_cost(4096)
+        t_f = OPTANE_DCPM.cpu.sha1_cost(4096)
+        assert 4.0 <= t_f / t_w <= 8.0

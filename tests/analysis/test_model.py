@@ -1,0 +1,105 @@
+"""Tests for the Eq. 1-5 analytical model and space overheads."""
+
+import pytest
+
+from repro.analysis import (
+    InlineModel,
+    dram_index_overhead,
+    fact_overhead,
+    nvdedup_metadata_overhead,
+)
+from repro.pm.latency import DRAM, OPTANE_DCPM, PCM
+
+GB = 1 << 30
+SIZES = [4096, 16384, 65536, 262144, 1 << 20]
+
+
+@pytest.fixture
+def m():
+    return InlineModel(model=OPTANE_DCPM)
+
+
+class TestEq1:
+    def test_tw_much_less_than_tf_at_all_sizes(self, m):
+        """Eq. 1 / Fig. 2: fingerprinting dominates at every write size."""
+        for size in SIZES:
+            assert m.eq1_holds(size), f"Eq.1 fails at {size} bytes"
+            assert m.t_f(size) > 2 * m.t_w(size)
+
+    def test_tf_ratio_roughly_constant(self, m):
+        """Both scale ~linearly, so the T_f/T_w ratio is stable (Fig. 2's
+        near-identical proportions across write sizes)."""
+        ratios = [m.t_f(s) / m.t_w(s) for s in SIZES]
+        assert max(ratios) / min(ratios) < 2.0
+
+    def test_eq1_would_fail_on_slow_devices(self):
+        """On PCM-class write latency the inequality weakens — the reason
+        inline dedup made sense before Optane."""
+        fast = InlineModel(model=OPTANE_DCPM)
+        slow = InlineModel(model=PCM)
+        assert (slow.t_f(4096) / slow.t_w(4096)
+                < fast.t_f(4096) / fast.t_w(4096))
+
+
+class TestEq2to5:
+    def test_inline_never_beats_baseline(self, m):
+        """Eq. 2/3 for all α in [0, 1)."""
+        for alpha in (0.0, 0.25, 0.5, 0.75, 0.99):
+            for size in (4096, 131072):
+                assert m.eq3_holds(size, alpha)
+                assert (m.inline_write_time(size, alpha)
+                        > m.baseline_write_time(size))
+
+    def test_adaptive_never_beats_baseline(self, m):
+        """Eq. 4/5 for all α in [0, 1)."""
+        for alpha in (0.0, 0.5, 0.99):
+            assert m.eq5_holds(4096, alpha)
+            assert (m.adaptive_write_time(4096, alpha)
+                    > m.baseline_write_time(4096))
+
+    def test_adaptive_beats_plain_inline_at_low_alpha(self, m):
+        """The point of NVDedup's scheme: cheap weak FPs when α is low."""
+        assert (m.adaptive_write_time(4096, 0.0)
+                < m.inline_write_time(4096, 0.0))
+
+    def test_inline_improves_slightly_with_alpha(self, m):
+        """Fig. 8's small upward slope: (1-α)·T_w shrinks."""
+        t0 = m.inline_write_time(4096, 0.0)
+        t75 = m.inline_write_time(4096, 0.75)
+        assert t75 < t0
+        # ...but the improvement is small because T_f dominates.
+        assert (t0 - t75) / t0 < 0.25
+
+    def test_predicted_slowdown_matches_paper_regime(self, m):
+        """Paper: >50% throughput drop for 4 KB files => slowdown > 2x."""
+        assert m.inline_slowdown(4096, 0.5) > 2.0
+
+    def test_alpha_validation(self, m):
+        with pytest.raises(ValueError):
+            m.inline_write_time(4096, 1.0)
+        with pytest.raises(ValueError):
+            m.eq3_holds(4096, -0.1)
+
+
+class TestSpaceOverheads:
+    def test_fact_overhead_3_2_percent(self):
+        """§IV-C: 2 x 64 B per 4 KB block = 3.125% (paper says ~3.2%)."""
+        assert fact_overhead(64 * GB) == pytest.approx(0.03125)
+
+    def test_nvdedup_overhead_1_6_percent(self):
+        assert nvdedup_metadata_overhead(64 * GB) == pytest.approx(1.6 / 100,
+                                                                   rel=0.05)
+
+    def test_dram_index_overhead_0_6_percent(self):
+        """§III: 24 B per block ≈ 0.6% of NVM capacity, in DRAM."""
+        assert dram_index_overhead(1024 * GB) == pytest.approx(0.6 / 100,
+                                                               rel=0.03)
+
+    def test_paper_1tb_example(self):
+        """1 TB NVM -> ~6 GB DRAM index = 18.75% of a 32 GB server."""
+        dram_needed = dram_index_overhead(1024 * GB) * 1024 * GB
+        assert dram_needed == pytest.approx(6 * GB, rel=0.01)
+        assert dram_needed / (32 * GB) == pytest.approx(0.1875, rel=0.01)
+
+    def test_overheads_independent_of_device_size(self):
+        assert fact_overhead(GB) == pytest.approx(fact_overhead(512 * GB))

@@ -1,0 +1,292 @@
+"""Crash-consistency sweeps for DeNova (paper §V-C, all scenarios).
+
+Each test builds a deterministic workload, then re-runs it crashing at
+*every* persistence event (pre- and post-commit), mounts, recovers, and
+checks the §V-C guarantees:
+
+* no data loss: every reachable file reads back content it legitimately
+  held at some commit point;
+* RFC never undercounts live references (the data-loss hazard of
+  §IV-D1);
+* UCs are quiescent after recovery;
+* FACT chains, delete pointers and free lists are structurally sound;
+* dedupe-flags converge: after recovery plus one daemon drain, no entry
+  is left ``in_process``.
+"""
+
+import pytest
+
+from repro.dedup import DeNovaFS
+from repro.failure import check_fs_invariants, sweep_crash_points
+from repro.nova import PAGE_SIZE
+from repro.nova.entries import DEDUPE_IN_PROCESS, WriteEntry, decode_entry
+from repro.pm import DRAM, PMDevice, SimClock
+
+
+def page_of(tag: int) -> bytes:
+    return bytes([tag & 0xFF]) * PAGE_SIZE
+
+
+def no_in_process_entries(fs) -> bool:
+    for cache in fs.caches.values():
+        for _a, raw in fs.log.iter_slots(cache.inode.log_head,
+                                         cache.inode.log_tail, silent=True):
+            e = decode_entry(raw)
+            if (isinstance(e, WriteEntry)
+                    and e.dedupe_flag == DEDUPE_IN_PROCESS):
+                return False
+    return True
+
+
+def standard_check(expected: dict):
+    """A check closure verifying content + invariants + flag convergence."""
+
+    def check(dev, point, phase):
+        fs = DeNovaFS.mount(dev)
+        check_fs_invariants(fs)
+        assert no_in_process_entries(fs), \
+            "recovery must resume every in_process transaction"
+        for path, contents in expected.items():
+            if not fs.exists(path):
+                continue
+            ino = fs.lookup(path)
+            size = fs.stat(ino).size
+            got = fs.read(ino, 0, size)
+            assert any(got == c[:size] and size in (0, len(c))
+                       for c in contents), \
+                f"{path}: recovered content matches no commit point"
+        # The system must be able to continue: drain + fresh dedup work.
+        fs.daemon.drain()
+        check_fs_invariants(fs)
+
+    return check
+
+
+class TestCrashDuringDeduplication:
+    """§V-C1: crashes inside Algorithm 1 (Inconsistency Handling I-III)."""
+
+    def test_crash_sweep_daemon_processing(self):
+        def build():
+            dev = PMDevice(1024 * PAGE_SIZE, model=DRAM, clock=SimClock())
+            fs = DeNovaFS.mkfs(dev, max_inodes=64)
+            a = fs.create("/a")
+            b = fs.create("/b")
+            fs.write(a, 0, page_of(1) + page_of(2) + page_of(3))
+            fs.write(b, 0, page_of(9) + page_of(1) + page_of(2))
+
+            def scenario():
+                fs.daemon.drain()
+
+            return dev, scenario
+
+        expected = {
+            "/a": [page_of(1) + page_of(2) + page_of(3)],
+            "/b": [page_of(9) + page_of(1) + page_of(2)],
+        }
+        assert sweep_crash_points(build, standard_check(expected)) > 5
+
+    def test_crash_sweep_daemon_processing_torn(self):
+        def build():
+            dev = PMDevice(1024 * PAGE_SIZE, model=DRAM, clock=SimClock())
+            fs = DeNovaFS.mkfs(dev, max_inodes=64)
+            a = fs.create("/a")
+            b = fs.create("/b")
+            fs.write(a, 0, page_of(1) * 2)
+            fs.write(b, 0, page_of(1) * 2)
+
+            def scenario():
+                fs.daemon.drain()
+
+            return dev, scenario
+
+        expected = {"/a": [page_of(1) * 2], "/b": [page_of(1) * 2]}
+        assert sweep_crash_points(build, standard_check(expected),
+                                  mode="torn") > 5
+
+    def test_recovered_queue_finishes_the_dedup(self):
+        """Handling I/III: after any crash, drain leaves the same space
+        savings a crash-free run reaches."""
+        def build():
+            dev = PMDevice(1024 * PAGE_SIZE, model=DRAM, clock=SimClock())
+            fs = DeNovaFS.mkfs(dev, max_inodes=64)
+            for i in range(3):
+                ino = fs.create(f"/f{i}")
+                fs.write(ino, 0, page_of(7) + page_of(i))
+
+            def scenario():
+                fs.daemon.drain()
+
+            return dev, scenario
+
+        def check(dev, point, phase):
+            fs = DeNovaFS.mount(dev)
+            fs.daemon.drain()
+            st = fs.space_stats()
+            # 3 files x 2 pages; page_of(7) shared -> 4 physical.
+            assert st["logical_pages"] == 6
+            assert st["physical_pages"] == 4, \
+                f"space savings not re-established at point {point}"
+            check_fs_invariants(fs)
+
+        assert sweep_crash_points(build, check) > 5
+
+
+class TestCrashDuringReclaim:
+    """§V-C2: crashes in the RFC-checked reclaiming process."""
+
+    def test_crash_sweep_unlink_of_shared_file(self):
+        def build():
+            dev = PMDevice(1024 * PAGE_SIZE, model=DRAM, clock=SimClock())
+            fs = DeNovaFS.mkfs(dev, max_inodes=64)
+            a = fs.create("/a")
+            b = fs.create("/b")
+            fs.write(a, 0, page_of(1) * 2)
+            fs.write(b, 0, page_of(1) * 2)
+            fs.daemon.drain()
+
+            def scenario():
+                fs.unlink("/a")
+
+            return dev, scenario
+
+        def check(dev, point, phase):
+            fs = DeNovaFS.mount(dev)
+            # /b's data must survive no matter where the unlink crashed.
+            assert fs.read(fs.lookup("/b"), 0, 2 * PAGE_SIZE) \
+                == page_of(1) * 2
+            check_fs_invariants(fs)
+
+        assert sweep_crash_points(build, check) > 3
+
+    def test_crash_sweep_overwrite_of_shared_page(self):
+        def build():
+            dev = PMDevice(1024 * PAGE_SIZE, model=DRAM, clock=SimClock())
+            fs = DeNovaFS.mkfs(dev, max_inodes=64)
+            a = fs.create("/a")
+            b = fs.create("/b")
+            fs.write(a, 0, page_of(1))
+            fs.write(b, 0, page_of(1))
+            fs.daemon.drain()
+
+            def scenario():
+                fs.write(a, 0, page_of(5))
+
+            return dev, scenario
+
+        expected = {"/a": [page_of(1), page_of(5)], "/b": [page_of(1)]}
+
+        def check(dev, point, phase):
+            fs = DeNovaFS.mount(dev)
+            assert fs.read(fs.lookup("/b"), 0, PAGE_SIZE) == page_of(1)
+            got = fs.read(fs.lookup("/a"), 0, PAGE_SIZE)
+            assert got in expected["/a"]
+            check_fs_invariants(fs)
+
+        assert sweep_crash_points(build, check) > 3
+
+
+class TestCrashFullLifecycle:
+    def test_crash_sweep_whole_workload_subsampled(self):
+        """Write + dedup + overwrite + unlink, crashing on a stride."""
+        def build():
+            dev = PMDevice(2048 * PAGE_SIZE, model=DRAM, clock=SimClock())
+            fs = DeNovaFS.mkfs(dev, max_inodes=64)
+
+            def scenario():
+                inos = []
+                for i in range(4):
+                    ino = fs.create(f"/f{i}")
+                    fs.write(ino, 0, page_of(7) + page_of(i))
+                    inos.append(ino)
+                fs.daemon.drain()
+                fs.write(inos[0], 0, page_of(8) * 2)
+                fs.unlink("/f1")
+                fs.daemon.drain()
+                fs.truncate(inos[2], PAGE_SIZE)
+                fs.daemon.drain()
+
+            return dev, scenario
+
+        def check(dev, point, phase):
+            fs = DeNovaFS.mount(dev)
+            check_fs_invariants(fs)
+            fs.daemon.drain()
+            check_fs_invariants(fs)
+            # Whatever survives must read consistently.
+            for i in range(4):
+                path = f"/f{i}"
+                if fs.exists(path):
+                    ino = fs.lookup(path)
+                    st = fs.stat(ino)
+                    assert len(fs.read(ino, 0, st.size)) == st.size
+
+        assert sweep_crash_points(build, check, stride=7) > 10
+
+    def test_double_crash(self):
+        """Crash during recovery-driven dedup, then recover again."""
+        dev = PMDevice(1024 * PAGE_SIZE, model=DRAM, clock=SimClock())
+        fs = DeNovaFS.mkfs(dev, max_inodes=64)
+        a = fs.create("/a")
+        b = fs.create("/b")
+        fs.write(a, 0, page_of(1) * 2)
+        fs.write(b, 0, page_of(1) * 2)
+        dev.crash()
+        dev.recover_view()
+        fs2 = DeNovaFS.mount(dev)
+        assert len(fs2.dwq) == 2  # rebuilt from dedupe_needed flags
+        # Crash again mid-drain.
+        from repro.pm.device import CrashRequested
+
+        count = [0]
+
+        def trip(n, d):
+            count[0] += 1
+            if count[0] == 3:
+                raise CrashRequested("drain", 3)
+
+        dev.hooks.on_persist = trip
+        with pytest.raises(CrashRequested):
+            fs2.daemon.drain()
+        dev.hooks.on_persist = None
+        dev.crash()
+        dev.recover_view()
+        fs3 = DeNovaFS.mount(dev)
+        check_fs_invariants(fs3)
+        fs3.daemon.drain()
+        assert fs3.read(fs3.lookup("/a"), 0, 2 * PAGE_SIZE) == page_of(1) * 2
+        assert fs3.read(fs3.lookup("/b"), 0, 2 * PAGE_SIZE) == page_of(1) * 2
+        assert fs3.space_stats()["physical_pages"] == 1
+        check_fs_invariants(fs3)
+
+
+class TestRecoveryReports:
+    def test_dwq_rebuild_counts_needed_entries(self):
+        dev = PMDevice(1024 * PAGE_SIZE, model=DRAM, clock=SimClock())
+        fs = DeNovaFS.mkfs(dev, max_inodes=64)
+        for i in range(4):
+            ino = fs.create(f"/f{i}")
+            fs.write(ino, 0, page_of(i))
+        dev.crash()
+        dev.recover_view()
+        fs2 = DeNovaFS.mount(dev)
+        rep = fs2.last_recovery.extra["dedup"]
+        assert rep["dwq_rebuilt"] == 4
+        assert rep["in_process_resumed"] == 0
+        assert len(fs2.dwq) == 4
+
+    def test_stale_uc_discarded(self):
+        dev = PMDevice(1024 * PAGE_SIZE, model=DRAM, clock=SimClock())
+        fs = DeNovaFS.mkfs(dev, max_inodes=64)
+        a = fs.create("/a")
+        fs.write(a, 0, page_of(1))
+        fs.daemon.drain()
+        (idx, _), = fs.fact.live_entries().items()
+        fs.fact.inc_uc(idx)  # a transaction that will never commit
+        dev.crash()
+        dev.recover_view()
+        fs2 = DeNovaFS.mount(dev)
+        rep = fs2.last_recovery.extra["dedup"]
+        assert rep["uc_discarded"] == 1
+        (idx2, ent), = fs2.fact.live_entries().items()
+        assert ent.update_count == 0
+        assert ent.refcount == 1

@@ -1,0 +1,306 @@
+"""Unit tests for the FACT table: lookup/insert/counts/delete pointers."""
+
+import hashlib
+
+import pytest
+
+from repro.dedup.fact import FACT, FactCorruption, FactFull
+from repro.nova.layout import PAGE_SIZE, Geometry, Superblock
+from repro.pm import DRAM, PMDevice, SimClock
+
+N_BITS = 7  # DAA = 128 slots; device has 128 pages
+
+
+@pytest.fixture
+def fact():
+    dev = PMDevice(128 * PAGE_SIZE, model=DRAM, clock=SimClock())
+    geo = Geometry.compute(128, max_inodes=16, with_dedup=True,
+                           fact_prefix_bits=N_BITS)
+    Superblock(dev).format(geo)
+    return FACT(dev, geo)
+
+
+def mkfp(prefix: int, salt: int = 0) -> bytes:
+    """A 20-byte fingerprint with a chosen N_BITS prefix."""
+    body = hashlib.sha1(salt.to_bytes(8, "little")).digest()
+    head = int.from_bytes(body[:8], "big")
+    head = (head & ((1 << (64 - N_BITS)) - 1)) | (prefix << (64 - N_BITS))
+    return head.to_bytes(8, "big") + body[8:]
+
+
+BLOCK0 = 100  # within the data region of a 128-page device
+
+
+class TestLookupInsert:
+    def test_miss_on_empty_table(self, fact):
+        res = fact.lookup(mkfp(3))
+        assert res.found is None
+        assert res.steps == 1  # one DAA read
+
+    def test_insert_then_lookup_daa_hit(self, fact):
+        fp = mkfp(3)
+        idx = fact.insert(fp, BLOCK0)
+        assert idx == 3  # lands in the DAA slot named by the prefix
+        res = fact.lookup(fp)
+        assert res.found is not None
+        assert res.found.block == BLOCK0
+        assert res.found.update_count == 1
+        assert res.found.refcount == 0
+        assert res.steps == 1
+        assert fact.stats["daa_hits"] == 1
+
+    def test_collision_goes_to_iaa(self, fact):
+        fp1, fp2 = mkfp(5, 1), mkfp(5, 2)
+        assert fp1 != fp2
+        i1 = fact.insert(fp1, 100)
+        i2 = fact.insert(fp2, 101)
+        assert i1 == 5
+        assert i2 >= fact.daa_size
+        r2 = fact.lookup(fp2)
+        assert r2.found.idx == i2
+        assert r2.steps == 2  # head + one chain hop
+
+    def test_chain_of_four(self, fact):
+        fps = [mkfp(9, s) for s in range(4)]
+        idxs = [fact.insert(fp, 100 + s) for s, fp in enumerate(fps)]
+        for s, fp in enumerate(fps):
+            res = fact.lookup(fp)
+            assert res.found.idx == idxs[s]
+            assert res.steps == s + 1
+        fact.check_chains()
+
+    def test_insert_duplicate_fp_rejected(self, fact):
+        fp = mkfp(1)
+        fact.insert(fp, 100)
+        with pytest.raises(ValueError):
+            fact.insert(fp, 101)
+
+    def test_insert_block_zero_rejected(self, fact):
+        with pytest.raises(ValueError):
+            fact.insert(mkfp(0), 0)
+
+    def test_iaa_exhaustion_raises(self, fact):
+        # One DAA head + fill the whole IAA with one colliding prefix.
+        for s in range(fact.daa_size + 1):
+            fact.insert(mkfp(2, s), 1 + s)
+        with pytest.raises(FactFull):
+            fact.insert(mkfp(2, 999), 999)
+
+    def test_lookup_with_empty_head_but_chain(self, fact):
+        """A removed DAA head keeps the chain reachable via its next."""
+        fp1, fp2 = mkfp(4, 1), mkfp(4, 2)
+        i1 = fact.insert(fp1, 100)
+        i2 = fact.insert(fp2, 101)
+        fact.inc_uc(i1)
+        fact.commit_uc(i1)
+        assert fact.dec_rfc(i1) == 0
+        fact.remove(i1)
+        res = fact.lookup(fp2)
+        assert res.found.idx == i2
+        # The empty head is reusable for a fresh insert.
+        fp3 = mkfp(4, 3)
+        i3 = fact.insert(fp3, 102)
+        assert i3 == 4
+        assert fact.lookup(fp2).found.idx == i2
+        fact.check_chains()
+
+
+class TestCounts:
+    def test_uc_rfc_lifecycle(self, fact):
+        idx = fact.insert(mkfp(6), 100)
+        assert fact.read_entry(idx).update_count == 1
+        fact.inc_uc(idx)
+        ent = fact.read_entry(idx)
+        assert ent.update_count == 2
+        assert fact.commit_uc(idx)
+        assert fact.commit_uc(idx)
+        ent = fact.read_entry(idx)
+        assert ent.update_count == 0
+        assert ent.refcount == 2
+
+    def test_commit_uc_idempotent_at_zero(self, fact):
+        idx = fact.insert(mkfp(6), 100)
+        assert fact.commit_uc(idx)
+        assert not fact.commit_uc(idx)  # UC exhausted -> no-op
+        assert fact.read_entry(idx).refcount == 1
+
+    def test_discard_uc(self, fact):
+        idx = fact.insert(mkfp(6), 100)
+        fact.inc_uc(idx)
+        fact.discard_uc(idx)
+        ent = fact.read_entry(idx)
+        assert ent.update_count == 0
+        assert ent.refcount == 0
+
+    def test_dec_rfc_underflow_raises(self, fact):
+        idx = fact.insert(mkfp(6), 100)
+        with pytest.raises(FactCorruption):
+            fact.dec_rfc(idx)
+
+    def test_counts_share_one_atomic_word(self, fact):
+        """UC-1/RFC+1 must be a single 8-byte store (the paper's core
+        consistency trick) — verify via the device write counter."""
+        idx = fact.insert(mkfp(6), 100)
+        before = fact.dev.stats.writes
+        fact.commit_uc(idx)
+        assert fact.dev.stats.writes == before + 1
+
+
+class TestDeletePointers:
+    def test_entry_for_block_two_reads(self, fact):
+        idx = fact.insert(mkfp(8), 77)
+        before = fact.dev.stats.reads
+        ent = fact.entry_for_block(77)
+        assert fact.dev.stats.reads == before + 2  # §IV-C: exactly two
+        assert ent.idx == idx
+        assert ent.block == 77
+
+    def test_entry_for_block_miss(self, fact):
+        assert fact.entry_for_block(50) is None
+
+    def test_delete_column_independent_of_slot_entry(self, fact):
+        """Slot B's delete pointer survives slot B's own entry churn."""
+        # Entry whose block is 10 -> delete pointer lives in slot 10.
+        idx_a = fact.insert(mkfp(12), 10)
+        # Now occupy slot 10 itself with an entry (prefix 10).
+        idx_b = fact.insert(mkfp(10), 90)
+        assert idx_b == 10
+        assert fact.entry_for_block(10).idx == idx_a  # still resolves
+        # Remove the entry living in slot 10; mapping for block 10 stays.
+        fact.commit_uc(idx_b)
+        assert fact.dec_rfc(idx_b) == 0
+        fact.remove(idx_b)
+        assert fact.entry_for_block(10).idx == idx_a
+        assert fact.entry_for_block(90) is None
+
+    def test_remove_clears_own_block_mapping(self, fact):
+        idx = fact.insert(mkfp(3), 55)
+        fact.commit_uc(idx)
+        assert fact.dec_rfc(idx) == 0
+        fact.remove(idx)
+        assert fact.entry_for_block(55) is None
+
+
+class TestRemove:
+    def _mk_chain(self, fact, prefix, n):
+        idxs = []
+        for s in range(n):
+            idx = fact.insert(mkfp(prefix, s), 60 + s)
+            fact.commit_uc(idx)
+            idxs.append(idx)
+        return idxs
+
+    def test_remove_middle_of_chain(self, fact):
+        idxs = self._mk_chain(fact, 20, 4)
+        assert fact.dec_rfc(idxs[2]) == 0
+        fact.remove(idxs[2])
+        fact.check_chains()
+        assert fact.lookup(mkfp(20, 1)).found is not None
+        assert fact.lookup(mkfp(20, 3)).found is not None
+        assert fact.lookup(mkfp(20, 2)).found is None
+
+    def test_remove_tail_of_chain(self, fact):
+        idxs = self._mk_chain(fact, 21, 3)
+        assert fact.dec_rfc(idxs[-1]) == 0
+        fact.remove(idxs[-1])
+        fact.check_chains()
+        assert fact.lookup(mkfp(21, 2)).found is None
+
+    def test_removed_iaa_slot_is_reusable(self, fact):
+        idxs = self._mk_chain(fact, 22, 2)
+        assert fact.dec_rfc(idxs[1]) == 0
+        fact.remove(idxs[1])
+        new_idx = fact.insert(mkfp(23, 0), 95)
+        assert new_idx == 23  # DAA
+        col = fact.insert(mkfp(23, 1), 96)
+        assert col == idxs[1]  # the freed IAA slot comes back
+        fact.check_chains()
+
+    def test_remove_invalid_rejected(self, fact):
+        with pytest.raises(ValueError):
+            fact.remove(40)
+
+
+class TestOccupancyAndScan:
+    def test_occupancy_counts(self, fact):
+        fact.insert(mkfp(1, 0), 100)
+        fact.insert(mkfp(1, 1), 101)
+        fact.insert(mkfp(2, 0), 102)
+        occ = fact.occupancy()
+        assert occ["daa_used"] == 2
+        assert occ["iaa_used"] == 1
+        assert occ["entries"] == 3
+        assert occ["max_chain"] == 2
+        assert occ["bytes"] == fact.total * 64
+
+    def test_live_entries(self, fact):
+        i1 = fact.insert(mkfp(1), 100)
+        i2 = fact.insert(mkfp(2), 101)
+        live = fact.live_entries()
+        assert set(live) == {i1, i2}
+        assert live[i1].block == 100
+
+
+class TestCheckChains:
+    def test_detects_bad_prev(self, fact):
+        fact.insert(mkfp(30, 0), 100)
+        i2 = fact.insert(mkfp(30, 1), 101)
+        fact._write_u64(i2, 16, 99)  # corrupt prev
+        with pytest.raises(FactCorruption):
+            fact.check_chains()
+
+    def test_detects_unreachable_iaa_entry(self, fact):
+        fact.insert(mkfp(30, 0), 100)
+        i2 = fact.insert(mkfp(30, 1), 101)
+        # Sever the link.
+        fact._write_u64(30, 24, 0)
+        with pytest.raises(FactCorruption):
+            fact.check_chains()
+
+    def test_detects_cycle(self, fact):
+        fact.insert(mkfp(30, 0), 100)
+        i2 = fact.insert(mkfp(30, 1), 101)
+        fact._write_u64(i2, 24, i2 + 1)  # next -> itself
+        with pytest.raises(FactCorruption):
+            fact.check_chains()
+
+    def test_detects_dangling_delete_pointer(self, fact):
+        idx = fact.insert(mkfp(3), 70)
+        fact.clear_delete(70)
+        with pytest.raises(FactCorruption):
+            fact.check_chains()
+
+
+class TestCrashSafety:
+    def test_insert_is_published_by_link(self, fact):
+        """Crash between slot write and chain link leaves an orphan the
+        structural recovery zeroes."""
+        fact.insert(mkfp(40, 0), 100)
+        dev = fact.dev
+        # Manually stage a half-insert: entry + delete ptr, no link.
+        new_idx = fact._iaa_free.pop()
+        fact._write_fields(new_idx, 1 << 32, 101, 40, -1, mkfp(40, 1))
+        fact.set_delete(101, new_idx)
+        dev.crash()
+        dev.recover_view()
+        rep = fact.structural_recover()
+        assert rep["orphans_zeroed"] == 1
+        assert fact.entry_for_block(101) is None
+        fact.check_chains()
+
+    def test_structural_recover_rebuilds_freelist(self, fact):
+        i1 = fact.insert(mkfp(40, 0), 100)
+        i2 = fact.insert(mkfp(40, 1), 101)
+        free_before = len(fact._iaa_free)
+        fact._iaa_free = []  # simulate lost DRAM state
+        fact.structural_recover()
+        assert len(fact._iaa_free) == free_before
+
+    def test_counts_survive_crash_after_persist(self, fact):
+        idx = fact.insert(mkfp(7), 100)
+        fact.commit_uc(idx)
+        fact.dev.crash()
+        fact.dev.recover_view()
+        ent = fact.read_entry(idx)
+        assert ent.refcount == 1
+        assert ent.update_count == 0

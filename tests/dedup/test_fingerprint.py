@@ -1,0 +1,111 @@
+"""Unit tests for chunking and fingerprinting."""
+
+import hashlib
+
+import pytest
+
+from repro.dedup.fingerprint import (
+    CHUNK_SIZE,
+    Fingerprinter,
+    chunk_pages,
+    fp_prefix,
+)
+from repro.pm import SimClock
+from repro.pm.latency import CpuModel
+
+
+def make_fp():
+    clock = SimClock()
+    return Fingerprinter(CpuModel(), clock), clock
+
+
+class TestChunking:
+    def test_exact_multiple(self):
+        chunks = list(chunk_pages(b"a" * (3 * CHUNK_SIZE)))
+        assert len(chunks) == 3
+        assert all(len(c) == CHUNK_SIZE for c in chunks)
+
+    def test_tail_padded_with_zeros(self):
+        chunks = list(chunk_pages(b"x" * (CHUNK_SIZE + 10)))
+        assert len(chunks) == 2
+        assert chunks[1][:10] == b"x" * 10
+        assert chunks[1][10:] == bytes(CHUNK_SIZE - 10)
+
+    def test_empty_input(self):
+        assert list(chunk_pages(b"")) == []
+
+
+class TestStrong:
+    def test_matches_real_sha1(self):
+        fp, _ = make_fp()
+        data = b"denova" * 100
+        assert fp.strong(data) == hashlib.sha1(data).digest()
+
+    def test_identical_content_same_fp(self):
+        fp, _ = make_fp()
+        assert fp.strong(b"A" * 4096) == fp.strong(b"A" * 4096)
+
+    def test_cost_charged_per_byte(self):
+        fp, clock = make_fp()
+        fp.strong(b"a" * 4096)
+        t1 = clock.now_ns
+        fp.strong(b"a" * 8192)
+        t2 = clock.now_ns - t1
+        assert t2 > t1 * 1.5  # roughly linear in size
+
+    def test_table4_regime_11_8us_per_4kb(self):
+        fp, clock = make_fp()
+        fp.strong(b"z" * 4096)
+        assert 10_000 <= clock.now_ns <= 14_000
+
+    def test_counters(self):
+        fp, _ = make_fp()
+        fp.strong(b"a" * 4096)
+        fp.strong(b"b" * 4096)
+        fp.weak(b"c" * 4096)
+        assert fp.strong_count == 2
+        assert fp.strong_bytes == 8192
+        assert fp.weak_count == 1
+        assert fp.strong_time_ns > 20_000
+
+
+class TestWeak:
+    def test_weak_is_crc32(self):
+        import zlib
+
+        fp, _ = make_fp()
+        data = b"weak" * 1000
+        assert fp.weak(data) == zlib.crc32(data) & 0xFFFFFFFF
+
+    def test_weak_much_cheaper_than_strong(self):
+        fp, clock = make_fp()
+        fp.weak(b"a" * 4096)
+        weak_t = clock.now_ns
+        fp.strong(b"a" * 4096)
+        strong_t = clock.now_ns - weak_t
+        assert strong_t > 5 * weak_t  # Eq. 4: T_fw << T_f
+
+
+class TestPrefix:
+    def test_prefix_uses_top_bits(self):
+        fp = bytes([0b10110000]) + bytes(19)
+        assert fp_prefix(fp, 4) == 0b1011
+        assert fp_prefix(fp, 8) == 0b10110000
+        assert fp_prefix(fp, 1) == 1
+
+    def test_prefix_range(self):
+        fp = b"\xff" * 20
+        assert fp_prefix(fp, 10) == 2**10 - 1
+
+    def test_bad_bits_rejected(self):
+        with pytest.raises(ValueError):
+            fp_prefix(b"\x00" * 20, 0)
+        with pytest.raises(ValueError):
+            fp_prefix(b"\x00" * 20, 65)
+
+    def test_compare_charges_cost(self):
+        fp, clock = make_fp()
+        t = clock.now_ns
+        assert fp.compare(b"a" * 20, b"a" * 20)
+        assert not fp.compare(b"a" * 20, b"b" * 20)
+        assert clock.now_ns > t

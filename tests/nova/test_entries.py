@@ -1,0 +1,94 @@
+"""Unit tests for 64-byte log entry packing."""
+
+import pytest
+
+from repro.nova.entries import (
+    DEDUPE_IN_PROCESS,
+    ENTRY_SIZE,
+    DentryEntry,
+    SetattrEntry,
+    WriteEntry,
+    decode_entry,
+)
+
+
+class TestWriteEntry:
+    def test_roundtrip(self):
+        e = WriteEntry(file_pgoff=7, num_pages=3, block=1000,
+                       size_after=40960, ino=5, mtime=123456,
+                       dedupe_flag=DEDUPE_IN_PROCESS, flags=2)
+        raw = e.pack()
+        assert len(raw) == ENTRY_SIZE
+        back = WriteEntry.unpack(raw)
+        assert back == e
+
+    def test_pages_and_block_for(self):
+        e = WriteEntry(file_pgoff=10, num_pages=4, block=500,
+                       size_after=0, ino=1)
+        assert list(e.pages()) == [500, 501, 502, 503]
+        assert e.block_for(10) == 500
+        assert e.block_for(13) == 503
+        with pytest.raises(ValueError):
+            e.block_for(14)
+        with pytest.raises(ValueError):
+            e.block_for(9)
+
+    def test_unpack_wrong_type_rejected(self):
+        raw = SetattrEntry(ino=1, new_size=0).pack()
+        with pytest.raises(ValueError):
+            WriteEntry.unpack(raw)
+
+
+class TestDentryEntry:
+    def test_roundtrip(self):
+        e = DentryEntry(name="file_042.dat", ino=9, valid=1, mtime=77)
+        back = DentryEntry.unpack(e.pack())
+        assert back == e
+
+    def test_removal_record(self):
+        e = DentryEntry(name="gone", ino=4, valid=0)
+        assert DentryEntry.unpack(e.pack()).valid == 0
+
+    def test_max_name_length(self):
+        DentryEntry(name="x" * 40, ino=1).pack()
+        with pytest.raises(ValueError):
+            DentryEntry(name="x" * 41, ino=1).pack()
+        with pytest.raises(ValueError):
+            DentryEntry(name="", ino=1).pack()
+
+    def test_utf8_names(self):
+        e = DentryEntry(name="données", ino=2)
+        assert DentryEntry.unpack(e.pack()).name == "données"
+
+
+class TestSetattrEntry:
+    def test_roundtrip(self):
+        e = SetattrEntry(ino=3, new_size=123456789, mtime=42)
+        assert SetattrEntry.unpack(e.pack()) == e
+
+
+class TestDecode:
+    def test_decode_dispatches_by_type(self):
+        w = WriteEntry(file_pgoff=0, num_pages=1, block=9, size_after=4096,
+                       ino=2)
+        d = DentryEntry(name="a", ino=3)
+        s = SetattrEntry(ino=4, new_size=0)
+        assert isinstance(decode_entry(w.pack()), WriteEntry)
+        assert isinstance(decode_entry(d.pack()), DentryEntry)
+        assert isinstance(decode_entry(s.pack()), SetattrEntry)
+
+    def test_decode_empty_slot_is_none(self):
+        assert decode_entry(bytes(ENTRY_SIZE)) is None
+
+    def test_decode_unknown_type_raises(self):
+        raw = bytes([200]) + bytes(ENTRY_SIZE - 1)
+        with pytest.raises(ValueError):
+            decode_entry(raw)
+
+    def test_decode_wrong_size_raises(self):
+        with pytest.raises(ValueError):
+            decode_entry(b"short")
+
+    def test_all_entries_are_one_cache_line(self):
+        """§IV-C: one entry == one cache line == one flush."""
+        assert ENTRY_SIZE == 64

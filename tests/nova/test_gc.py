@@ -1,0 +1,219 @@
+"""Tests for thorough log garbage collection."""
+
+import pytest
+
+from repro.dedup import DeNovaFS
+from repro.failure import check_fs_invariants, sweep_crash_points
+from repro.nova import NovaFS, PAGE_SIZE
+from repro.nova.log import ENTRIES_PER_PAGE
+from repro.pm import DRAM, PMDevice, SimClock
+
+
+def make_fs(pages=2048, cls=NovaFS):
+    dev = PMDevice(pages * PAGE_SIZE, model=DRAM, clock=SimClock())
+    fs = cls.mkfs(dev, max_inodes=64)
+    # Disable the auto-trigger so tests control GC explicitly.
+    fs.THOROUGH_GC_MIN_ENTRIES = 10 ** 9
+    return fs
+
+
+def fragment(fs, ino, rounds=40):
+    """Rewrite two alternating pages to scatter dead entries."""
+    for i in range(rounds):
+        fs.write(ino, (i % 2) * PAGE_SIZE, bytes([i % 251]) * PAGE_SIZE)
+
+
+class TestThoroughGC:
+    def test_compacts_fragmented_log(self):
+        fs = make_fs()
+        ino = fs.create("/f")
+        fragment(fs, ino, rounds=3 * ENTRIES_PER_PAGE)
+        pages_before = len(list(fs.log.iter_pages(fs.caches[ino].inode.log_head)))
+        rep = fs.gc(ino)
+        assert rep["pages_reclaimed"] >= pages_before - 2
+        assert rep["live_entries"] <= 4  # 2 live writes + setattr
+        # Content intact.
+        assert fs.read(ino, 0, PAGE_SIZE)[0] in range(251)
+        check_fs_invariants(fs)
+
+    def test_contents_identical_after_gc(self):
+        fs = make_fs()
+        ino = fs.create("/f")
+        fragment(fs, ino, rounds=200)
+        before = fs.read(ino, 0, 2 * PAGE_SIZE)
+        size_before = fs.stat(ino).size
+        fs.gc(ino)
+        assert fs.read(ino, 0, 2 * PAGE_SIZE) == before
+        assert fs.stat(ino).size == size_before
+
+    def test_gc_survives_remount(self):
+        fs = make_fs()
+        ino = fs.create("/f")
+        fragment(fs, ino, rounds=200)
+        before = fs.read(ino, 0, 2 * PAGE_SIZE)
+        fs.gc(ino)
+        fs.unmount()
+        fs2 = NovaFS.mount(fs.dev)
+        ino2 = fs2.lookup("/f")
+        assert fs2.read(ino2, 0, 2 * PAGE_SIZE) == before
+        check_fs_invariants(fs2)
+
+    def test_gc_of_directory_log(self):
+        fs = make_fs()
+        # Churn the root directory log with create/unlink cycles.
+        for i in range(150):
+            fs.create(f"/tmp{i}")
+            fs.unlink(f"/tmp{i}")
+        fs.create("/keeper")
+        rep = fs.gc(1)  # ROOT_INO
+        assert rep["pages_reclaimed"] >= 1
+        assert fs.listdir("/") == ["keeper"]
+        fs.dev.crash()
+        fs.dev.recover_view()
+        fs2 = NovaFS.mount(fs.dev)
+        assert fs2.listdir("/") == ["keeper"]
+        check_fs_invariants(fs2)
+
+    def test_gc_noop_cases(self):
+        fs = make_fs()
+        ino = fs.create("/f")
+        assert fs.gc(ino)["skipped"] == "no log"
+        fs.write(ino, 0, b"x")
+        assert "skipped" in fs.gc(ino)  # nothing to shrink
+
+    def test_gc_preserves_truncated_size(self):
+        """The appended setattr pins the size even when the last write
+        entry's size_after is stale."""
+        fs = make_fs()
+        ino = fs.create("/f")
+        fragment(fs, ino, rounds=150)
+        fs.truncate(ino, 100)
+        fs.gc(ino)
+        fs.dev.crash()
+        fs.dev.recover_view()
+        fs2 = NovaFS.mount(fs.dev)
+        assert fs2.stat(fs2.lookup("/f")).size == 100
+
+    def test_auto_trigger(self):
+        fs = make_fs()
+        fs.THOROUGH_GC_MIN_ENTRIES = 2 * ENTRIES_PER_PAGE
+        ino = fs.create("/f")
+        fragment(fs, ino, rounds=6 * ENTRIES_PER_PAGE)
+        cache = fs.caches[ino]
+        pages = len(list(fs.log.iter_pages(cache.inode.log_head)))
+        assert pages <= 3, "auto thorough GC never fired"
+        assert fs.counters["log_pages_gced"] > 0
+
+
+class TestGCWithDedup:
+    def test_gc_vetoed_while_dedup_pending(self):
+        fs = make_fs(cls=DeNovaFS)
+        ino = fs.create("/f")
+        fragment(fs, ino, rounds=150)
+        rep = fs.gc(ino)
+        assert rep.get("skipped") == "pending dedup entries"
+        fs.daemon.drain()
+        rep = fs.gc(ino)
+        assert rep["pages_reclaimed"] >= 1
+        check_fs_invariants(fs)
+
+    def test_gc_preserves_shared_pages(self):
+        fs = make_fs(cls=DeNovaFS)
+        a = fs.create("/a")
+        b = fs.create("/b")
+        fs.write(a, 0, bytes([9]) * PAGE_SIZE)
+        fs.write(b, 0, bytes([9]) * PAGE_SIZE)
+        fragment(fs, a, rounds=150)
+        fs.write(a, 0, bytes([9]) * PAGE_SIZE)  # share again
+        fs.daemon.drain()
+        fs.gc(a)
+        assert fs.read(a, 0, PAGE_SIZE) == bytes([9]) * PAGE_SIZE
+        assert fs.read(b, 0, PAGE_SIZE) == bytes([9]) * PAGE_SIZE
+        check_fs_invariants(fs)
+
+
+class TestGCCrashes:
+    def test_gc_crash_sweep(self):
+        """Crash at every persistence event of a thorough GC: the file
+        must read identically before and after recovery."""
+        content_box = {}
+
+        def build():
+            fs = make_fs(pages=1024)
+            ino = fs.create("/f")
+            fragment(fs, ino, rounds=150)
+            content_box["data"] = fs.read(ino, 0, 2 * PAGE_SIZE)
+            content_box["size"] = fs.stat(ino).size
+
+            def scenario():
+                fs.gc(ino)
+
+            return fs.dev, scenario
+
+        def check(dev, point, phase):
+            fs2 = NovaFS.mount(dev)
+            ino2 = fs2.lookup("/f")
+            assert fs2.stat(ino2).size == content_box["size"]
+            assert fs2.read(ino2, 0, 2 * PAGE_SIZE) == content_box["data"]
+            check_fs_invariants(fs2)
+            # The recovered filesystem keeps working.
+            fs2.write(ino2, 0, b"post-recovery write")
+            assert fs2.read(ino2, 0, 19) == b"post-recovery write"
+
+        assert sweep_crash_points(build, check) > 3
+
+    def test_gc_crash_sweep_torn(self):
+        def build():
+            fs = make_fs(pages=1024)
+            ino = fs.create("/f")
+            fragment(fs, ino, rounds=120)
+
+            def scenario():
+                fs.gc(ino)
+
+            return fs.dev, scenario
+
+        def check(dev, point, phase):
+            fs2 = NovaFS.mount(dev)
+            ino2 = fs2.lookup("/f")
+            data = fs2.read(ino2, 0, 2 * PAGE_SIZE)
+            assert len(data) == fs2.stat(ino2).size == 2 * PAGE_SIZE
+            check_fs_invariants(fs2)
+
+        assert sweep_crash_points(build, check, mode="torn") > 3
+
+    def test_head_tail_window_rebuilds_tail(self):
+        """Deterministically hit the head-updated/tail-stale window."""
+        from repro.pm.device import CrashRequested
+
+        fs = make_fs(pages=1024)
+        ino = fs.create("/f")
+        fragment(fs, ino, rounds=150)
+        expected = fs.read(ino, 0, 2 * PAGE_SIZE)
+        head_before = fs.caches[ino].inode.log_head
+
+        # Crash on the persistence event after the head switch by
+        # counting events: chain build (1), head update (2), tail (3).
+        events = []
+        def counter(n, dev):
+            events.append(n)
+            # chain build = 1 fence; head update = 2nd; crash before 3rd
+            # (the tail update).
+            if len(events) == 3:
+                raise CrashRequested("pre-tail", n)
+
+        fs.dev.hooks.on_persist = counter
+        with pytest.raises(CrashRequested):
+            fs.gc(ino)
+        fs.dev.hooks.on_persist = None
+        fs.dev.crash()
+        fs.dev.recover_view()
+        fs2 = NovaFS.mount(fs.dev)
+        rep = fs2.last_recovery
+        ino2 = fs2.lookup("/f")
+        assert fs2.read(ino2, 0, 2 * PAGE_SIZE) == expected
+        # Either the crash landed before the head switch (old log whole)
+        # or the tail was rebuilt by the zero-scan.
+        if fs2.caches[ino2].inode.log_head != head_before:
+            assert rep.extra.get("gc_tails_rebuilt", 0) == 1
+        check_fs_invariants(fs2)

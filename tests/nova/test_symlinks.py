@@ -1,0 +1,179 @@
+"""Tests for symbolic links."""
+
+import pytest
+
+from repro.dedup import DeNovaFS
+from repro.failure import check_fs_invariants, sweep_crash_points
+from repro.nova import NovaFS, PAGE_SIZE
+from repro.nova.fs import FileExists, FileNotFound, FSError
+from repro.nova.inode import ITYPE_SYMLINK
+from repro.pm import DRAM, PMDevice, SimClock
+
+
+def make_fs(pages=512, cls=NovaFS):
+    dev = PMDevice(pages * PAGE_SIZE, model=DRAM, clock=SimClock())
+    return cls.mkfs(dev, max_inodes=64)
+
+
+class TestBasics:
+    def test_symlink_and_readlink(self):
+        fs = make_fs()
+        fs.create("/real")
+        fs.symlink("/real", "/link")
+        assert fs.readlink("/link") == "/real"
+        assert fs.lookup("/link") == fs.lookup("/real")
+        assert fs.lookup("/link", follow=False) != fs.lookup("/real")
+
+    def test_follow_through_file_io(self):
+        fs = make_fs()
+        ino = fs.create("/data")
+        fs.write(ino, 0, b"through the link")
+        fs.symlink("/data", "/alias")
+        assert fs.read(fs.lookup("/alias"), 0, 16) == b"through the link"
+        fs.write(fs.lookup("/alias"), 0, b"UPDATED")
+        assert fs.read(ino, 0, 7) == b"UPDATED"
+
+    def test_relative_target(self):
+        fs = make_fs()
+        fs.mkdir("/d")
+        ino = fs.create("/d/file")
+        fs.write(ino, 0, b"rel")
+        fs.symlink("file", "/d/rel_link")
+        assert fs.lookup("/d/rel_link") == ino
+        fs.symlink("d/file", "/from_root")
+        assert fs.lookup("/from_root") == ino
+
+    def test_intermediate_symlink_followed(self):
+        fs = make_fs()
+        fs.mkdir("/actual")
+        ino = fs.create("/actual/f")
+        fs.symlink("/actual", "/dirlink")
+        assert fs.lookup("/dirlink/f") == ino
+        ino2 = fs.create("/dirlink/g")
+        assert fs.lookup("/actual/g") == ino2
+
+    def test_dangling_symlink(self):
+        fs = make_fs()
+        fs.symlink("/nowhere", "/dangling")
+        assert fs.readlink("/dangling") == "/nowhere"
+        with pytest.raises(FileNotFound):
+            fs.lookup("/dangling")
+
+    def test_symlink_loop_detected(self):
+        fs = make_fs()
+        fs.symlink("/b", "/a")
+        fs.symlink("/a", "/b")
+        with pytest.raises(FSError, match="too many levels"):
+            fs.lookup("/a")
+        fs.symlink("/self", "/self2")  # avoid name clash
+        fs.symlink("/self2", "/self")
+        with pytest.raises(FSError, match="too many levels"):
+            fs.lookup("/self/x")
+
+    def test_unlink_removes_link_not_target(self):
+        fs = make_fs()
+        ino = fs.create("/real")
+        fs.write(ino, 0, b"keep")
+        fs.symlink("/real", "/link")
+        fs.unlink("/link")
+        assert not fs.exists("/link")
+        assert fs.read(ino, 0, 4) == b"keep"
+
+    def test_readlink_on_non_symlink(self):
+        fs = make_fs()
+        fs.create("/f")
+        with pytest.raises(FSError, match="not a symlink"):
+            fs.readlink("/f")
+
+    def test_target_length_limit(self):
+        fs = make_fs()
+        fs.symlink("x" * 40, "/ok")
+        with pytest.raises(ValueError):
+            fs.symlink("x" * 41, "/toolong")
+
+    def test_name_collision(self):
+        fs = make_fs()
+        fs.create("/taken")
+        with pytest.raises(FileExists):
+            fs.symlink("/x", "/taken")
+
+    def test_stat_itype(self):
+        fs = make_fs()
+        fs.symlink("/t", "/l")
+        st = fs.stat(fs.lookup("/l", follow=False))
+        assert st.itype == ITYPE_SYMLINK
+
+
+class TestPersistence:
+    def test_symlink_survives_remount(self):
+        fs = make_fs()
+        ino = fs.create("/data")
+        fs.write(ino, 0, b"x")
+        fs.symlink("/data", "/link")
+        fs.unmount()
+        fs2 = NovaFS.mount(fs.dev)
+        assert fs2.readlink("/link") == "/data"
+        assert fs2.lookup("/link") == fs2.lookup("/data")
+        check_fs_invariants(fs2)
+
+    def test_symlink_survives_crash(self):
+        fs = make_fs()
+        fs.create("/data")
+        fs.symlink("/data", "/link")
+        fs.dev.crash()
+        fs.dev.recover_view()
+        fs2 = NovaFS.mount(fs.dev)
+        assert fs2.readlink("/link") == "/data"
+        check_fs_invariants(fs2)
+
+    def test_symlink_creation_crash_sweep(self):
+        def build():
+            fs = make_fs()
+            fs.create("/data")
+
+            def scenario():
+                fs.symlink("/data", "/link")
+
+            return fs.dev, scenario
+
+        def check(dev, point, phase):
+            fs2 = NovaFS.mount(dev)
+            if fs2.exists("/link"):
+                assert fs2.readlink("/link") == "/data"
+            check_fs_invariants(fs2)
+
+        assert sweep_crash_points(build, check) >= 1
+
+    def test_rename_of_symlink(self):
+        fs = make_fs()
+        fs.create("/data")
+        fs.symlink("/data", "/old")
+        fs.mkdir("/d")
+        fs.rename("/old", "/d/new")
+        assert fs.readlink("/d/new") == "/data"
+
+
+class TestSymlinksWithDedup:
+    def test_snapshot_preserves_symlinks(self):
+        fs = make_fs(pages=2048, cls=DeNovaFS)
+        ino = fs.create("/file")
+        fs.write(ino, 0, bytes([4]) * PAGE_SIZE)
+        fs.symlink("/file", "/link")
+        fs.daemon.drain()
+        rep = fs.snapshot("s")
+        assert rep["files"] == 2  # the file + the symlink
+        assert fs.readlink("/.snapshots/s/link") == "/file"
+        # The snapshot's symlink still points at the *live* /file.
+        assert fs.lookup("/.snapshots/s/link") == ino
+        check_fs_invariants(fs)
+
+    def test_dedup_through_symlinked_writes(self):
+        fs = make_fs(pages=2048, cls=DeNovaFS)
+        a = fs.create("/a")
+        fs.symlink("/a", "/la")
+        fs.write(fs.lookup("/la"), 0, bytes([6]) * PAGE_SIZE)
+        b = fs.create("/b")
+        fs.write(b, 0, bytes([6]) * PAGE_SIZE)
+        fs.daemon.drain()
+        assert fs.space_stats()["physical_pages"] == 1
+        check_fs_invariants(fs)

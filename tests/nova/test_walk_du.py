@@ -1,0 +1,87 @@
+"""Tests for the tree-walk and dedup-aware usage utilities."""
+
+import pytest
+
+from repro.dedup import DeNovaFS
+from repro.nova import NovaFS, PAGE_SIZE
+from repro.nova.fs import NotADirectory
+from repro.pm import DRAM, PMDevice, SimClock
+
+
+def make_fs(cls=NovaFS, pages=1024):
+    dev = PMDevice(pages * PAGE_SIZE, model=DRAM, clock=SimClock())
+    return cls.mkfs(dev, max_inodes=128)
+
+
+def build_tree(fs):
+    fs.mkdir("/a")
+    fs.mkdir("/a/b")
+    fs.mkdir("/c")
+    for path, size in (("/top", 100), ("/a/f1", PAGE_SIZE),
+                       ("/a/b/f2", 2 * PAGE_SIZE), ("/c/f3", 10)):
+        ino = fs.create(path)
+        fs.write(ino, 0, b"\x42" * size)
+    fs.symlink("/top", "/a/link")
+
+
+class TestWalk:
+    def test_walk_visits_everything_in_order(self):
+        fs = make_fs()
+        build_tree(fs)
+        visited = list(fs.walk("/"))
+        dirpaths = [d for d, _, _ in visited]
+        assert dirpaths == ["/", "/a", "/a/b", "/c"]
+        root = visited[0]
+        assert root[1] == ["a", "c"]
+        assert root[2] == ["top"]
+        a = visited[1]
+        assert a[1] == ["b"]
+        assert a[2] == ["f1", "link"]  # symlink listed, not followed
+
+    def test_walk_subtree(self):
+        fs = make_fs()
+        build_tree(fs)
+        assert [d for d, _, _ in fs.walk("/a")] == ["/a", "/a/b"]
+
+    def test_walk_non_directory(self):
+        fs = make_fs()
+        fs.create("/f")
+        with pytest.raises(NotADirectory):
+            list(fs.walk("/f"))
+
+
+class TestDu:
+    def test_du_counts_logical_and_physical(self):
+        fs = make_fs()
+        build_tree(fs)
+        rep = fs.du("/")
+        assert rep["files"] == 4
+        assert rep["dirs"] == 3
+        assert rep["logical_bytes"] == 100 + PAGE_SIZE + 2 * PAGE_SIZE + 10
+        assert rep["unique_pages"] == 5
+
+    def test_du_is_dedup_aware(self):
+        fs = make_fs(cls=DeNovaFS, pages=2048)
+        a = fs.create("/a")
+        b = fs.create("/b")
+        fs.write(a, 0, b"\x07" * (3 * PAGE_SIZE))
+        fs.write(b, 0, b"\x07" * (3 * PAGE_SIZE))
+        fs.daemon.drain()
+        rep = fs.du("/")
+        assert rep["logical_bytes"] == 6 * PAGE_SIZE
+        assert rep["unique_pages"] == 1  # identical pages, shared
+        assert rep["physical_bytes"] == PAGE_SIZE
+
+    def test_du_subtree_shared_with_outside(self):
+        """Pages shared across the subtree boundary still count once
+        inside (du reports what the subtree pins)."""
+        fs = make_fs(cls=DeNovaFS, pages=2048)
+        fs.mkdir("/d")
+        x = fs.create("/outside")
+        y = fs.create("/d/inside")
+        fs.write(x, 0, b"\x09" * PAGE_SIZE)
+        fs.write(y, 0, b"\x09" * PAGE_SIZE)
+        fs.daemon.drain()
+        rep = fs.du("/d")
+        assert rep["files"] == 1
+        assert rep["unique_pages"] == 1

@@ -1,0 +1,57 @@
+"""Unit tests for the simulated clock."""
+
+import pytest
+
+from repro.pm import SimClock
+
+
+def test_advance_moves_now():
+    clk = SimClock()
+    clk.advance(100.0)
+    clk.advance(50.0)
+    assert clk.now_ns == 150.0
+
+
+def test_negative_advance_rejected():
+    clk = SimClock()
+    with pytest.raises(ValueError):
+        clk.advance(-1.0)
+
+
+def test_capture_absorbs_charges_without_moving_now():
+    clk = SimClock(start_ns=10.0)
+    with clk.capture() as cap:
+        clk.advance(5.0)
+        clk.advance(7.0)
+    assert cap.total_ns == 12.0
+    assert clk.now_ns == 10.0
+    clk.advance(1.0)
+    assert clk.now_ns == 11.0
+
+
+def test_nested_captures_charge_innermost_only():
+    clk = SimClock()
+    with clk.capture() as outer:
+        clk.advance(3.0)
+        with clk.capture() as inner:
+            clk.advance(8.0)
+        clk.advance(1.0)
+    assert inner.total_ns == 8.0
+    assert outer.total_ns == 4.0
+    assert clk.now_ns == 0.0
+
+
+def test_sync_to_moves_forward_only():
+    clk = SimClock()
+    clk.sync_to(500.0)
+    assert clk.now_ns == 500.0
+    with pytest.raises(ValueError):
+        clk.sync_to(100.0)
+
+
+def test_capturing_flag():
+    clk = SimClock()
+    assert not clk.capturing
+    with clk.capture():
+        assert clk.capturing
+    assert not clk.capturing

@@ -1,0 +1,201 @@
+"""Edge-case tests for the DES kernel beyond the basic suite."""
+
+import pytest
+
+from repro.sim import Engine, FifoQueue, Lock, Process, Resource
+
+
+class TestEventEdges:
+    def test_callback_after_dispatch_runs_immediately(self):
+        eng = Engine()
+        ev = eng.event()
+        ev.succeed("v")
+        eng.run()
+        got = []
+        ev.add_callback(lambda e: got.append(e.value))
+        assert got == ["v"]
+
+    def test_event_ok_property(self):
+        eng = Engine()
+        good = eng.event()
+        bad = eng.event()
+        assert not good.ok
+        good.succeed(1)
+        bad.fail(RuntimeError("x"))
+        eng.run()
+        assert good.ok
+        assert not bad.ok
+        with pytest.raises(RuntimeError):
+            _ = bad.value
+
+    def test_run_not_reentrant(self):
+        eng = Engine()
+
+        def proc():
+            with pytest.raises(RuntimeError, match="reentrant"):
+                eng.run()
+            yield eng.timeout(1)
+
+        eng.process(proc())
+        eng.run()
+
+    def test_process_return_value_via_value(self):
+        eng = Engine()
+
+        def worker():
+            yield eng.timeout(1)
+            return {"answer": 42}
+
+        p = eng.process(worker())
+        eng.run()
+        assert p.triggered
+        assert p.value == {"answer": 42}
+        assert not p.is_alive
+
+
+class TestResourceEdges:
+    def test_release_hands_slot_to_waiter_without_count_change(self):
+        eng = Engine()
+        res = Resource(eng, capacity=1)
+        order = []
+
+        def user(tag, hold):
+            yield res.request()
+            order.append(("in", tag, res.in_use))
+            yield eng.timeout(hold)
+            res.release()
+
+        eng.process(user("a", 5))
+        eng.process(user("b", 5))
+        eng.run()
+        assert order == [("in", "a", 1), ("in", "b", 1)]
+        assert res.total_requests == 2
+        assert res.queued_requests == 1
+        assert res.in_use == 0
+
+    def test_stats_without_contention(self):
+        eng = Engine()
+        res = Resource(eng, capacity=4)
+
+        def user():
+            yield res.request()
+            yield eng.timeout(1)
+            res.release()
+
+        for _ in range(3):
+            eng.process(user())
+        eng.run()
+        assert res.queued_requests == 0
+
+
+class TestLockEdges:
+    def test_lock_queue_length(self):
+        eng = Engine()
+        lock = Lock(eng)
+        lengths = []
+
+        def holder():
+            yield lock.acquire()
+            yield eng.timeout(10)
+            lengths.append(lock.queue_length)
+            lock.release()
+
+        def waiter():
+            yield lock.acquire()
+            lock.release()
+
+        eng.process(holder())
+        eng.process(waiter())
+        eng.process(waiter())
+        eng.run()
+        assert lengths == [2]
+        assert not lock.locked
+
+    def test_acquisition_counters(self):
+        eng = Engine()
+        lock = Lock(eng)
+
+        def quick():
+            yield lock.acquire()
+            lock.release()
+
+        for _ in range(5):
+            eng.process(quick())
+        eng.run()
+        assert lock.acquisitions == 5
+        # All five boot at t=0: the first wins, four queue behind it.
+        assert lock.contended_acquisitions == 4
+
+
+class TestQueueEdges:
+    def test_put_to_waiting_getter_skips_buffer(self):
+        eng = Engine()
+        q = FifoQueue(eng)
+        got = []
+
+        def consumer():
+            got.append((yield q.get()))
+
+        eng.process(consumer())
+        eng.run()  # consumer parks
+        q.put("direct")
+        eng.run()
+        assert got == ["direct"]
+        assert q.peak_length == 0  # never buffered
+
+    def test_multiple_getters_fifo(self):
+        eng = Engine()
+        q = FifoQueue(eng)
+        got = []
+
+        def consumer(tag):
+            item = yield q.get()
+            got.append((tag, item))
+
+        for t in range(3):
+            eng.process(consumer(t))
+        eng.run()
+        for i in ("x", "y", "z"):
+            q.put(i)
+        eng.run()
+        assert got == [(0, "x"), (1, "y"), (2, "z")]
+
+    def test_counters(self):
+        eng = Engine()
+        q = FifoQueue(eng)
+        q.put(1)
+        q.put(2)
+        q.get_nowait()
+        assert q.puts == 2
+        assert q.gets == 1
+        assert len(q) == 1
+
+
+class TestDeterminismUnderInterrupts:
+    def test_interrupt_mid_queue_wait(self):
+        eng = Engine()
+        q = FifoQueue(eng)
+        from repro.sim import Interrupt
+
+        outcome = []
+
+        def consumer():
+            try:
+                yield q.get()
+                outcome.append("got")
+            except Interrupt:
+                outcome.append("interrupted")
+
+        p = eng.process(consumer())
+
+        def killer():
+            yield eng.timeout(5)
+            p.interrupt()
+
+        eng.process(killer())
+        eng.run()
+        assert outcome == ["interrupted"]
+        # The queue no longer delivers to the dead consumer.
+        q.put("late")
+        eng.run()
+        assert len(q) == 0 or q.get_nowait() == "late"

@@ -1,0 +1,165 @@
+"""Tests for the DES workload runner."""
+
+import pytest
+
+from repro.core import Config, Variant, make_fs
+from repro.failure import check_fs_invariants
+from repro.nova import PAGE_SIZE
+from repro.workloads import (
+    DDMode,
+    Mode,
+    run_workload,
+    small_file_job,
+)
+from repro.workloads.runner import prepopulate
+
+
+def build(variant, pages=4096, cpus=4):
+    return make_fs(variant, Config(device_pages=pages, max_inodes=1024,
+                                   cpus=cpus))
+
+
+class TestWriteMode:
+    def test_all_files_written_and_readable(self):
+        fs, dd = build(Variant.IMMEDIATE)
+        spec = small_file_job(nfiles=60, dup_ratio=0.5)
+        res = run_workload(fs, spec, dd=dd)
+        assert res.files_done == 60
+        assert res.bytes_moved == 60 * 4096
+        assert res.foreground_ns > 0
+        for i in range(60):
+            ino = fs.lookup(f"/t0/f{i}")
+            assert fs.stat(ino).size == 4096
+        check_fs_invariants(fs)
+
+    def test_daemon_drains_by_end(self):
+        fs, dd = build(Variant.IMMEDIATE)
+        res = run_workload(fs, small_file_job(nfiles=40, dup_ratio=0.5),
+                           dd=dd)
+        assert res.dd_nodes == 40
+        assert len(fs.dwq) == 0
+        assert res.space["space_saving"] > 0.3
+
+    def test_delayed_mode_also_drains(self):
+        fs, dd = build(Variant.DELAYED)
+        res = run_workload(fs, small_file_job(nfiles=40, dup_ratio=0.5),
+                           dd=DDMode.delayed(0.5, 10))
+        assert res.dd_nodes == 40
+        assert res.total_ns >= res.foreground_ns
+
+    def test_baseline_has_no_daemon(self):
+        fs, dd = build(Variant.BASELINE)
+        res = run_workload(fs, small_file_job(nfiles=20), dd=dd)
+        assert res.dd_nodes == 0
+        with pytest.raises(ValueError):
+            run_workload(fs, small_file_job(nfiles=5),
+                         dd=DDMode.immediate())
+
+    def test_multithreaded_write(self):
+        fs, dd = build(Variant.IMMEDIATE)
+        spec = small_file_job(nfiles=64, dup_ratio=0.25, threads=4)
+        res = run_workload(fs, spec, dd=dd)
+        assert res.files_done == 64
+        assert len(res.per_thread_ns) == 4
+        for t in range(4):
+            assert fs.exists(f"/t{t}/f{t}")
+        check_fs_invariants(fs)
+
+    def test_deterministic_given_seed(self):
+        def once():
+            fs, dd = build(Variant.IMMEDIATE)
+            res = run_workload(
+                fs, small_file_job(nfiles=30, dup_ratio=0.5, threads=2,
+                                   seed=11), dd=dd)
+            return (res.foreground_ns, res.total_ns, res.bytes_moved,
+                    res.space["physical_pages"])
+
+        assert once() == once()
+
+    def test_think_time_accounted(self):
+        fs, dd = build(Variant.BASELINE)
+        res = run_workload(fs, small_file_job(nfiles=20), dd=dd)
+        assert res.think_ns > 0
+        assert res.think_ns == pytest.approx(res.io_ns, rel=0.01)
+        fs2, dd2 = build(Variant.BASELINE)
+        res2 = run_workload(
+            fs2, small_file_job(nfiles=20).with_(think_ratio=0.0), dd=dd2)
+        assert res2.think_ns == 0
+        assert res2.foreground_ns < res.foreground_ns
+
+
+class TestOverwriteMode:
+    def test_overwrite_replaces_contents(self):
+        fs, dd = build(Variant.IMMEDIATE)
+        spec = small_file_job(nfiles=30, dup_ratio=0.0)
+        inos = prepopulate(fs, spec)
+        before = [fs.read(ino, 0, 4096) for ino in inos[:3]]
+        res = run_workload(fs, spec.with_(mode=Mode.OVERWRITE), dd=dd,
+                           inos=inos)
+        assert res.files_done == 30
+        after = [fs.read(ino, 0, 4096) for ino in inos[:3]]
+        assert all(a != b for a, b in zip(after, before))
+        check_fs_invariants(fs)
+
+    def test_overwrite_autoprepopulates(self):
+        fs, dd = build(Variant.BASELINE)
+        spec = small_file_job(nfiles=10).with_(mode=Mode.OVERWRITE)
+        res = run_workload(fs, spec, dd=dd)
+        assert res.files_done == 10
+
+
+class TestReadMode:
+    def test_read_throughput_measured(self):
+        fs, dd = build(Variant.IMMEDIATE)
+        spec = small_file_job(nfiles=30, dup_ratio=0.8)
+        inos = prepopulate(fs, spec)
+        res = run_workload(fs, spec.with_(mode=Mode.READ), dd=DDMode.none(),
+                           inos=inos)
+        assert res.files_done == 30
+        assert res.bytes_moved == 30 * 4096
+        assert res.throughput_mb_s > 0
+
+
+class TestContentionModel:
+    def test_throughput_scales_then_declines(self):
+        """The Fig. 9 shape: rising, a peak, then decline."""
+        def tput(threads):
+            fs, dd = build(Variant.BASELINE, cpus=8)
+            res = run_workload(
+                fs, small_file_job(nfiles=96, threads=threads, seed=5),
+                dd=dd)
+            return res.throughput_mb_s
+
+        t1, t2, t32 = tput(1), tput(2), tput(32)
+        assert t2 > 1.3 * t1     # scales up
+        assert t32 < t2          # oversubscription declines
+        assert t32 < t1          # small files collapse when threads pile up
+
+    def test_dwq_contention_small(self):
+        """§V-B1: sharing the DWQ costs the foreground < 1-2 %."""
+        fs_b, dd_b = build(Variant.BASELINE)
+        base = run_workload(fs_b, small_file_job(nfiles=80, seed=3),
+                            dd=dd_b)
+        fs_d, dd_d = build(Variant.IMMEDIATE)
+        deno = run_workload(fs_d, small_file_job(nfiles=80, seed=3),
+                            dd=dd_d)
+        drop = 1 - deno.throughput_mb_s / base.throughput_mb_s
+        assert drop < 0.02, f"offline dedup cost the foreground {drop:.1%}"
+
+
+class TestRunResult:
+    def test_throughput_zero_when_empty(self):
+        from repro.workloads.runner import RunResult
+
+        r = RunResult(spec=small_file_job(nfiles=1), dd="none")
+        assert r.throughput_mb_s == 0.0
+        assert r.files_per_s == 0.0
+        assert r.mean_op_latency_us == 0.0
+
+    def test_ddmode_validation(self):
+        with pytest.raises(ValueError):
+            DDMode.delayed(0, 5)
+        with pytest.raises(ValueError):
+            DDMode.delayed(5, 0)
+        assert str(DDMode.delayed(250, 2000)) == "delayed(250,2000)"
+        assert str(DDMode.immediate()) == "immediate"
