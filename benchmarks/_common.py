@@ -9,6 +9,7 @@ numbers are simulated-time measurements inside the run.
 
 from __future__ import annotations
 
+import json
 import pathlib
 
 RESULTS = pathlib.Path(__file__).parent / "results"
@@ -20,6 +21,20 @@ def emit(name: str, text: str) -> None:
     print(banner)
     RESULTS.mkdir(exist_ok=True)
     (RESULTS / f"{name}.txt").write_text(text + "\n")
+
+
+def emit_metrics(name: str, snapshots: dict) -> None:
+    """Persist per-benchmark metric snapshots as JSON.
+
+    ``snapshots`` maps a label (variant/mode name) to a
+    ``repro.metrics/1`` snapshot (``fs.obs.snapshot()`` or
+    ``RunResult.metrics``), so ``BENCH_*.json`` entries carry full
+    histograms — p50/p95/p99 per latency metric — not just means.
+    """
+    RESULTS.mkdir(exist_ok=True)
+    path = RESULTS / f"{name}.metrics.json"
+    path.write_text(json.dumps(snapshots, indent=2) + "\n")
+    print(f"[metrics] wrote {path}")
 
 
 def rel(a: float, b: float) -> float:

@@ -11,7 +11,7 @@ several (n, m).  Claims to reproduce:
   choice on those two axes (§V-B2's conclusion).
 """
 
-from _common import emit
+from _common import emit, emit_metrics
 
 from repro.analysis import cdf, percentile, render_series, render_table
 from repro.core import Config, Variant, make_fs
@@ -45,6 +45,7 @@ def run_mode(dd: DDMode):
 
 def build():
     out = {}
+    snapshots = {}
     for name, dd in MODES:
         res = run_mode(dd)
         out[name] = {
@@ -54,6 +55,10 @@ def build():
             "p99": percentile(res.lingering_ns, 0.99) / 1e6,
             "dwq_peak": res.dwq_peak,
         }
+        snapshots[name] = res.metrics
+    # Fig. 10 as a metrics artifact: the dwq.residency_ns histogram in
+    # each snapshot is the CDF's source data, per mode.
+    emit_metrics("fig10_dwq_cdf", snapshots)
     return out
 
 

@@ -22,6 +22,7 @@ Every command that mutates the image performs a clean unmount (or, for
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 
 from repro.analysis import InlineModel, render_table
@@ -29,6 +30,7 @@ from repro.core import Config, Variant
 from repro.dedup import DeNovaFS
 from repro.nova import NovaFS
 from repro.nova.layout import Superblock
+from repro.obs import format_table, merge_snapshots, to_prometheus
 from repro.pm import PMDevice, SimClock
 from repro.pm.latency import PROFILES
 
@@ -42,12 +44,42 @@ def _open_fs(image: str):
     return cls.mount(dev)
 
 
+def _metrics_path(image: str) -> str:
+    return image + ".metrics.json"
+
+
+def _load_metrics(image: str) -> dict:
+    """The image's persisted metrics history (empty when none)."""
+    try:
+        with open(_metrics_path(image)) as fh:
+            return json.load(fh)
+    except (OSError, ValueError):
+        return {"schema": "repro.metrics/1", "counters": {}, "gauges": {},
+                "histograms": {}}
+
+
+def _save_metrics(fs, image: str) -> dict:
+    """Fold this process's snapshot onto the image's metrics sidecar.
+
+    Registries are DRAM state, reset at every mount — but each CLI
+    invocation is its own process, so per-image history (e.g. the DWQ
+    residency histogram produced by ``repro dedup``) is kept in a JSON
+    sidecar and merged across runs, the way a real system's scrape
+    target would accumulate.
+    """
+    merged = merge_snapshots(_load_metrics(image), fs.obs.snapshot())
+    with open(_metrics_path(image), "w") as fh:
+        json.dump(merged, fh)
+    return merged
+
+
 def _close(fs, image: str, clean: bool = True) -> None:
     if clean:
         if hasattr(fs, "daemon"):
             pass  # the DWQ is saved, not drained — offline semantics
         fs.unmount()
     fs.dev.save_image(image)
+    _save_metrics(fs, image)
 
 
 def cmd_mkfs(args) -> int:
@@ -131,18 +163,64 @@ def cmd_stats(args) -> int:
             ["data pages", s["data_pages"]],
             ["used pages", s["used_pages"]],
             ["free pages", s["free_pages"]]]
+    space = None
     if hasattr(fs, "space_stats"):
-        st = fs.space_stats()
-        rows += [["logical pages", st["logical_pages"]],
-                 ["physical pages", st["physical_pages"]],
-                 ["dedup saving", f"{st['space_saving']:.1%}"],
-                 ["DWQ backlog", st["dwq_backlog"]],
-                 ["FACT entries", st["fact"]["entries"]],
-                 ["FACT DAA/IAA", f"{st['fact']['daa_used']}"
-                                  f"/{st['fact']['iaa_used']}"]]
+        space = fs.space_stats()
+        rows += [["logical pages", space["logical_pages"]],
+                 ["physical pages", space["physical_pages"]],
+                 ["dedup saving", f"{space['space_saving']:.1%}"],
+                 ["DWQ backlog", space["dwq_backlog"]],
+                 ["FACT entries", space["fact"]["entries"]],
+                 ["FACT DAA/IAA", f"{space['fact']['daa_used']}"
+                                  f"/{space['fact']['iaa_used']}"]]
+    _close(fs, args.image)
+    metrics = _load_metrics(args.image)  # history incl. this mount
+
+    if args.json:
+        out = {
+            "schema": "repro.stats/1",
+            "image": args.image,
+            "statfs": s,
+            "space": space,
+            "metrics": metrics,
+        }
+        print(json.dumps(out, indent=2))
+        return 0
+
     print(render_table(["metric", "value"], rows,
                        title=f"{args.image}"))
-    _close(fs, args.image)
+    # Consolidated component report: daemon / FACT / allocator counters
+    # plus histogram percentiles, from the per-image metrics history.
+    print(format_table(metrics, title=f"{args.image} metrics (cumulative)"))
+    return 0
+
+
+def cmd_metrics(args) -> int:
+    """Prometheus text-format dump of the image's metrics history."""
+    fs = _open_fs(args.image)
+    _close(fs, args.image)  # folds this mount's snapshot into the sidecar
+    sys.stdout.write(to_prometheus(_load_metrics(args.image)))
+    return 0
+
+
+def cmd_trace(args) -> int:
+    """Spans recorded during this mount (recovery phases, replay ops)."""
+    fs = _open_fs(args.image)
+    events = list(fs.obs.tracer.events)
+    if args.limit and len(events) > args.limit:
+        events = events[-args.limit:]
+    rows = [[e.span_id,
+             e.parent_id if e.parent_id is not None else "-",
+             e.name,
+             f"{e.start_ns / 1e3:.1f}",
+             f"{e.duration_ns / 1e3:.2f}",
+             " ".join(f"{k}={v}" for k, v in e.attrs)]
+            for e in events]
+    print(render_table(
+        ["span", "parent", "name", "start us", "dur us", "attrs"], rows,
+        title=f"mount trace of {args.image} "
+              f"({fs.obs.tracer.total_spans} spans, "
+              f"{fs.obs.tracer.evicted} evicted)"))
     return 0
 
 
@@ -334,9 +412,23 @@ def build_parser() -> argparse.ArgumentParser:
     s.add_argument("image")
     s.set_defaults(fn=cmd_dedup)
 
-    s = sub.add_parser("stats", help="space and dedup statistics")
+    s = sub.add_parser("stats", help="consolidated space/dedup/metrics "
+                                     "report")
     s.add_argument("image")
+    s.add_argument("--json", action="store_true",
+                   help="emit the stable repro.stats/1 JSON schema")
     s.set_defaults(fn=cmd_stats)
+
+    s = sub.add_parser("metrics",
+                       help="Prometheus text-format metrics dump")
+    s.add_argument("image")
+    s.set_defaults(fn=cmd_metrics)
+
+    s = sub.add_parser("trace", help="spans recorded during the mount")
+    s.add_argument("image")
+    s.add_argument("--limit", type=int, default=40,
+                   help="show at most the last N spans (0 = all)")
+    s.set_defaults(fn=cmd_trace)
 
     s = sub.add_parser("fsck", help="mount, recover, verify invariants")
     s.add_argument("image")

@@ -33,7 +33,7 @@ node (when the commits have settled the RFCs).
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Optional
 
 from repro.dedup.dwq import DWQNode
@@ -46,24 +46,24 @@ from repro.nova.entries import (
     WriteEntry,
 )
 from repro.nova.layout import PAGE_SIZE
+from repro.obs import RegistryStats
 
 __all__ = ["DedupDaemon", "DaemonStats"]
 
 
-@dataclass
-class DaemonStats:
-    nodes_processed: int = 0
-    nodes_stale: int = 0
-    pages_scanned: int = 0
-    pages_stale: int = 0
-    pages_unique: int = 0
-    pages_duplicate: int = 0
-    pages_reclaimed: int = 0
-    fact_full_events: int = 0
-    reorders: int = 0
+class DaemonStats(RegistryStats):
+    """Attribute view over ``daemon.*_total`` registry counters.
 
-    def as_dict(self) -> dict:
-        return dict(self.__dict__)
+    The seed's dataclass API (``stats.pages_scanned += 1``,
+    ``as_dict()``) is preserved; storage lives in the metrics registry.
+    """
+
+    _prefix = "daemon"
+    _fields = (
+        "nodes_processed", "nodes_stale", "pages_scanned", "pages_stale",
+        "pages_unique", "pages_duplicate", "pages_reclaimed",
+        "fact_full_events", "reorders",
+    )
 
 
 @dataclass
@@ -86,7 +86,8 @@ class DedupDaemon:
     def __init__(self, fs, reorder_min_steps: int = 3,
                  reorder_min_rfc: int = 2, reorder_enabled: bool = True):
         self.fs = fs
-        self.stats = DaemonStats()
+        obs = getattr(fs, "obs", None)
+        self.stats = DaemonStats(obs.registry if obs is not None else None)
         self.reorder_min_steps = reorder_min_steps
         self.reorder_min_rfc = reorder_min_rfc
         self.reorder_enabled = reorder_enabled
@@ -118,6 +119,10 @@ class DedupDaemon:
     # -- Algorithm 1 ------------------------------------------------------------
 
     def process_node(self, node: DWQNode) -> None:
+        with self.fs.obs.span("dedup.process_node", ino=node.ino):
+            self._process_node(node)
+
+    def _process_node(self, node: DWQNode) -> None:
         fs = self.fs
         fact = fs.fact
         cache = fs.caches.get(node.ino)

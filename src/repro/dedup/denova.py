@@ -27,6 +27,7 @@ from repro.dedup.fingerprint import Fingerprinter
 from repro.nova.entries import DEDUPE_NEEDED, WriteEntry
 from repro.nova.fs import NovaFS
 from repro.nova.layout import PAGE_SIZE, Geometry
+from repro.obs import CounterView
 from repro.pm.device import PMDevice
 
 __all__ = ["DeNovaFS"]
@@ -41,16 +42,19 @@ class DeNovaFS(NovaFS):
             raise ValueError(
                 "DeNovaFS needs a FACT region; format with "
                 "DeNovaFS.mkfs(...) or NovaFS.mkfs(..., with_dedup=True)")
-        self.fact = FACT(dev, geo)
+        self.fact = FACT(dev, geo, registry=self.obs.registry)
         self.fingerprinter = Fingerprinter(self.cpu_model, self.clock)
-        self.dwq = DWQ(self.cpu_model, self.clock)
+        self.dwq = DWQ(self.cpu_model, self.clock, obs=self.obs)
         self.daemon = DedupDaemon(self)
         self._pending_pages: Counter[int] = Counter()  # log page -> entries
-        self.dedup_counters = {
-            "shared_page_keeps": 0,   # reclaim skipped: RFC still > 0
-            "fact_entry_removes": 0,  # RFC hit zero -> entry retired
-            "direct_frees": 0,        # page had no FACT entry
-        }
+        self.dedup_counters = CounterView(self.obs.registry, {
+            # reclaim skipped: RFC still > 0
+            "shared_page_keeps": "dedup.shared_page_keeps_total",
+            # RFC hit zero -> entry retired
+            "fact_entry_removes": "dedup.fact_entry_removes_total",
+            # page had no FACT entry
+            "direct_frees": "dedup.direct_frees_total",
+        })
 
     # ------------------------------------------------------------ mkfs/mount
 

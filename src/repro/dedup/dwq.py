@@ -26,11 +26,19 @@ from dataclasses import dataclass
 from typing import Optional
 
 from repro.nova.layout import PAGE_SIZE, Geometry, Superblock
+from repro.obs import MetricsRegistry, ObsHub
 from repro.pm.clock import SimClock
 from repro.pm.device import PMDevice
 from repro.pm.latency import CpuModel
 
 __all__ = ["DWQ", "DWQNode"]
+
+#: Residency buckets: 100 ns .. 100 s of simulated time, wide enough for
+#: immediate-mode drains and the paper's delayed(750 ms, m) backlog tail.
+RESIDENCY_BUCKETS_NS = (
+    1e2, 1e3, 1e4, 1e5, 1e6, 5e6, 1e7, 5e7, 1e8, 2.5e8, 5e8, 7.5e8,
+    1e9, 1.5e9, 2e9, 3e9, 5e9, 1e10, 3e10, 1e11,
+)
 
 _NODE_FMT = "<QQ"  # ino, write-entry addr
 _NODE_BYTES = struct.calcsize(_NODE_FMT)
@@ -48,7 +56,8 @@ class DWQNode:
 class DWQ:
     """DRAM FIFO with lingering-time accounting and PM save/restore."""
 
-    def __init__(self, cpu: CpuModel, clock: SimClock):
+    def __init__(self, cpu: CpuModel, clock: SimClock,
+                 obs: Optional[ObsHub] = None):
         self._cpu = cpu
         self._clock = clock
         self._q: deque[DWQNode] = deque()
@@ -56,6 +65,15 @@ class DWQ:
         self.dequeued = 0
         self.peak_length = 0
         self.lingering_ns: list[float] = []
+        registry = obs.registry if obs is not None else MetricsRegistry()
+        self._g_depth = registry.gauge(
+            "dwq.depth", help="write entries currently awaiting dedup")
+        registry.counter_fn("dwq.enqueued_total", lambda: self.enqueued)
+        registry.counter_fn("dwq.dequeued_total", lambda: self.dequeued)
+        # Fig. 10 as a metrics query: residency = dequeue − enqueue time.
+        self._h_residency = registry.histogram(
+            "dwq.residency_ns", buckets=RESIDENCY_BUCKETS_NS,
+            help="simulated ns a node spent queued (Fig. 10 CDF)")
 
     def __len__(self) -> int:
         return len(self._q)
@@ -66,6 +84,7 @@ class DWQ:
         node.enqueue_time_ns = self._clock.now_ns
         self._q.append(node)
         self.enqueued += 1
+        self._g_depth.set(len(self._q))
         if len(self._q) > self.peak_length:
             self.peak_length = len(self._q)
 
@@ -76,7 +95,10 @@ class DWQ:
             return None
         node = self._q.popleft()
         self.dequeued += 1
-        self.lingering_ns.append(self._clock.now_ns - node.enqueue_time_ns)
+        self._g_depth.set(len(self._q))
+        linger = self._clock.now_ns - node.enqueue_time_ns
+        self.lingering_ns.append(linger)
+        self._h_residency.observe(linger)
         return node
 
     def peek_addrs(self) -> set[int]:
@@ -85,6 +107,7 @@ class DWQ:
 
     def clear(self) -> None:
         self._q.clear()
+        self._g_depth.set(0)
 
     # ------------------------------------------------------------ persistence
 

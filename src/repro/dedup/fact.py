@@ -44,9 +44,13 @@ import numpy as np
 
 from repro.dedup.fingerprint import FP_BYTES, fp_prefix
 from repro.nova.layout import PAGE_SIZE, Geometry
+from repro.obs import CounterView, MetricsRegistry
 from repro.pm.device import PMDevice
 
 __all__ = ["FACT", "FactEntry", "FactFull", "FactCorruption", "LookupResult"]
+
+#: Per-lookup chain-walk length buckets (NVM entry reads, not time).
+LOOKUP_STEP_BUCKETS = (1, 2, 3, 4, 6, 8, 12, 16, 24, 32)
 
 ENTRY = 64
 _OFF_COUNTS = 0
@@ -106,7 +110,8 @@ class LookupResult:
 class FACT:
     """The persistent dedup metadata table."""
 
-    def __init__(self, dev: PMDevice, geo: Geometry):
+    def __init__(self, dev: PMDevice, geo: Geometry,
+                 registry: Optional[MetricsRegistry] = None):
         if not geo.fact_page:
             raise ValueError("filesystem was formatted without a FACT region")
         self.dev = dev
@@ -116,13 +121,33 @@ class FACT:
         self.total = 2 * self.daa_size
         self._iaa_free: list[int] = list(
             range(self.total - 1, self.daa_size - 1, -1))
-        # Observability (DRAM, rebuilt freely).
-        self.stats = {
-            "lookups": 0, "lookup_steps": 0, "daa_hits": 0,
-            "inserts": 0, "removes": 0, "reorders": 0,
-            "iaa_inserts": 0,
-        }
+        # Observability (DRAM, rebuilt freely).  ``stats`` keeps the
+        # seed's dict API as a view over canonical registry counters.
+        if registry is None:
+            registry = MetricsRegistry()
+        self.stats = CounterView(registry, {
+            "lookups": "fact.lookups_total",
+            "lookup_steps": "fact.lookup_steps_total",
+            "daa_hits": "fact.daa_hits_total",
+            "inserts": "fact.inserts_total",
+            "removes": "fact.removes_total",
+            "reorders": "fact.reorders_total",
+            "iaa_inserts": "fact.iaa_inserts_total",
+        })
+        self._h_steps = registry.histogram(
+            "fact.lookup_steps", buckets=LOOKUP_STEP_BUCKETS,
+            help="NVM entry reads per fingerprint lookup (chain walk)")
+        registry.gauge_fn(
+            "fact.occupancy_entries", self._count_valid,
+            help="valid FACT entries (DAA + IAA)")
         self.chain_accesses: dict[int, int] = {}  # head idx -> deep lookups
+
+    def _count_valid(self) -> int:
+        """Cheap occupancy read for the callback gauge (silent scan)."""
+        arr = np.frombuffer(
+            self.dev.read_silent(self.base, self.total * ENTRY),
+            dtype=_SCAN_DTYPE)
+        return int((arr["block"] != 0).sum())
 
     # ------------------------------------------------------------ raw slot access
 
@@ -210,6 +235,7 @@ class FACT:
         steps = 0
         tail = head_idx
         head_empty = False
+        found = None
         for ent in self.chain(head_idx):
             steps += 1
             tail = ent.idx
@@ -217,16 +243,16 @@ class FACT:
                 head_empty = True
                 continue
             if ent.valid and ent.fp == fp:
-                self.stats["lookup_steps"] += steps
                 if steps == 1:
                     self.stats["daa_hits"] += 1
                 else:
                     self.chain_accesses[head_idx] = \
                         self.chain_accesses.get(head_idx, 0) + 1
-                return LookupResult(found=ent, tail_idx=tail, steps=steps,
-                                    head_empty=head_empty)
+                found = ent
+                break
         self.stats["lookup_steps"] += steps
-        return LookupResult(found=None, tail_idx=tail, steps=steps,
+        self._h_steps.observe(steps)
+        return LookupResult(found=found, tail_idx=tail, steps=steps,
                             head_empty=head_empty)
 
     def insert(self, fp: bytes, block: int,

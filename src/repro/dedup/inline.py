@@ -96,6 +96,11 @@ class InlineDedupFS(DeNovaFS):
             raise ValueError("negative offset")
         if not data:
             return 0
+        with self.obs.span("fs.write", ino=ino):
+            return self._inline_write(ino, offset, data, cpu)
+
+    def _inline_write(self, ino: int, offset: int, data: bytes,
+                      cpu: int) -> int:
         self.clock.advance(self.cpu_model.syscall_ns)
         cache = self._file_cache(ino, for_write=True)
         self.counters["writes"] += 1

@@ -49,24 +49,26 @@ def dedup_recover(fs, report) -> dict:
     out: dict = {}
 
     # Step 1: structural repair (reorders, orphans, links, freelist).
-    out["structural"] = fact.structural_recover()
+    with fs.obs.span("recovery.fact_structural"):
+        out["structural"] = fact.structural_recover()
 
     # Step 2: flag scan over every file inode's committed entries.
     needed: list[tuple[int, int]] = []
     resumed = 0
-    for ino, cache in sorted(fs.caches.items()):
-        if cache.inode.itype != ITYPE_FILE:
-            continue
-        for addr, raw in fs.log.iter_slots(cache.inode.log_head,
-                                           cache.inode.log_tail):
-            entry = decode_entry(raw)
-            if not isinstance(entry, WriteEntry):
+    with fs.obs.span("recovery.flag_scan"):
+        for ino, cache in sorted(fs.caches.items()):
+            if cache.inode.itype != ITYPE_FILE:
                 continue
-            if entry.dedupe_flag == DEDUPE_NEEDED:
-                needed.append((ino, addr))
-            elif entry.dedupe_flag == DEDUPE_IN_PROCESS:
-                _resume_step6(fs, addr, entry)
-                resumed += 1
+            for addr, raw in fs.log.iter_slots(cache.inode.log_head,
+                                               cache.inode.log_tail):
+                entry = decode_entry(raw)
+                if not isinstance(entry, WriteEntry):
+                    continue
+                if entry.dedupe_flag == DEDUPE_NEEDED:
+                    needed.append((ino, addr))
+                elif entry.dedupe_flag == DEDUPE_IN_PROCESS:
+                    _resume_step6(fs, addr, entry)
+                    resumed += 1
     out["in_process_resumed"] = resumed
 
     # Step 3: discard stale UCs; step 4: drop dead entries.
@@ -110,11 +112,12 @@ def dedup_recover(fs, report) -> dict:
     out["undercounts_repaired"] = repaired
 
     # Rebuild the DWQ from the dedupe_needed flags (Handling I).
-    fs.dwq.clear()
-    fs._pending_pages.clear()
-    for ino, addr in needed:
-        fs._pending_pages[addr // PAGE_SIZE] += 1
-        fs.dwq.enqueue(DWQNode(ino=ino, entry_addr=addr))
+    with fs.obs.span("recovery.dwq_rebuild"):
+        fs.dwq.clear()
+        fs._pending_pages.clear()
+        for ino, addr in needed:
+            fs._pending_pages[addr // PAGE_SIZE] += 1
+            fs.dwq.enqueue(DWQNode(ino=ino, entry_addr=addr))
     out["dwq_rebuilt"] = len(needed)
     return out
 

@@ -50,6 +50,7 @@ from repro.nova.inode import (
 from repro.nova.layout import PAGE_SIZE, Geometry, Superblock
 from repro.nova.log import LOG_HEADER_SIZE, LogManager
 from repro.nova.radix import Displaced, FileIndex
+from repro.obs import CounterView, ObsHub
 from repro.pm.allocator import AllocError, PageAllocator
 from repro.pm.device import PMDevice
 
@@ -134,11 +135,22 @@ class NovaFS:
         self.clock = dev.clock
         self.mounted = False
         self.last_recovery = None
-        # Extra observability for benchmarks.
-        self.counters = {
-            "writes": 0, "reads": 0, "overwrite_pages": 0,
-            "pages_reclaimed": 0, "log_pages_gced": 0,
-        }
+        # Observability hub: one registry + tracer per fs instance, so a
+        # remount starts from zero (DRAM state, like NOVA's in-memory
+        # trees).  ``counters`` keeps the seed's dict-shaped API as a
+        # thin view over canonical metric names (docs/OBSERVABILITY.md).
+        self.obs = ObsHub(clock=dev.clock)
+        self.counters = CounterView(self.obs.registry, {
+            "writes": "fs.writes_total",
+            "reads": "fs.reads_total",
+            "overwrite_pages": "fs.overwrite_pages_total",
+            "pages_reclaimed": "fs.pages_reclaimed_total",
+            "log_pages_gced": "fs.log_pages_gced_total",
+        })
+        self._h_overwrite = self.obs.histogram(
+            "fs.overwrite_latency_ns",
+            help="charged simulated ns of writes that displaced pages")
+        self.allocator.attach_registry(self.obs.registry)
 
     # ------------------------------------------------------------------ lifecycle
 
@@ -540,6 +552,17 @@ class NovaFS:
             raise ValueError("negative offset")
         if not data:
             return 0
+        t0 = self.clock.charged_ns
+        with self.obs.span("fs.write", ino=ino,
+                           pages=(offset + len(data) - 1) // PAGE_SIZE
+                           - offset // PAGE_SIZE + 1):
+            displaced = self._write_locked(ino, offset, data, cpu)
+        if displaced.total_pages:
+            self._h_overwrite.observe(self.clock.charged_ns - t0)
+        return len(data)
+
+    def _write_locked(self, ino: int, offset: int, data: bytes,
+                      cpu: int) -> Displaced:
         self.clock.advance(self.cpu_model.syscall_ns)
         cache = self._file_cache(ino, for_write=True)
         self.counters["writes"] += 1
@@ -596,40 +619,45 @@ class NovaFS:
         self.reclaim_extents(displaced.extents, cpu)
 
         self.on_write_committed(ino, addr, entry, cpu)
-        return len(data)
+        return displaced
 
     def read(self, ino: int, offset: int, length: int, cpu: int = 0) -> bytes:
         """Read up to ``length`` bytes (short at EOF; holes read as zeros)."""
         self._check_mounted()
         if offset < 0 or length < 0:
             raise ValueError("negative offset/length")
-        self.clock.advance(self.cpu_model.syscall_ns)
-        cache = self._file_cache(ino)
-        self.counters["reads"] += 1
-        size = cache.inode.size
-        if offset >= size:
-            return b""
-        length = min(length, size - offset)
-        out = bytearray()
-        pos = offset
-        end = offset + length
-        while pos < end:
-            pgoff = pos // PAGE_SIZE
-            in_page = pos - pgoff * PAGE_SIZE
-            take = min(PAGE_SIZE - in_page, end - pos)
-            block = cache.index.block_of(pgoff)
-            if block is None:
-                out += bytes(take)
-            else:
-                out += self.dev.read(block * PAGE_SIZE + in_page, take)
-            pos += take
-        return bytes(out)
+        with self.obs.span("fs.read", ino=ino):
+            self.clock.advance(self.cpu_model.syscall_ns)
+            cache = self._file_cache(ino)
+            self.counters["reads"] += 1
+            size = cache.inode.size
+            if offset >= size:
+                return b""
+            length = min(length, size - offset)
+            out = bytearray()
+            pos = offset
+            end = offset + length
+            while pos < end:
+                pgoff = pos // PAGE_SIZE
+                in_page = pos - pgoff * PAGE_SIZE
+                take = min(PAGE_SIZE - in_page, end - pos)
+                block = cache.index.block_of(pgoff)
+                if block is None:
+                    out += bytes(take)
+                else:
+                    out += self.dev.read(block * PAGE_SIZE + in_page, take)
+                pos += take
+            return bytes(out)
 
     def truncate(self, ino: int, size: int, cpu: int = 0) -> None:
         """Set file size; shrinking reclaims pages past the new end."""
         self._check_mounted()
         if size < 0:
             raise ValueError("negative size")
+        with self.obs.span("fs.truncate", ino=ino):
+            self._truncate_locked(ino, size, cpu)
+
+    def _truncate_locked(self, ino: int, size: int, cpu: int) -> None:
         self.clock.advance(self.cpu_model.syscall_ns)
         cache = self._file_cache(ino, for_write=True)
         entry = SetattrEntry(ino=ino, new_size=size,

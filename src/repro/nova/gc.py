@@ -52,6 +52,11 @@ def thorough_gc(fs, ino: int) -> dict:
     No-op (``{"skipped": reason}``) when the log doesn't exist, the
     dedup layer vetoes it, or nothing would be saved.
     """
+    with fs.obs.span("fs.gc", ino=ino):
+        return _thorough_gc(fs, ino)
+
+
+def _thorough_gc(fs, ino: int) -> dict:
     cache = fs.caches[ino]
     head = cache.inode.log_head
     if not head:

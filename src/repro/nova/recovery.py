@@ -53,16 +53,60 @@ class RecoveryReport:
 
 
 def recover(fs, clean: bool) -> RecoveryReport:
-    """Rebuild all DRAM state of ``fs`` from the device.  See module doc."""
-    from repro.nova.fs import InodeCache  # cycle-free late import
+    """Rebuild all DRAM state of ``fs`` from the device.  See module doc.
 
+    Each pass runs under a ``recovery.*`` span, so mount-time cost per
+    phase shows up in the metrics registry (``recovery.mount_latency_ns``
+    with nested ``recovery.log_replay`` etc.) and in ``repro trace``.
+    """
     report = RecoveryReport(clean=clean)
     fs.caches = {}
 
-    # Pass 0: drop half-written inode records (torn crash in create).
-    report.extra["corrupt_inodes_released"] = fs.itable.fsck()
+    with fs.obs.span("recovery.mount", clean=clean):
+        # Pass 0: drop half-written inode records (torn crash in create).
+        with fs.obs.span("recovery.itable_fsck"):
+            report.extra["corrupt_inodes_released"] = fs.itable.fsck()
 
-    # Pass 1: replay every valid inode's log.
+        with fs.obs.span("recovery.log_replay"):
+            _replay_logs(fs, report)
+
+        # Pass 1.5: redo any committed-but-unapplied journal transaction
+        # (cross-directory rename).  This must run before reachability: a
+        # crash mid-apply can leave the moved inode referenced by neither
+        # directory, and only the journal knows it is still alive.  The
+        # redo may append to directory logs, so it needs a safe allocator
+        # first — a conservative one that treats every currently-valid
+        # inode's pages (orphans included) as in use; the exact rebuild
+        # happens in pass 3.
+        with fs.obs.span("recovery.journal_redo"):
+            fs.allocator = _build_allocator(fs)
+            fs.allocator.attach_registry(fs.obs.registry)
+            fs.log.allocator = fs.allocator
+            report.extra["journal_redone"] = fs.apply_journal()
+            if fs.journal.committed:
+                fs.journal.clear()
+
+        with fs.obs.span("recovery.reachability"):
+            _collect_orphans(fs, report)
+
+        # Pass 3: in-use bitmap -> per-CPU free lists.
+        with fs.obs.span("recovery.free_list"):
+            bitmap = _in_use_bitmap(fs, report)
+            fs.allocator = PageAllocator.from_bitmap(
+                fs.geo.data_start_page, fs.geo.total_pages, bitmap, fs.cpus)
+            fs.allocator.attach_registry(fs.obs.registry)
+            fs.log.allocator = fs.allocator
+            report.pages_in_use = int(bitmap[fs.geo.data_start_page:].sum())
+            report.bitmap = bitmap
+
+        with fs.obs.span("recovery.dedup"):
+            fs._post_recover(report, clean)
+    return report
+
+
+def _replay_logs(fs, report: RecoveryReport) -> None:
+    """Pass 1: replay every valid inode's log."""
+    from repro.nova.fs import InodeCache  # cycle-free late import
     from repro.nova.log import LOG_HEADER_SIZE
 
     for inode in fs.itable.iter_valid():
@@ -118,20 +162,9 @@ def recover(fs, clean: bool) -> RecoveryReport:
         fs.caches[inode.ino] = cache
         report.inodes_recovered += 1
 
-    # Pass 1.5: redo any committed-but-unapplied journal transaction
-    # (cross-directory rename).  This must run before reachability: a
-    # crash mid-apply can leave the moved inode referenced by neither
-    # directory, and only the journal knows it is still alive.  The redo
-    # may append to directory logs, so it needs a safe allocator first —
-    # a conservative one that treats every currently-valid inode's pages
-    # (orphans included) as in use; the exact rebuild happens in pass 3.
-    fs.allocator = _build_allocator(fs)
-    fs.log.allocator = fs.allocator
-    report.extra["journal_redone"] = fs.apply_journal()
-    if fs.journal.committed:
-        fs.journal.clear()
 
-    # Pass 2: reachability from the root; collect orphans.
+def _collect_orphans(fs, report: RecoveryReport) -> None:
+    """Pass 2: reachability from the root; collect orphans."""
     reachable: set[int] = set()
     stack = [ROOT_INO] if ROOT_INO in fs.caches else []
     while stack:
@@ -167,17 +200,6 @@ def recover(fs, clean: bool) -> RecoveryReport:
             cache.inode.links = 2
         else:  # files and symlinks
             cache.inode.links = link_counts.get(ino, 0)
-
-    # Pass 3: in-use bitmap -> per-CPU free lists.
-    bitmap = _in_use_bitmap(fs, report)
-    fs.allocator = PageAllocator.from_bitmap(
-        fs.geo.data_start_page, fs.geo.total_pages, bitmap, fs.cpus)
-    fs.log.allocator = fs.allocator
-    report.pages_in_use = int(bitmap[fs.geo.data_start_page:].sum())
-    report.bitmap = bitmap
-
-    fs._post_recover(report, clean)
-    return report
 
 
 def _in_use_bitmap(fs, report: RecoveryReport | None = None) -> np.ndarray:

@@ -1,0 +1,20 @@
+"""Unified observability: metrics registry, span tracing, exporters.
+
+See ``docs/OBSERVABILITY.md`` for the naming convention and usage.
+"""
+
+from .export import (escape_help, escape_label_value, format_table,
+                     merge_snapshots, to_prometheus)
+from .registry import (DEFAULT_LATENCY_BUCKETS_NS, Counter, CounterView,
+                       Gauge, Histogram, MetricsRegistry, RegistryStats,
+                       percentiles_from_buckets)
+from .trace import ObsHub, SpanEvent, Tracer
+
+__all__ = [
+    "ObsHub", "Tracer", "SpanEvent",
+    "MetricsRegistry", "Counter", "Gauge", "Histogram",
+    "CounterView", "RegistryStats",
+    "DEFAULT_LATENCY_BUCKETS_NS", "percentiles_from_buckets",
+    "to_prometheus", "format_table", "merge_snapshots",
+    "escape_help", "escape_label_value",
+]

@@ -1,0 +1,431 @@
+"""Typed metrics: counters, gauges, and fixed-bucket histograms.
+
+A :class:`MetricsRegistry` is a flat namespace of metrics, one registry
+per mounted filesystem instance (so a remount starts from zero — DRAM
+observability state, like NOVA's in-memory trees, is rebuilt rather than
+persisted).  All time-valued metrics record **simulated** nanoseconds
+from :mod:`repro.pm.clock`, never wall time: the reproduction's claims
+(Eq. 1-5, Fig. 10) are about modelled cost, and wall-clock samples of
+the simulator itself would measure the wrong system.
+
+Naming convention (enforced for counters, documented for the rest in
+``docs/OBSERVABILITY.md``)::
+
+    <component>.<name>_<unit>
+
+* counters end in ``_total`` (``fs.writes_total``,
+  ``fs.overwrite_pages_total``);
+* histograms carry their unit as the suffix (``dwq.residency_ns``,
+  ``fact.lookup_steps``);
+* gauges name the quantity directly (``dwq.depth``,
+  ``alloc.free_pages``).
+
+Counters and gauges may be *callback-backed* (``counter_fn`` /
+``gauge_fn``): the value is read from a closure at export time instead
+of being pushed on every event, which keeps hot paths untouched for
+quantities another structure already tracks (allocator free lists, the
+DES engine's event count).
+"""
+
+from __future__ import annotations
+
+import math
+import re
+from bisect import bisect_left
+from typing import Callable, Iterable, Optional, Sequence
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "CounterView",
+    "RegistryStats",
+    "DEFAULT_LATENCY_BUCKETS_NS",
+    "percentiles_from_buckets",
+]
+
+_NAME_RE = re.compile(r"^[a-z][a-z0-9_]*(\.[a-z][a-z0-9_]*)+$")
+
+#: Geometric latency buckets, 100 ns .. 10 s of simulated time — wide
+#: enough for a single DRAM touch and for a delayed(750 ms, m) DWQ wait.
+DEFAULT_LATENCY_BUCKETS_NS: tuple[float, ...] = (
+    100, 250, 500,
+    1e3, 2.5e3, 5e3, 1e4, 2.5e4, 5e4, 1e5, 2.5e5, 5e5,
+    1e6, 2.5e6, 5e6, 1e7, 2.5e7, 5e7, 1e8, 2.5e8, 5e8,
+    1e9, 2.5e9, 5e9, 1e10,
+)
+
+
+def _check_name(name: str) -> str:
+    if not _NAME_RE.match(name):
+        raise ValueError(
+            f"metric name {name!r} violates the <component>.<name>_<unit> "
+            "convention (lowercase, dotted, e.g. 'fs.writes_total')")
+    return name
+
+
+class Counter:
+    """A monotonically increasing count (or a callback-read one)."""
+
+    __slots__ = ("name", "help", "_value", "_fn")
+
+    def __init__(self, name: str, help: str = "",
+                 fn: Optional[Callable[[], float]] = None):
+        if not name.rsplit(".", 1)[-1].endswith("_total"):
+            raise ValueError(
+                f"counter {name!r} must end in '_total' "
+                "(see docs/OBSERVABILITY.md)")
+        self.name = name
+        self.help = help
+        self._value = 0
+        self._fn = fn
+
+    @property
+    def value(self) -> float:
+        return self._fn() if self._fn is not None else self._value
+
+    def inc(self, n: float = 1) -> None:
+        if self._fn is not None:
+            raise TypeError(f"counter {self.name} is callback-backed")
+        if n < 0:
+            raise ValueError(f"counter {self.name}: negative increment {n}")
+        self._value += n
+
+    def set(self, value: float) -> None:
+        """Direct assignment — needed by the legacy dict/attr views."""
+        if self._fn is not None:
+            raise TypeError(f"counter {self.name} is callback-backed")
+        self._value = value
+
+    def reset(self) -> None:
+        if self._fn is None:
+            self._value = 0
+
+
+class Gauge:
+    """A value that can go up and down (or a callback-read one)."""
+
+    __slots__ = ("name", "help", "_value", "_fn")
+
+    def __init__(self, name: str, help: str = "",
+                 fn: Optional[Callable[[], float]] = None):
+        self.name = name
+        self.help = help
+        self._value = 0.0
+        self._fn = fn
+
+    @property
+    def value(self) -> float:
+        return self._fn() if self._fn is not None else self._value
+
+    def set(self, value: float) -> None:
+        if self._fn is not None:
+            raise TypeError(f"gauge {self.name} is callback-backed")
+        self._value = value
+
+    def inc(self, n: float = 1) -> None:
+        self.set(self._value + n)
+
+    def dec(self, n: float = 1) -> None:
+        self.set(self._value - n)
+
+    def reset(self) -> None:
+        if self._fn is None:
+            self._value = 0.0
+
+
+class Histogram:
+    """Fixed-bucket distribution with interpolated percentiles.
+
+    Memory is bounded by the bucket count (the reason it can stay
+    always-on for per-op latencies): per observation only one bucket
+    counter plus sum/min/max move.  Percentiles are estimated by linear
+    interpolation inside the covering bucket, clamped to the observed
+    min/max — exact at bucket boundaries, and exact overall whenever
+    samples fill buckets uniformly.
+    """
+
+    __slots__ = ("name", "help", "bounds", "counts", "count", "sum",
+                 "min", "max")
+
+    def __init__(self, name: str, buckets: Sequence[float] = None,
+                 help: str = ""):
+        self.name = name
+        self.help = help
+        bounds = tuple(sorted(buckets or DEFAULT_LATENCY_BUCKETS_NS))
+        if not bounds:
+            raise ValueError(f"histogram {name}: empty bucket list")
+        if any(b <= a for a, b in zip(bounds, bounds[1:])):
+            raise ValueError(f"histogram {name}: duplicate bucket bounds")
+        self.bounds = bounds
+        self.counts = [0] * (len(bounds) + 1)   # +1 = overflow bucket
+        self.count = 0
+        self.sum = 0.0
+        self.min = math.inf
+        self.max = -math.inf
+
+    @property
+    def value(self) -> float:
+        return self.count
+
+    def observe(self, v: float) -> None:
+        self.counts[bisect_left(self.bounds, v)] += 1
+        self.count += 1
+        self.sum += v
+        if v < self.min:
+            self.min = v
+        if v > self.max:
+            self.max = v
+
+    def percentile(self, q: float) -> float:
+        return percentiles_from_buckets(
+            self.bounds, self.counts, self.count, self.min, self.max,
+            (q,))[0]
+
+    def reset(self) -> None:
+        self.counts = [0] * (len(self.bounds) + 1)
+        self.count = 0
+        self.sum = 0.0
+        self.min = math.inf
+        self.max = -math.inf
+
+    def snapshot(self) -> dict:
+        """JSON-able summary (the stable ``repro.metrics/1`` shape)."""
+        ps = percentiles_from_buckets(self.bounds, self.counts, self.count,
+                                      self.min, self.max, (0.5, 0.95, 0.99))
+        return {
+            "count": self.count,
+            "sum": self.sum,
+            "min": self.min if self.count else 0.0,
+            "max": self.max if self.count else 0.0,
+            "p50": ps[0], "p95": ps[1], "p99": ps[2],
+            # None stands for the +Inf overflow bucket (JSON has no Inf).
+            "buckets": [[b, c] for b, c in
+                        zip(list(self.bounds) + [None], self.counts)],
+        }
+
+
+def percentiles_from_buckets(bounds: Sequence[Optional[float]],
+                             counts: Sequence[int], count: int,
+                             mn: float, mx: float,
+                             qs: Iterable[float]) -> list[float]:
+    """Interpolated percentiles from per-bucket (non-cumulative) counts.
+
+    Shared by live histograms and by merged JSON snapshots (whose
+    overflow bound arrives as ``None``).
+    """
+    out = []
+    for q in qs:
+        if not 0.0 <= q <= 1.0:
+            raise ValueError(f"quantile {q} outside [0, 1]")
+        if count <= 0:
+            out.append(0.0)
+            continue
+        target = q * count
+        cum = 0.0
+        val = mx
+        for i, c in enumerate(counts):
+            if c and cum + c >= target:
+                lo = bounds[i - 1] if i > 0 else mn
+                hi = bounds[i] if i < len(bounds) and bounds[i] is not None \
+                    else mx
+                lo = max(lo, mn)
+                hi = min(hi, mx) if hi is not None else mx
+                if hi < lo:
+                    hi = lo
+                frac = max(0.0, (target - cum)) / c
+                val = lo + (hi - lo) * frac
+                break
+            cum += c
+        out.append(float(min(max(val, mn), mx)))
+    return out
+
+
+class MetricsRegistry:
+    """Flat name -> metric namespace with get-or-create accessors."""
+
+    def __init__(self):
+        self._metrics: dict[str, object] = {}
+
+    # ------------------------------------------------------------ accessors
+
+    def _get_or_create(self, cls, name: str, **kw):
+        m = self._metrics.get(name)
+        if m is not None:
+            if not isinstance(m, cls):
+                raise ValueError(
+                    f"metric {name!r} already registered as "
+                    f"{type(m).__name__}, not {cls.__name__}")
+            return m
+        m = cls(_check_name(name), **kw)
+        self._metrics[name] = m
+        return m
+
+    def counter(self, name: str, help: str = "") -> Counter:
+        return self._get_or_create(Counter, name, help=help)
+
+    def gauge(self, name: str, help: str = "") -> Gauge:
+        return self._get_or_create(Gauge, name, help=help)
+
+    def histogram(self, name: str, buckets: Sequence[float] = None,
+                  help: str = "") -> Histogram:
+        return self._get_or_create(Histogram, name, buckets=buckets,
+                                   help=help)
+
+    def counter_fn(self, name: str, fn: Callable[[], float],
+                   help: str = "") -> Counter:
+        """Register (or re-point) a callback-backed counter.
+
+        Re-pointing matters for structures that are *rebuilt* during
+        recovery (the page allocator): the metric survives, the closure
+        is swapped to read the new instance.
+        """
+        m = self._metrics.get(name)
+        if m is not None:
+            if not isinstance(m, Counter) or m._fn is None:
+                raise ValueError(f"{name!r} exists and is not a callback "
+                                 "counter")
+            m._fn = fn
+            return m
+        m = Counter(_check_name(name), help=help, fn=fn)
+        self._metrics[name] = m
+        return m
+
+    def gauge_fn(self, name: str, fn: Callable[[], float],
+                 help: str = "") -> Gauge:
+        m = self._metrics.get(name)
+        if m is not None:
+            if not isinstance(m, Gauge) or m._fn is None:
+                raise ValueError(f"{name!r} exists and is not a callback "
+                                 "gauge")
+            m._fn = fn
+            return m
+        m = Gauge(_check_name(name), help=help, fn=fn)
+        self._metrics[name] = m
+        return m
+
+    # ------------------------------------------------------------ queries
+
+    def get(self, name: str):
+        return self._metrics.get(name)
+
+    def names(self) -> list[str]:
+        return sorted(self._metrics)
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._metrics
+
+    def __iter__(self):
+        return iter(sorted(self._metrics.items()))
+
+    def __len__(self) -> int:
+        return len(self._metrics)
+
+    def reset(self) -> None:
+        """Zero every stored metric (callback-backed ones are live)."""
+        for m in self._metrics.values():
+            m.reset()
+
+    # ------------------------------------------------------------ snapshot
+
+    def snapshot(self) -> dict:
+        """The stable machine-readable shape (``repro.metrics/1``)."""
+        counters, gauges, histograms = {}, {}, {}
+        for name, m in self:
+            if isinstance(m, Counter):
+                counters[name] = m.value
+            elif isinstance(m, Gauge):
+                gauges[name] = m.value
+            elif isinstance(m, Histogram):
+                histograms[name] = m.snapshot()
+        return {"schema": "repro.metrics/1", "counters": counters,
+                "gauges": gauges, "histograms": histograms}
+
+
+class CounterView:
+    """Dict-shaped thin view over registry counters.
+
+    Keeps the seed's ``fs.counters["writes"] += 1`` call sites (and the
+    tests that read them) working while the storage moves onto the
+    registry under canonical metric names.
+    """
+
+    __slots__ = ("_counters",)
+
+    def __init__(self, registry: MetricsRegistry, mapping: dict[str, str]):
+        self._counters = {k: registry.counter(v) for k, v in mapping.items()}
+
+    def __getitem__(self, key: str) -> int:
+        return int(self._counters[key].value)
+
+    def __setitem__(self, key: str, value: float) -> None:
+        self._counters[key].set(value)
+
+    def __iter__(self):
+        return iter(self._counters)
+
+    def __len__(self) -> int:
+        return len(self._counters)
+
+    def __contains__(self, key: str) -> bool:
+        return key in self._counters
+
+    def keys(self):
+        return self._counters.keys()
+
+    def items(self):
+        return [(k, int(c.value)) for k, c in self._counters.items()]
+
+    def values(self):
+        return [int(c.value) for c in self._counters.values()]
+
+    def get(self, key: str, default=None):
+        c = self._counters.get(key)
+        return int(c.value) if c is not None else default
+
+    def as_dict(self) -> dict:
+        return dict(self.items())
+
+    def __repr__(self) -> str:
+        return f"CounterView({self.as_dict()!r})"
+
+
+class RegistryStats:
+    """Attribute-shaped thin view over registry counters.
+
+    Subclasses declare ``_prefix`` and ``_fields``; each field becomes a
+    counter ``<prefix>.<field>_total``.  ``obj.field += 1`` reads and
+    writes the underlying counter, preserving the seed's
+    ``DaemonStats``-style API.
+    """
+
+    _prefix = ""
+    _fields: tuple[str, ...] = ()
+
+    def __init__(self, registry: Optional[MetricsRegistry] = None):
+        if registry is None:
+            registry = MetricsRegistry()
+        object.__setattr__(self, "_registry", registry)
+        object.__setattr__(self, "_counters", {
+            f: registry.counter(f"{self._prefix}.{f}_total")
+            for f in self._fields
+        })
+
+    def __getattr__(self, name: str):
+        counters = object.__getattribute__(self, "_counters")
+        if name in counters:
+            return int(counters[name].value)
+        raise AttributeError(
+            f"{type(self).__name__} has no field {name!r}")
+
+    def __setattr__(self, name: str, value) -> None:
+        counters = object.__getattribute__(self, "_counters")
+        if name in counters:
+            counters[name].set(int(value))
+        else:
+            object.__setattr__(self, name, value)
+
+    def as_dict(self) -> dict:
+        return {f: int(c.value)
+                for f, c in object.__getattribute__(self, "_counters").items()}

@@ -1,0 +1,179 @@
+"""Always-on span tracing over the simulated clock.
+
+A span brackets one logical operation (``fs.write``, ``recovery.mount``)
+and records where simulated work was spent.  Spans nest: the tracer
+keeps a stack per :class:`Tracer` instance, so a write issued during log
+replay shows up as a child of the ``recovery.log_replay`` span.
+
+Durations are **charged** simulated nanoseconds (``clock.charged_ns``
+deltas), not ``now_ns`` deltas — in DES capture mode charges bypass
+``now_ns`` entirely, and ``sync_to`` moves ``now_ns`` without any work
+being done.  Charged deltas measure modelled work in both modes.
+
+Completed spans land in a bounded ring buffer (``deque(maxlen=...)``):
+constant memory, oldest spans evicted first, cheap enough to leave on
+for every operation.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import NamedTuple, Optional, Sequence
+
+from .registry import DEFAULT_LATENCY_BUCKETS_NS, Histogram, MetricsRegistry
+
+__all__ = ["SpanEvent", "Tracer", "ObsHub"]
+
+
+class SpanEvent(NamedTuple):
+    span_id: int
+    parent_id: Optional[int]
+    name: str
+    start_ns: float        # clock.now_ns at entry (simulated timestamp)
+    duration_ns: float     # charged simulated work inside the span
+    attrs: tuple           # sorted (key, value) pairs
+
+    def as_dict(self) -> dict:
+        return {
+            "span_id": self.span_id,
+            "parent_id": self.parent_id,
+            "name": self.name,
+            "start_ns": self.start_ns,
+            "duration_ns": self.duration_ns,
+            "attrs": dict(self.attrs),
+        }
+
+
+class _NullClock:
+    """Fallback when no simulated clock is wired: durations read as 0."""
+
+    __slots__ = ()
+    now_ns = 0.0
+    charged_ns = 0.0
+
+
+_NULL_CLOCK = _NullClock()
+
+
+class _Span:
+    __slots__ = ("_tracer", "name", "attrs", "span_id", "parent_id",
+                 "start_ns", "_start_charged", "duration_ns", "_hist")
+
+    def __init__(self, tracer: "Tracer", name: str, attrs: dict,
+                 hist: Optional[Histogram]):
+        self._tracer = tracer
+        self.name = name
+        self.attrs = attrs
+        self._hist = hist
+        self.span_id = 0
+        self.parent_id = None
+        self.start_ns = 0.0
+        self._start_charged = 0.0
+        self.duration_ns = 0.0
+
+    def __enter__(self) -> "_Span":
+        t = self._tracer
+        t._next_id += 1
+        self.span_id = t._next_id
+        self.parent_id = t._stack[-1] if t._stack else None
+        t._stack.append(self.span_id)
+        clock = t.clock
+        self.start_ns = clock.now_ns
+        self._start_charged = clock.charged_ns
+        return self
+
+    def __exit__(self, *exc) -> None:
+        t = self._tracer
+        self.duration_ns = t.clock.charged_ns - self._start_charged
+        popped = t._stack.pop()
+        assert popped == self.span_id, "unbalanced span stack"
+        t.total_spans += 1
+        t.events.append(SpanEvent(
+            self.span_id, self.parent_id, self.name, self.start_ns,
+            self.duration_ns, tuple(sorted(self.attrs.items()))))
+        if self._hist is not None:
+            self._hist.observe(self.duration_ns)
+
+
+class Tracer:
+    """Bounded ring buffer of completed spans plus the live span stack."""
+
+    def __init__(self, clock=None, capacity: int = 4096):
+        self.clock = clock if clock is not None else _NULL_CLOCK
+        self.capacity = capacity
+        self.events: deque[SpanEvent] = deque(maxlen=capacity)
+        self.total_spans = 0
+        self._stack: list[int] = []
+        self._next_id = 0
+
+    @property
+    def evicted(self) -> int:
+        return self.total_spans - len(self.events)
+
+    def span(self, name: str, hist: Optional[Histogram] = None,
+             **attrs) -> _Span:
+        return _Span(self, name, attrs, hist)
+
+    def reset(self) -> None:
+        self.events.clear()
+        self.total_spans = 0
+        self._stack.clear()
+        self._next_id = 0
+
+
+class ObsHub:
+    """One filesystem instance's observability: registry + tracer.
+
+    ``obs.span("fs.write")`` both records a trace event and feeds an
+    auto-created ``fs.write_latency_ns`` histogram, so every traced
+    operation gets p50/p95/p99 for free.
+    """
+
+    def __init__(self, clock=None, trace_capacity: int = 4096):
+        self.registry = MetricsRegistry()
+        self.tracer = Tracer(clock=clock, capacity=trace_capacity)
+        self._span_hists: dict[str, Histogram] = {}
+
+    # ------------------------------------------------------------ spans
+
+    def span(self, name: str, buckets: Sequence[float] = None, **attrs):
+        hist = self._span_hists.get(name)
+        if hist is None:
+            hist = self.registry.histogram(
+                f"{name}_latency_ns",
+                buckets=buckets or DEFAULT_LATENCY_BUCKETS_NS,
+                help=f"charged simulated ns inside {name} spans")
+            self._span_hists[name] = hist
+        return self.tracer.span(name, hist=hist, **attrs)
+
+    # ------------------------------------------------------ registry sugar
+
+    def counter(self, name: str, help: str = ""):
+        return self.registry.counter(name, help=help)
+
+    def gauge(self, name: str, help: str = ""):
+        return self.registry.gauge(name, help=help)
+
+    def histogram(self, name: str, buckets: Sequence[float] = None,
+                  help: str = ""):
+        return self.registry.histogram(name, buckets=buckets, help=help)
+
+    def counter_fn(self, name: str, fn, help: str = ""):
+        return self.registry.counter_fn(name, fn, help=help)
+
+    def gauge_fn(self, name: str, fn, help: str = ""):
+        return self.registry.gauge_fn(name, fn, help=help)
+
+    # ------------------------------------------------------------ export
+
+    def snapshot(self) -> dict:
+        snap = self.registry.snapshot()
+        snap["trace"] = {
+            "spans_recorded": self.tracer.total_spans,
+            "spans_evicted": self.tracer.evicted,
+        }
+        return snap
+
+    def reset(self) -> None:
+        self.registry.reset()
+        self.tracer.reset()

@@ -58,6 +58,23 @@ class PageAllocator:
         self.frees = 0
         self.steals = 0
 
+    def attach_registry(self, registry) -> None:
+        """Expose allocator state as callback-backed metrics.
+
+        Callback-backed (rather than pushed) so alloc/free hot paths
+        stay untouched; re-callable because recovery *rebuilds* the
+        allocator via :meth:`from_bitmap` — the filesystem re-attaches
+        the new instance and the metric names keep working.
+        """
+        registry.gauge_fn("alloc.free_pages", lambda: self.free_pages,
+                          help="pages currently on the per-CPU free lists")
+        registry.counter_fn("alloc.allocs_total", lambda: self.allocs,
+                            help="extent allocations served")
+        registry.counter_fn("alloc.frees_total", lambda: self.frees,
+                            help="extent frees")
+        registry.counter_fn("alloc.steals_total", lambda: self.steals,
+                            help="cross-CPU extent steals")
+
     # -- queries ---------------------------------------------------------------
 
     @property

@@ -38,16 +38,22 @@ class CostCapture:
 class SimClock:
     """A monotonically-advancing simulated clock, charged in nanoseconds."""
 
-    __slots__ = ("now_ns", "_captures")
+    __slots__ = ("now_ns", "charged_ns", "_captures")
 
     def __init__(self, start_ns: float = 0.0):
         self.now_ns: float = start_ns
+        #: Total work ever charged, regardless of mode.  ``now_ns`` deltas
+        #: are wrong for span durations in capture mode (charges go to the
+        #: capture) and across ``sync_to`` (time moves without work being
+        #: done); ``charged_ns`` deltas measure modelled work in both modes.
+        self.charged_ns: float = 0.0
         self._captures: list[CostCapture] = []
 
     def advance(self, ns: float) -> None:
         """Charge ``ns`` of simulated work."""
         if ns < 0:
             raise ValueError(f"negative time charge: {ns}")
+        self.charged_ns += ns
         if self._captures:
             self._captures[-1].add(ns)
         else:

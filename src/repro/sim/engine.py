@@ -151,13 +151,27 @@ class Process(Event):
 
 
 class Engine:
-    """The event loop: a heap of ``(time, seq, callback, event)`` entries."""
+    """The event loop: a heap of ``(time, seq, callback, event)`` entries.
 
-    def __init__(self):
+    Pass ``obs`` (an :class:`repro.obs.ObsHub`) to expose the loop's
+    dispatch/process counts as callback-backed ``sim.*`` counters — the
+    hot loop only bumps plain ints; the registry reads them at export.
+    """
+
+    def __init__(self, obs=None):
         self.now: float = 0.0
         self._heap: list[tuple[float, int, Event]] = []
         self._seq = 0
         self._dispatching = False
+        self.events_dispatched = 0
+        self.processes_started = 0
+        if obs is not None:
+            obs.counter_fn("sim.events_dispatched_total",
+                           lambda: self.events_dispatched,
+                           help="DES events popped and dispatched")
+            obs.counter_fn("sim.processes_total",
+                           lambda: self.processes_started,
+                           help="simulated threads registered")
 
     # -- event construction ------------------------------------------------
 
@@ -176,6 +190,7 @@ class Engine:
 
     def process(self, gen: Generator, name: str = "") -> Process:
         """Register a generator as a new simulated thread."""
+        self.processes_started += 1
         return Process(self, gen, name)
 
     def all_of(self, events: Iterable[Event], name: str = "all_of") -> Event:
@@ -223,6 +238,7 @@ class Engine:
                     break
                 heapq.heappop(self._heap)
                 self.now = when
+                self.events_dispatched += 1
                 if ev.callbacks is None:
                     continue  # already dispatched via succeed()
                 ev.triggered = True

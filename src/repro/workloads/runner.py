@@ -86,6 +86,7 @@ class RunResult:
     lingering_ns: list = field(default_factory=list)
     space: dict = field(default_factory=dict)
     fs_counters: dict = field(default_factory=dict)
+    metrics: dict = field(default_factory=dict)  # fs.obs.snapshot()
 
     @property
     def throughput_mb_s(self) -> float:
@@ -114,7 +115,7 @@ class SimContext:
                  bw_queue_penalty_ns: float = 120.0,
                  lock_penalty_ns: float = 60.0):
         self.fs = fs
-        self.eng = Engine()
+        self.eng = Engine(obs=getattr(fs, "obs", None))
         self.base_ns = fs.clock.now_ns
         self.bw = Resource(self.eng, bw_slots)
         self.bw_queue_penalty_ns = bw_queue_penalty_ns
@@ -411,4 +412,6 @@ def run_workload(fs, spec: JobSpec, dd: Optional[DDMode] = None,
     if hasattr(fs, "space_stats"):
         result.space = fs.space_stats()
     result.fs_counters = dict(fs.counters)
+    if hasattr(fs, "obs"):
+        result.metrics = fs.obs.snapshot()
     return result

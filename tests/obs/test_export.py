@@ -1,0 +1,132 @@
+"""Prometheus exposition, human table, JSON round-trip, sidecar merge."""
+
+import json
+
+from repro.obs import (MetricsRegistry, escape_help, escape_label_value,
+                       format_table, merge_snapshots, to_prometheus)
+
+
+def sample_registry():
+    reg = MetricsRegistry()
+    reg.counter("fs.writes_total", help="completed writes").inc(3)
+    reg.gauge("dwq.depth", help="queue depth").set(2)
+    h = reg.histogram("fs.write_latency_ns", buckets=[10, 20],
+                      help="write latency")
+    h.observe(5)
+    h.observe(15)
+    h.observe(999)
+    return reg
+
+
+class TestPrometheus:
+    def test_escaping(self):
+        assert escape_help("a\\b\nc") == "a\\\\b\\nc"
+        assert escape_label_value('say "hi"\n\\') == 'say \\"hi\\"\\n\\\\'
+
+    def test_counter_and_gauge_lines(self):
+        text = to_prometheus(sample_registry().snapshot())
+        assert "# TYPE repro_fs_writes_total counter" in text
+        assert "repro_fs_writes_total 3" in text
+        assert "# TYPE repro_dwq_depth gauge" in text
+        assert "repro_dwq_depth 2" in text
+
+    def test_histogram_cumulative_buckets(self):
+        text = to_prometheus(sample_registry().snapshot())
+        assert 'repro_fs_write_latency_ns_bucket{le="10"} 1' in text
+        assert 'repro_fs_write_latency_ns_bucket{le="20"} 2' in text
+        assert 'repro_fs_write_latency_ns_bucket{le="+Inf"} 3' in text
+        assert "repro_fs_write_latency_ns_sum 1019" in text
+        assert "repro_fs_write_latency_ns_count 3" in text
+
+    def test_help_lines_use_dotted_name(self):
+        # Snapshots don't persist help strings; HELP echoes the canonical
+        # dotted name so scrapes can be mapped back to registry names.
+        text = to_prometheus(sample_registry().snapshot())
+        assert "# HELP repro_fs_writes_total fs.writes_total" in text
+
+    def test_ends_with_newline(self):
+        assert to_prometheus(sample_registry().snapshot()).endswith("\n")
+
+
+class TestTable:
+    def test_format_table_contents(self):
+        text = format_table(sample_registry().snapshot(), title="t")
+        assert "fs.writes_total" in text and " 3" in text
+        assert "dwq.depth" in text
+        assert "n=3" in text and "p50=" in text and "max=999" in text
+
+    def test_empty_histograms_skipped(self):
+        reg = MetricsRegistry()
+        reg.histogram("a.h_ns", buckets=[1])
+        assert "a.h_ns" not in format_table(reg.snapshot())
+
+    def test_empty_snapshot(self):
+        assert "(empty)" in format_table(MetricsRegistry().snapshot())
+
+
+class TestJsonRoundTrip:
+    def test_snapshot_is_json_safe_and_complete(self):
+        snap = sample_registry().snapshot()
+        parsed = json.loads(json.dumps(snap))
+        assert parsed == snap
+        assert parsed["schema"] == "repro.metrics/1"
+        assert set(parsed["counters"]) == {"fs.writes_total"}
+        assert set(parsed["gauges"]) == {"dwq.depth"}
+        assert set(parsed["histograms"]) == {"fs.write_latency_ns"}
+        # Overflow bucket serialises as null, not Infinity.
+        assert parsed["histograms"]["fs.write_latency_ns"]["buckets"][-1] \
+            == [None, 1]
+        assert "Infinity" not in json.dumps(snap)
+
+
+class TestMerge:
+    def test_counters_sum_gauges_take_newer(self):
+        a = {"counters": {"x.a_total": 1, "x.b_total": 2},
+             "gauges": {"x.g": 5}}
+        b = {"counters": {"x.a_total": 10}, "gauges": {"x.g": 7}}
+        m = merge_snapshots(a, b)
+        assert m["counters"] == {"x.a_total": 11, "x.b_total": 2}
+        assert m["gauges"] == {"x.g": 7}
+
+    def test_histograms_with_same_bounds_sum(self):
+        def snap(values):
+            reg = MetricsRegistry()
+            h = reg.histogram("x.h_ns", buckets=[10, 20])
+            for v in values:
+                h.observe(v)
+            return reg.snapshot()
+
+        m = merge_snapshots(snap([5, 15]), snap([25, 7]))
+        h = m["histograms"]["x.h_ns"]
+        assert h["count"] == 4
+        assert h["sum"] == 52
+        assert h["min"] == 5 and h["max"] == 25
+        assert [c for _, c in h["buckets"]] == [2, 1, 1]
+        assert 5 <= h["p50"] <= 25
+
+    def test_histogram_bounds_change_keeps_newer(self):
+        old = {"histograms": {"x.h_ns": {
+            "count": 1, "sum": 5, "min": 5, "max": 5,
+            "p50": 5, "p95": 5, "p99": 5, "buckets": [[10, 1], [None, 0]]}}}
+        reg = MetricsRegistry()
+        reg.histogram("x.h_ns", buckets=[100]).observe(50)
+        new = reg.snapshot()
+        m = merge_snapshots(old, new)
+        assert m["histograms"]["x.h_ns"] == new["histograms"]["x.h_ns"]
+
+    def test_disjoint_histograms_kept(self):
+        reg = MetricsRegistry()
+        reg.histogram("only.new_ns", buckets=[1]).observe(1)
+        m = merge_snapshots({}, reg.snapshot())
+        assert m["histograms"]["only.new_ns"]["count"] == 1
+
+    def test_trace_counts_sum(self):
+        m = merge_snapshots(
+            {"trace": {"spans_recorded": 4, "spans_evicted": 1}},
+            {"trace": {"spans_recorded": 6, "spans_evicted": 0}})
+        assert m["trace"] == {"spans_recorded": 10, "spans_evicted": 1}
+
+    def test_merge_result_is_json_safe(self):
+        m = merge_snapshots(sample_registry().snapshot(),
+                            sample_registry().snapshot())
+        assert json.loads(json.dumps(m)) == m

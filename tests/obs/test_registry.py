@@ -1,0 +1,169 @@
+"""Counter/gauge/histogram semantics and percentile math."""
+
+import math
+
+import pytest
+
+from repro.obs import (CounterView, Histogram, MetricsRegistry,
+                       RegistryStats)
+
+
+class TestNaming:
+    def test_dotted_lowercase_required(self):
+        reg = MetricsRegistry()
+        for bad in ("writes", "Fs.writes_total", "fs.", "fs.Writes_total",
+                    "fs writes"):
+            with pytest.raises(ValueError):
+                reg.gauge(bad)
+
+    def test_counter_requires_total_suffix(self):
+        reg = MetricsRegistry()
+        with pytest.raises(ValueError, match="_total"):
+            reg.counter("fs.writes")
+        reg.counter("fs.writes_total")  # ok
+
+    def test_type_conflict_rejected(self):
+        reg = MetricsRegistry()
+        reg.gauge("fs.depth")
+        with pytest.raises(ValueError, match="already registered"):
+            reg.histogram("fs.depth")
+
+
+class TestCounterGauge:
+    def test_counter_inc_and_view(self):
+        reg = MetricsRegistry()
+        c = reg.counter("fs.writes_total")
+        c.inc()
+        c.inc(4)
+        assert c.value == 5
+        with pytest.raises(ValueError):
+            c.inc(-1)
+
+    def test_get_or_create_returns_same_object(self):
+        reg = MetricsRegistry()
+        assert reg.counter("a.b_total") is reg.counter("a.b_total")
+
+    def test_gauge_set_inc_dec(self):
+        reg = MetricsRegistry()
+        g = reg.gauge("dwq.depth")
+        g.set(10)
+        g.inc(5)
+        g.dec(12)
+        assert g.value == 3
+
+    def test_callback_metrics_read_live_and_rebind(self):
+        reg = MetricsRegistry()
+        state = {"v": 7}
+        g = reg.gauge_fn("alloc.free_pages", lambda: state["v"])
+        assert g.value == 7
+        state["v"] = 9
+        assert g.value == 9
+        # Rebinding (recovery rebuilds the provider) swaps the closure.
+        reg.gauge_fn("alloc.free_pages", lambda: 42)
+        assert g.value == 42
+        with pytest.raises(TypeError):
+            g.set(1)
+
+
+class TestHistogram:
+    def test_bucket_assignment_and_counts(self):
+        h = Histogram("x.y_ns", buckets=[10, 20, 30])
+        for v in (5, 10, 11, 25, 999):
+            h.observe(v)
+        # bisect_left: v <= bound goes in that bucket.
+        assert h.counts == [2, 1, 1, 1]
+        assert h.count == 5
+        assert h.sum == 5 + 10 + 11 + 25 + 999
+        assert h.min == 5 and h.max == 999
+
+    def test_percentiles_uniform_samples(self):
+        # Samples 1..100 into bucket bounds 10,20,...,100: interpolation
+        # within uniformly-filled buckets is exact.
+        h = Histogram("x.y_ns", buckets=[i * 10 for i in range(1, 11)])
+        for v in range(1, 101):
+            h.observe(v)
+        assert h.percentile(0.5) == pytest.approx(50, abs=1.0)
+        assert h.percentile(0.95) == pytest.approx(95, abs=1.0)
+        assert h.percentile(0.99) == pytest.approx(99, abs=1.0)
+        assert h.percentile(1.0) == 100
+        assert h.percentile(0.0) == pytest.approx(1, abs=1.0)
+
+    def test_percentiles_clamped_to_observed_range(self):
+        h = Histogram("x.y_ns", buckets=[1000])
+        h.observe(400)
+        h.observe(600)
+        assert 400 <= h.percentile(0.5) <= 600
+        assert h.percentile(0.99) <= 600
+
+    def test_overflow_bucket(self):
+        h = Histogram("x.y_ns", buckets=[10])
+        h.observe(1e9)
+        snap = h.snapshot()
+        assert snap["buckets"][-1] == [None, 1]
+        assert snap["p50"] == pytest.approx(1e9)
+
+    def test_empty_histogram_snapshot(self):
+        snap = Histogram("x.y_ns", buckets=[1, 2]).snapshot()
+        assert snap["count"] == 0
+        assert snap["p50"] == 0.0 and snap["max"] == 0.0
+        assert not any(math.isinf(v) for v in (snap["min"], snap["max"]))
+
+    def test_single_sample_all_percentiles_equal_it(self):
+        h = Histogram("x.y_ns", buckets=[100, 200])
+        h.observe(150)
+        for q in (0.0, 0.5, 0.95, 0.99, 1.0):
+            assert h.percentile(q) == 150
+
+
+class TestRegistryLifecycle:
+    def test_reset_zeroes_everything(self):
+        reg = MetricsRegistry()
+        c = reg.counter("a.b_total")
+        g = reg.gauge("a.g")
+        h = reg.histogram("a.h_ns", buckets=[1])
+        c.inc(3)
+        g.set(5)
+        h.observe(2)
+        reg.reset()
+        assert c.value == 0 and g.value == 0 and h.count == 0
+        assert h.counts == [0, 0]
+
+    def test_snapshot_shape(self):
+        reg = MetricsRegistry()
+        reg.counter("a.b_total").inc()
+        reg.gauge("a.g").set(2)
+        reg.histogram("a.h_ns", buckets=[10]).observe(5)
+        snap = reg.snapshot()
+        assert snap["schema"] == "repro.metrics/1"
+        assert snap["counters"] == {"a.b_total": 1}
+        assert snap["gauges"] == {"a.g": 2}
+        assert snap["histograms"]["a.h_ns"]["count"] == 1
+
+
+class TestViews:
+    def test_counter_view_dict_protocol(self):
+        reg = MetricsRegistry()
+        view = CounterView(reg, {"writes": "fs.writes_total",
+                                 "reads": "fs.reads_total"})
+        view["writes"] += 1
+        view["writes"] += 2
+        assert view["writes"] == 3
+        assert dict(view) == {"writes": 3, "reads": 0}
+        assert reg.counter("fs.writes_total").value == 3
+        assert "writes" in view and len(view) == 2
+        assert view.get("nope", -1) == -1
+
+    def test_registry_stats_attr_protocol(self):
+        class S(RegistryStats):
+            _prefix = "daemon"
+            _fields = ("nodes_processed", "pages_scanned")
+
+        reg = MetricsRegistry()
+        s = S(reg)
+        s.nodes_processed += 1
+        s.pages_scanned = 9
+        assert s.nodes_processed == 1
+        assert reg.counter("daemon.pages_scanned_total").value == 9
+        assert s.as_dict() == {"nodes_processed": 1, "pages_scanned": 9}
+        with pytest.raises(AttributeError):
+            s.not_a_field
