@@ -355,6 +355,54 @@ def cmd_snap(args) -> int:
     return code
 
 
+def cmd_fuzz(args) -> int:
+    """Differential crash-consistency fuzzing (no image file needed)."""
+    from repro.fuzz import FuzzConfig, FuzzRunner, GenConfig
+
+    cfg = FuzzConfig(seed=args.seed, total_ops=args.ops,
+                     seq_ops=args.seq_ops, budget=args.budget,
+                     pages=args.pages, alpha=args.alpha,
+                     corpus=args.corpus, max_failures=args.max_failures)
+    runner = FuzzRunner(cfg, gen_cfg=GenConfig(alpha=args.alpha),
+                        shrink_failures=not args.no_shrink,
+                        log=lambda msg: print(f"  {msg}", file=sys.stderr))
+    if args.replay_corpus:
+        result = runner.replay_corpus()
+    else:
+        result = runner.run()
+
+    snapshot = runner.registry.snapshot()
+    if args.json:
+        print(json.dumps({
+            "seed": cfg.seed,
+            "sequences": result.sequences,
+            "ops_generated": result.ops_generated,
+            "ops_applied": result.ops_applied,
+            "ops_skipped": result.ops_skipped,
+            "crash_points": result.crash_points,
+            "failures": [{
+                "stream": f.stream,
+                "violation": str(f.violation),
+                "ops": len(f.ops),
+                "reduced": len(f.reduced),
+                "repro_path": f.repro_path,
+            } for f in result.failures],
+        }, indent=2))
+    else:
+        print(format_table(snapshot, title=f"fuzz seed={cfg.seed}"))
+        verdict = "CLEAN" if result.ok else "FAILURES"
+        print(f"{verdict}: {result.sequences} sequences, "
+              f"{result.ops_applied} ops applied, "
+              f"{result.crash_points} crash points checked, "
+              f"{len(result.failures)} violations")
+        for f in result.failures:
+            print(f"  stream {f.stream}: {f.violation}")
+            if f.repro_path:
+                print(f"    reproducer ({len(f.reduced)} ops): "
+                      f"{f.repro_path}")
+    return 0 if result.ok else 1
+
+
 def cmd_bench_model(args) -> int:
     model = InlineModel()
     print(render_table(
@@ -471,6 +519,30 @@ def build_parser() -> argparse.ArgumentParser:
     s.add_argument("action", choices=["create", "list", "delete"])
     s.add_argument("name", nargs="?", default="")
     s.set_defaults(fn=cmd_snap)
+
+    s = sub.add_parser("fuzz", help="differential crash-consistency "
+                                    "fuzzing against the model oracle")
+    s.add_argument("--seed", type=int, default=0)
+    s.add_argument("--ops", type=int, default=2000,
+                   help="total generated ops for the campaign")
+    s.add_argument("--seq-ops", type=int, default=40,
+                   help="ops per generated sequence")
+    s.add_argument("--budget", type=int, default=8,
+                   help="crash replays per sequence across all "
+                        "phase/mode combinations")
+    s.add_argument("--pages", type=int, default=2048,
+                   help="device size in 4 KB pages")
+    s.add_argument("--alpha", type=float, default=0.55,
+                   help="duplicate-page ratio of generated data")
+    s.add_argument("--corpus", default=None,
+                   help="directory for minimized reproducer traces")
+    s.add_argument("--replay-corpus", action="store_true",
+                   help="re-check saved reproducers instead of generating")
+    s.add_argument("--no-shrink", action="store_true",
+                   help="keep failing sequences at full length")
+    s.add_argument("--max-failures", type=int, default=3)
+    s.add_argument("--json", action="store_true")
+    s.set_defaults(fn=cmd_fuzz)
 
     s = sub.add_parser("bench-model", help="print the Eq. 1-5 numbers")
     s.add_argument("--size", type=int, default=4096)

@@ -97,18 +97,23 @@ def dedup_recover(fs, report) -> dict:
     # so raise any RFC below the actual live reference count.  Only the
     # undercount direction is repaired: over-increments stay, per §V-C2,
     # until the background scrubber erodes them.
-    refs: Counter[int] = Counter()
-    for cache in fs.caches.values():
-        if cache.inode.itype != ITYPE_FILE:
-            continue
-        for pgoff, (_a, entry) in cache.index._slots.items():
-            refs[entry.block_for(pgoff)] += 1
+    # The mutation gate reintroduces the pre-fix behaviour (no repair)
+    # so the mutation self-check can prove the fuzzer still catches the
+    # undercount; it is never enabled in production.
+    from repro.failure import mutation
     repaired = 0
-    for idx, ent in sorted(fact.live_entries().items()):
-        actual = refs.get(ent.block, 0)
-        if ent.refcount < actual:
-            fact._write_u64(idx, 0, actual)  # UC is already 0 here
-            repaired += 1
+    if not mutation.enabled("rfc_undercount"):
+        refs: Counter[int] = Counter()
+        for cache in fs.caches.values():
+            if cache.inode.itype != ITYPE_FILE:
+                continue
+            for pgoff, (_a, entry) in cache.index._slots.items():
+                refs[entry.block_for(pgoff)] += 1
+        for idx, ent in sorted(fact.live_entries().items()):
+            actual = refs.get(ent.block, 0)
+            if ent.refcount < actual:
+                fact._write_u64(idx, 0, actual)  # UC is already 0 here
+                repaired += 1
     out["undercounts_repaired"] = repaired
 
     # Rebuild the DWQ from the dedupe_needed flags (Handling I).

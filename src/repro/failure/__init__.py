@@ -20,6 +20,7 @@ from repro.failure.injector import (
     sweep_crash_points,
 )
 from repro.failure.invariants import check_fs_invariants, InvariantViolation
+from repro.failure import mutation
 
 __all__ = [
     "CrashOutcome",
@@ -28,4 +29,5 @@ __all__ = [
     "sweep_crash_points",
     "check_fs_invariants",
     "InvariantViolation",
+    "mutation",
 ]

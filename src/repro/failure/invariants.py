@@ -17,6 +17,11 @@ These encode the paper's consistency claims as executable checks:
 * **FACT chain integrity** (DeNova) — IAA doubly-linked lists are
   mutually consistent, acyclic, and prefix-homogeneous even after a
   crash mid-reorder (Fig. 7).
+* **Inode-table consistency** — every valid on-PM inode record is
+  self-consistent (record ino matches its slot, legal itype) and backed
+  by a mounted in-DRAM inode; a torn crash inside ``create`` otherwise
+  leaks the slot forever (the half-written record is invisible to
+  ``iter_valid`` yet still marked valid).
 """
 
 from __future__ import annotations
@@ -24,7 +29,13 @@ from __future__ import annotations
 from collections import Counter
 
 from repro.nova.entries import decode_entry
-from repro.nova.inode import ITYPE_DIR, ITYPE_FILE
+from repro.nova.inode import (
+    ITYPE_DIR,
+    ITYPE_FILE,
+    ITYPE_SYMLINK,
+    Inode,
+)
+from repro.nova.layout import INODE_SIZE
 
 __all__ = ["InvariantViolation", "check_fs_invariants"]
 
@@ -88,11 +99,37 @@ def check_fs_invariants(fs, check_dedup: bool = True) -> dict:
         _fail(f"accounting: {live} live pages but only {used} marked used")
 
     report = {"page_refs": refs, "log_pages": log_pages, "used_pages": used}
+    report["valid_inode_records"] = _check_itable(fs)
 
     fact = getattr(fs, "fact", None)
     if check_dedup and fact is not None:
         report["fact"] = _check_fact(fs, fact, refs)
     return report
+
+
+def _check_itable(fs) -> int:
+    """Valid on-PM inode records ⇔ mounted inodes, both directions."""
+    itable = fs.itable
+    valid_inos: set[int] = set()
+    for ino in range(1, itable.capacity + 1):
+        raw = fs.dev.read_silent(itable.addr_of(ino), INODE_SIZE)
+        rec = Inode.unpack(raw)
+        if not rec.valid:
+            continue
+        valid_inos.add(ino)
+        if rec.ino != ino:
+            _fail(f"itable[{ino}]: valid record carries ino {rec.ino} "
+                  f"(half-written create leaks the slot)")
+        if rec.itype not in (ITYPE_FILE, ITYPE_DIR, ITYPE_SYMLINK):
+            _fail(f"itable[{ino}]: valid record has illegal itype "
+                  f"{rec.itype}")
+        if ino not in fs.caches:
+            _fail(f"itable[{ino}]: valid record for an inode the mount "
+                  f"does not know (leaked slot)")
+    for ino in fs.caches:
+        if ino not in valid_inos:
+            _fail(f"mounted ino {ino} has no valid inode record")
+    return len(valid_inos)
 
 
 def _check_fact(fs, fact, refs: Counter) -> dict:

@@ -1,0 +1,77 @@
+"""Test-only mutation flags: reintroduce fixed bugs on demand.
+
+The crash-consistency work in EXPERIMENTS.md fixed two recovery bugs:
+
+* ``rfc_undercount`` — skip recovery's undercount-repair pass
+  (:func:`repro.dedup.recovery.dedup_recover` step 6).  A torn crash
+  between a dedup target's tail update and its count commit then leaves
+  an intra-entry duplicate's canonical page with RFC below its live
+  reference count — the §IV-D1 data-loss hazard.
+* ``torn_inode_record`` — skip the inode-table fsck pass of
+  :func:`repro.nova.recovery.recover`.  A torn crash inside ``create``
+  can persist an inode record's valid flag without its ino field; the
+  half-written record then leaks its slot forever.
+
+Re-enabling a bug and asserting the fuzzer + invariants still catch it
+is the *mutation self-check*: it proves the detection machinery would
+notice a regression of either fix.  Production code paths consult
+:func:`enabled`, which is False unless a test flipped the flag — the
+flags are process-local, never persisted, and reset between tests.
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+
+__all__ = ["KNOWN_MUTATIONS", "enable", "disable", "enabled", "reset",
+           "active", "mutated"]
+
+#: Every gate the production code exposes; enabling anything else is a
+#: typo and raises.
+KNOWN_MUTATIONS = frozenset({"rfc_undercount", "torn_inode_record"})
+
+_active: set[str] = set()
+
+
+def _check_name(name: str) -> None:
+    if name not in KNOWN_MUTATIONS:
+        raise ValueError(f"unknown mutation {name!r}; known: "
+                         f"{sorted(KNOWN_MUTATIONS)}")
+
+
+def enable(name: str) -> None:
+    """Reintroduce one known bug for the current process."""
+    _check_name(name)
+    _active.add(name)
+
+
+def disable(name: str) -> None:
+    _check_name(name)
+    _active.discard(name)
+
+
+def enabled(name: str) -> bool:
+    """Production-side gate: is this bug currently reintroduced?"""
+    return name in _active
+
+
+def reset() -> None:
+    """Clear every flag (test teardown)."""
+    _active.clear()
+
+
+def active() -> frozenset[str]:
+    return frozenset(_active)
+
+
+@contextmanager
+def mutated(name: str):
+    """``with mutated("rfc_undercount"): ...`` — enable, then restore."""
+    _check_name(name)
+    was = name in _active
+    _active.add(name)
+    try:
+        yield
+    finally:
+        if not was:
+            _active.discard(name)

@@ -135,10 +135,17 @@ class FileIndex:
 
 
 def _group(pages: list[int]) -> list[tuple[int, int]]:
-    """Group page numbers into (start, count) extents."""
+    """Group page numbers into (start, count) extents.
+
+    Multiplicity is preserved: after dedup, several slots of one file can
+    point at the same canonical block, and displacing each slot drops one
+    reference — the RFC-checked reclaim must see one extent page per
+    displaced slot, or shared canonical entries leak with a stale count.
+    A repeated page yields repeated single-page extents.
+    """
     if not pages:
         return []
-    pages = sorted(set(pages))
+    pages = sorted(pages)
     extents: list[tuple[int, int]] = []
     start = prev = pages[0]
     for p in pages[1:]:

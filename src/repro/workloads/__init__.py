@@ -24,7 +24,13 @@ from repro.workloads.fio import (
     small_file_job,
 )
 from repro.workloads.runner import DDMode, RunResult, run_workload
-from repro.workloads.trace import Trace, TracedFS, replay
+from repro.workloads.trace import (
+    Trace,
+    TraceOp,
+    TracedFS,
+    apply_trace_op,
+    replay,
+)
 
 __all__ = [
     "DataGenerator",
@@ -36,6 +42,8 @@ __all__ = [
     "RunResult",
     "run_workload",
     "Trace",
+    "TraceOp",
     "TracedFS",
+    "apply_trace_op",
     "replay",
 ]

@@ -8,6 +8,15 @@ namespace and contents; replaying with ``verify=True`` additionally
 checks every recorded read against its original digest — a regression
 harness for cross-variant equivalence (the same trace must produce the
 same bytes on NOVA, DeNova, and the inline variants).
+
+Besides the POSIX core, traces carry the dedup-specific surface
+(``symlink``/``reflink``/``snapshot``/``snap_delete``), explicit dedup
+daemon triggers (``dedup``), and whole-device lifecycle ops: ``remount``
+(clean unmount + mount) and ``crash`` (power loss + recovery mount).
+The latter two swap the live filesystem object, so :func:`replay`
+returns the final instance in its counters — this is the serialization
+format of :mod:`repro.fuzz` reproducers, which must be committable as
+self-contained regression tests.
 """
 
 from __future__ import annotations
@@ -18,7 +27,8 @@ import json
 from dataclasses import dataclass, field
 from typing import Iterable, Optional
 
-__all__ = ["Trace", "TracedFS", "TraceMismatch", "replay"]
+__all__ = ["Trace", "TraceOp", "TracedFS", "TraceMismatch",
+           "apply_trace_op", "replay"]
 
 
 class TraceMismatch(AssertionError):
@@ -117,6 +127,32 @@ class TracedFS:
         self.fs.link(existing, newpath)
         self.trace.append(TraceOp(op="link", path=existing, path2=newpath))
 
+    def symlink(self, target: str, linkpath: str) -> int:
+        ino = self.fs.symlink(target, linkpath)
+        self.trace.append(TraceOp(op="symlink", path=linkpath,
+                                  path2=target))
+        return ino
+
+    def reflink(self, src: str, dst: str, immutable: bool = False) -> int:
+        ino = self.fs.reflink(src, dst, immutable=immutable)
+        self.trace.append(TraceOp(op="reflink", path=src, path2=dst))
+        return ino
+
+    def snapshot(self, name: str) -> dict:
+        out = self.fs.snapshot(name)
+        self.trace.append(TraceOp(op="snapshot", path=name))
+        return out
+
+    def delete_snapshot(self, name: str) -> int:
+        n = self.fs.delete_snapshot(name)
+        self.trace.append(TraceOp(op="snap_delete", path=name))
+        return n
+
+    def drain(self) -> int:
+        n = self.fs.daemon.drain()
+        self.trace.append(TraceOp(op="dedup"))
+        return n
+
     def lookup(self, path: str) -> int:
         ino = self.fs.lookup(path)
         self._path_of[ino] = path
@@ -165,6 +201,63 @@ class TracedFS:
         return getattr(self.fs, name)
 
 
+def apply_trace_op(fs, op: TraceOp, i: int = 0, verify: bool = True,
+                   counters: Optional[dict] = None):
+    """Apply one :class:`TraceOp` to ``fs``; returns the (possibly new)
+    filesystem instance.
+
+    ``remount``/``crash`` replace the live filesystem object — callers
+    must rebind to the return value.  Unknown op kinds raise ValueError.
+    """
+    if op.op == "create":
+        fs.create(op.path)
+    elif op.op == "mkdir":
+        fs.mkdir(op.path)
+    elif op.op == "unlink":
+        fs.unlink(op.path)
+    elif op.op == "rmdir":
+        fs.rmdir(op.path)
+    elif op.op == "rename":
+        fs.rename(op.path, op.path2)
+    elif op.op == "link":
+        fs.link(op.path, op.path2)
+    elif op.op == "symlink":
+        fs.symlink(op.path2, op.path)
+    elif op.op == "reflink":
+        fs.reflink(op.path, op.path2)
+    elif op.op == "snapshot":
+        fs.snapshot(op.path)
+    elif op.op == "snap_delete":
+        fs.delete_snapshot(op.path)
+    elif op.op == "dedup":
+        fs.daemon.drain()
+    elif op.op == "remount":
+        fs.unmount()
+        fs = type(fs).mount(fs.dev, cpus=fs.cpus)
+    elif op.op == "crash":
+        # Dirty power loss: volatile stores vanish, then recovery mounts.
+        fs.dev.crash()
+        fs.dev.recover_view()
+        fs = type(fs).mount(fs.dev, cpus=fs.cpus)
+    elif op.op == "write":
+        fs.write(fs.lookup(op.path), op.offset, op.data)
+    elif op.op == "truncate":
+        fs.truncate(fs.lookup(op.path), op.length)
+    elif op.op == "read":
+        data = fs.read(fs.lookup(op.path), op.offset, op.length)
+        if verify and op.digest is not None:
+            got = hashlib.sha1(data).hexdigest()
+            if got != op.digest:
+                raise TraceMismatch(
+                    f"op {i}: read {op.path}@{op.offset}+{op.length} "
+                    f"digest {got[:12]} != recorded {op.digest[:12]}")
+            if counters is not None:
+                counters["verified_reads"] += 1
+    else:
+        raise ValueError(f"unknown trace op {op.op!r}")
+    return fs
+
+
 def replay(fs, trace: Trace | Iterable[TraceOp], verify: bool = True,
            drain_every: int = 0) -> dict:
     """Apply a trace to ``fs``; returns counters.
@@ -173,41 +266,20 @@ def replay(fs, trace: Trace | Iterable[TraceOp], verify: bool = True,
     drift).  ``drain_every > 0`` runs the dedup daemon after every N ops
     when the filesystem has one — interleaving background dedup with the
     replay, which must never change observable contents.
+
+    ``counters["fs"]`` holds the final filesystem instance: ``remount``
+    and ``crash`` ops replace it, so callers that keep using the
+    filesystem after a replay must rebind to it.
     """
     ops = trace.ops if isinstance(trace, Trace) else list(trace)
     counters = {"applied": 0, "verified_reads": 0}
     for i, op in enumerate(ops):
-        if op.op == "create":
-            fs.create(op.path)
-        elif op.op == "mkdir":
-            fs.mkdir(op.path)
-        elif op.op == "unlink":
-            fs.unlink(op.path)
-        elif op.op == "rmdir":
-            fs.rmdir(op.path)
-        elif op.op == "rename":
-            fs.rename(op.path, op.path2)
-        elif op.op == "link":
-            fs.link(op.path, op.path2)
-        elif op.op == "write":
-            fs.write(fs.lookup(op.path), op.offset, op.data)
-        elif op.op == "truncate":
-            fs.truncate(fs.lookup(op.path), op.length)
-        elif op.op == "read":
-            data = fs.read(fs.lookup(op.path), op.offset, op.length)
-            if verify and op.digest is not None:
-                got = hashlib.sha1(data).hexdigest()
-                if got != op.digest:
-                    raise TraceMismatch(
-                        f"op {i}: read {op.path}@{op.offset}+{op.length} "
-                        f"digest {got[:12]} != recorded {op.digest[:12]}")
-                counters["verified_reads"] += 1
-        else:
-            raise ValueError(f"unknown trace op {op.op!r}")
+        fs = apply_trace_op(fs, op, i, verify=verify, counters=counters)
         counters["applied"] += 1
         if drain_every and hasattr(fs, "daemon") \
                 and (i + 1) % drain_every == 0:
             fs.daemon.drain()
     if hasattr(fs, "daemon"):
         fs.daemon.drain()
+    counters["fs"] = fs
     return counters

@@ -163,3 +163,36 @@ class TestTreeDu:
         assert "unique data pages" in out
         # 2 files x 2 identical pages -> 1 unique data page after dedup.
         assert "    1" in out.splitlines()[-2] or " 1" in out
+
+
+class TestFuzzCommand:
+    def test_small_campaign_clean(self, capsys):
+        rc = main(["fuzz", "--seed", "0", "--ops", "60", "--seq-ops", "20",
+                   "--budget", "2"])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "CLEAN" in out
+        assert "fuzz.sequences_total" in out
+
+    def test_json_output(self, capsys):
+        import json as _json
+
+        rc = main(["fuzz", "--seed", "1", "--ops", "40", "--seq-ops", "20",
+                   "--budget", "2", "--json"])
+        payload = _json.loads(capsys.readouterr().out)
+        assert rc == 0
+        assert payload["sequences"] == 2
+        assert payload["failures"] == []
+
+    def test_corpus_replay_roundtrip(self, tmp_path, capsys):
+        from repro.fuzz.gen import generate_sequence
+        from repro.workloads.trace import Trace
+
+        corpus = tmp_path / "corpus"
+        corpus.mkdir()
+        ops = generate_sequence(seed=2, stream=0, nops=10)
+        Trace(ops=list(ops)).save(corpus / "case.trace")
+        rc = main(["fuzz", "--ops", "10", "--budget", "2",
+                   "--corpus", str(corpus), "--replay-corpus"])
+        assert rc == 0
+        assert "CLEAN" in capsys.readouterr().out

@@ -86,6 +86,37 @@ class TestRFCReclaim:
         assert fs.read(b, 0, 2 * PAGE_SIZE) == page_of(9) * 2
         check_fs_invariants(fs)
 
+    def test_overwrite_of_intra_file_duplicates(self):
+        """Fuzzer-found: a file whose own pages deduped onto one
+        canonical block must drop *every* reference on overwrite.
+
+        Two of the three written pages share an image, so after the
+        drain two radix slots point at one block with RFC=2.  The
+        overwrite displaces that block twice; collapsing the duplicates
+        left the entry live at RFC=1 with no references, and a remount's
+        free-list rebuild then handed its block to new data while the
+        stale entry still claimed it.
+        """
+        fs = make_fs()
+        a = fs.create("/a")
+        fs.write(a, 0, page_of(9) + page_of(9) + page_of(4))
+        fs.daemon.drain()
+        fs.write(a, 0, page_of(5) * 3)
+        assert fs.read(a, 0, 3 * PAGE_SIZE) == page_of(5) * 3
+        fs.daemon.drain()
+        blocks = {e.block for e in fs.fact.live_entries().values()}
+        assert len(blocks) == len(fs.fact.live_entries())
+        check_fs_invariants(fs)
+
+    def test_unlink_of_intra_file_duplicates_releases_entry(self):
+        fs = make_fs()
+        a = fs.create("/a")
+        fs.write(a, 0, page_of(9) * 3)
+        fs.daemon.drain()
+        fs.unlink("/a")
+        assert fs.fact.live_entries() == {}
+        check_fs_invariants(fs)
+
     def test_truncate_of_shared_pages(self):
         fs = make_fs()
         a = fs.create("/a")

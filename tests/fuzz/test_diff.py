@@ -1,0 +1,148 @@
+"""The differential engine: equivalence checking, divergence detection."""
+
+import base64
+
+import pytest
+
+from repro.fuzz.diff import (
+    FuzzConfig,
+    OracleDivergence,
+    apply_op,
+    fs_namespace,
+    full_equivalence_check,
+    make_fs,
+    run_case,
+)
+from repro.fuzz.gen import generate_sequence
+from repro.fuzz.model import ModelFS
+from repro.workloads.trace import TraceOp
+
+
+def wr(path, data, offset=0):
+    return TraceOp(op="write", path=path, offset=offset, length=len(data),
+                   data_b64=base64.b64encode(data).decode())
+
+
+CFG = FuzzConfig(seed=0, budget=0)
+
+
+class TestApplyOp:
+    def test_both_accept(self):
+        fs, m = make_fs(CFG), ModelFS()
+        fs, status = apply_op(fs, m, TraceOp(op="create", path="/a"))
+        assert status == "ok"
+        assert fs_namespace(fs) == m.namespace()
+
+    def test_both_reject_is_skipped(self):
+        fs, m = make_fs(CFG), ModelFS()
+        fs, status = apply_op(fs, m, TraceOp(op="unlink", path="/nope"))
+        assert status == "skipped"
+
+    def test_one_sided_reject_diverges(self):
+        fs, m = make_fs(CFG), ModelFS()
+        m.create("/a")  # model ahead of the real fs
+        with pytest.raises(OracleDivergence):
+            apply_op(fs, m, TraceOp(op="unlink", path="/a"))
+
+    def test_read_content_compared(self):
+        fs, m = make_fs(CFG), ModelFS()
+        for op in (TraceOp(op="create", path="/a"), wr("/a", b"hello")):
+            fs, _ = apply_op(fs, m, op)
+        # Skew the model's content; the next read must diverge.
+        m._file_node("/a")[1].content[0:1] = b"X"
+        with pytest.raises(OracleDivergence):
+            apply_op(fs, m, TraceOp(op="read", path="/a", offset=0,
+                                    length=5))
+
+
+class TestNamespaceExtraction:
+    def test_matches_model_after_generated_sequence(self):
+        ops = generate_sequence(seed=11, stream=0, nops=80)
+        fs, m = make_fs(CFG), ModelFS()
+        for op in ops:
+            fs, status = apply_op(fs, m, op)
+            if status == "stop":
+                break
+        assert fs_namespace(fs) == m.namespace()
+
+
+class TestFullEquivalence:
+    def test_clean_sequence_passes(self):
+        fs, m = make_fs(CFG), ModelFS()
+        page = b"\x05" * 4096
+        for op in (TraceOp(op="create", path="/a"), wr("/a", page + page),
+                   TraceOp(op="create", path="/b"), wr("/b", page)):
+            fs, _ = apply_op(fs, m, op)
+        fs.daemon.drain()
+        full_equivalence_check(fs, m)
+
+    def test_content_mismatch_detected(self):
+        fs, m = make_fs(CFG), ModelFS()
+        for op in (TraceOp(op="create", path="/a"), wr("/a", b"abc")):
+            fs, _ = apply_op(fs, m, op)
+        m._file_node("/a")[1].content[0:1] = b"Z"
+        fs.daemon.drain()
+        with pytest.raises(OracleDivergence):
+            full_equivalence_check(fs, m)
+
+    def test_missing_path_detected(self):
+        fs, m = make_fs(CFG), ModelFS()
+        fs, _ = apply_op(fs, m, TraceOp(op="create", path="/a"))
+        m.create("/ghost")
+        fs.daemon.drain()
+        with pytest.raises(OracleDivergence):
+            full_equivalence_check(fs, m)
+
+    def test_hardlink_partition_mismatch_detected(self):
+        fs, m = make_fs(CFG), ModelFS()
+        for op in (TraceOp(op="create", path="/a"),
+                   TraceOp(op="link", path="/a", path2="/b")):
+            fs, _ = apply_op(fs, m, op)
+        # Model thinks /b is an independent file with equal (empty) content.
+        m.unlink("/b")
+        m.create("/b")
+        fs.daemon.drain()
+        with pytest.raises(OracleDivergence):
+            full_equivalence_check(fs, m)
+
+
+class TestRunCase:
+    def test_clean_case_no_sweep(self):
+        ops = generate_sequence(seed=12, stream=0, nops=40)
+        res = run_case(ops, CFG, sweep=False)
+        assert res.ok
+        assert res.ops_applied + res.ops_skipped == len(ops)
+        assert res.crash_points == 0
+
+    def test_sweep_exercises_crash_points(self):
+        ops = [TraceOp(op="create", path="/a"), wr("/a", b"\x09" * 8192),
+               TraceOp(op="dedup")]
+        res = run_case(ops, FuzzConfig(seed=0, budget=4))
+        assert res.ok
+        assert res.crash_points > 0
+
+    def test_deterministic(self):
+        ops = generate_sequence(seed=13, stream=0, nops=30)
+        cfg = FuzzConfig(seed=0, budget=4)
+        r1, r2 = run_case(ops, cfg), run_case(ops, cfg)
+        assert (r1.ops_applied, r1.ops_skipped, r1.crash_points) == \
+               (r2.ops_applied, r2.ops_skipped, r2.crash_points)
+        assert [str(v) for v in r1.violations] == \
+               [str(v) for v in r2.violations]
+
+
+class TestRegressions:
+    def test_seed0_stream157_stale_fact_entry(self):
+        """First real bug the fuzzer found (10k-op campaign, seed 0).
+
+        dedup of a file with intra-file duplicate pages collapses two
+        radix slots onto one canonical block; the overwrite displaced
+        that block once instead of twice (``radix._group`` deduplicated
+        page numbers), leaving a live FACT entry whose block a clean
+        remount then freed and reallocated — two live entries claiming
+        one block.  Regenerated deterministically from the campaign
+        coordinates; must stay clean.
+        """
+        ops = generate_sequence(seed=0, stream=157, nops=40)
+        res = run_case(ops, FuzzConfig(seed=0, budget=4))
+        assert res.ok, [str(v) for v in res.violations]

@@ -1,0 +1,90 @@
+"""The sequence generator: determinism, validity, serialization."""
+
+from collections import Counter
+
+from repro.fuzz.gen import (
+    GenConfig,
+    SequenceGenerator,
+    apply_to_model,
+    generate_sequence,
+    model_after,
+)
+from repro.fuzz.model import ModelError, ModelFS
+from repro.workloads.trace import Trace, TraceOp
+
+
+def test_same_seed_same_sequence():
+    a = generate_sequence(seed=7, stream=3, nops=60)
+    b = generate_sequence(seed=7, stream=3, nops=60)
+    assert [o.to_json() for o in a] == [o.to_json() for o in b]
+
+
+def test_different_streams_differ():
+    a = generate_sequence(seed=7, stream=0, nops=60)
+    b = generate_sequence(seed=7, stream=1, nops=60)
+    assert [o.to_json() for o in a] != [o.to_json() for o in b]
+
+
+def test_requested_length():
+    assert len(generate_sequence(seed=0, stream=0, nops=25)) == 25
+
+
+def test_covers_op_mix():
+    ops = []
+    for stream in range(6):
+        ops.extend(generate_sequence(seed=1, stream=stream, nops=60))
+    kinds = Counter(o.op for o in ops)
+    # The important families all appear across a handful of streams.
+    for kind in ("write", "read", "create", "unlink", "rename", "link",
+                 "symlink", "truncate", "reflink", "snapshot", "dedup",
+                 "remount"):
+        assert kinds[kind] > 0, f"generator never emitted {kind!r}"
+
+
+def test_sequences_mostly_valid_against_model():
+    """All but the deliberate ~4% invalid ops must apply to a fresh model."""
+    ops = generate_sequence(seed=2, stream=0, nops=200)
+    m = ModelFS()
+    rejected = 0
+    for op in ops:
+        try:
+            apply_to_model(m, op)
+        except ModelError:
+            rejected += 1
+    assert rejected <= len(ops) * 0.15
+
+
+def test_duplicate_ratio_in_generated_data():
+    """datagen's alpha shows up as repeated page images in the ops."""
+    cfg = GenConfig(alpha=0.8)
+    gen = SequenceGenerator(seed=3, stream=0, cfg=cfg)
+    ops = gen.generate(150)
+    pages = Counter()
+    for op in ops:
+        if op.op != "write":
+            continue
+        data = op.data
+        for off in range(0, len(data), 4096):
+            pages[bytes(data[off:off + 4096].ljust(4096, b"\0"))] += 1
+    assert pages, "no write ops generated"
+    dups = sum(n for n in pages.values() if n > 1)
+    assert dups > 0, "alpha=0.8 produced no duplicate page images"
+
+
+def test_model_after_skips_invalid_ops():
+    ops = [
+        TraceOp(op="create", path="/a"),
+        TraceOp(op="create", path="/a"),   # invalid: exists
+        TraceOp(op="write", path="/a", offset=0, length=1,
+                data_b64="eA=="),          # "x"
+    ]
+    m = model_after(ops)
+    assert m.namespace() == {"/a": ("file", 1, b"x")}
+
+
+def test_ops_serialize_as_trace(tmp_path):
+    ops = generate_sequence(seed=4, stream=0, nops=50)
+    path = tmp_path / "seq.trace"
+    Trace(ops=list(ops)).save(path)
+    loaded = Trace.load(path).ops
+    assert [o.to_json() for o in loaded] == [o.to_json() for o in ops]

@@ -1,0 +1,211 @@
+"""Unit tests for the pure-Python model filesystem (the fuzz oracle)."""
+
+import pytest
+
+from repro.fuzz.model import ModelError, ModelFS
+
+
+@pytest.fixture
+def m():
+    return ModelFS()
+
+
+class TestNamespace:
+    def test_create_and_namespace(self, m):
+        m.create("/a")
+        m.mkdir("/d")
+        m.create("/d/b")
+        assert m.namespace() == {
+            "/a": ("file", 0, b""),
+            "/d": ("dir",),
+            "/d/b": ("file", 0, b""),
+        }
+
+    def test_create_existing_rejected(self, m):
+        m.create("/a")
+        with pytest.raises(ModelError):
+            m.create("/a")
+
+    def test_unlink_removes(self, m):
+        m.create("/a")
+        m.unlink("/a")
+        assert m.namespace() == {}
+        with pytest.raises(ModelError):
+            m.unlink("/a")
+
+    def test_rmdir_only_empty(self, m):
+        m.mkdir("/d")
+        m.create("/d/a")
+        with pytest.raises(ModelError):
+            m.rmdir("/d")
+        m.unlink("/d/a")
+        m.rmdir("/d")
+        assert m.namespace() == {}
+
+    def test_rename_moves_subtree(self, m):
+        m.mkdir("/d")
+        m.create("/d/a")
+        m.write("/d/a", 0, b"xyz")
+        m.mkdir("/e")
+        m.rename("/d", "/e/d2")
+        assert m.namespace() == {
+            "/e": ("dir",),
+            "/e/d2": ("dir",),
+            "/e/d2/a": ("file", 3, b"xyz"),
+        }
+
+    def test_rename_into_own_subtree_rejected(self, m):
+        m.mkdir("/d")
+        m.mkdir("/d/e")
+        with pytest.raises(ModelError):
+            m.rename("/d", "/d/e/x")
+
+    def test_rename_over_existing_rejected(self, m):
+        # Mirrors NovaFS.rename: the destination must not exist.
+        m.create("/a")
+        m.create("/b")
+        with pytest.raises(ModelError):
+            m.rename("/a", "/b")
+
+
+class TestData:
+    def test_write_read_roundtrip(self, m):
+        m.create("/a")
+        m.write("/a", 2, b"hello")
+        assert m.read("/a", 0, 10) == b"\0\0hello"
+        assert m.namespace()["/a"] == ("file", 7, b"\0\0hello")
+
+    def test_overwrite_splices(self, m):
+        m.create("/a")
+        m.write("/a", 0, b"aaaaaa")
+        m.write("/a", 2, b"BB")
+        assert m.read("/a", 0, 6) == b"aaBBaa"
+
+    def test_truncate_shrink_and_grow(self, m):
+        m.create("/a")
+        m.write("/a", 0, b"abcdef")
+        m.truncate("/a", 3)
+        assert m.namespace()["/a"] == ("file", 3, b"abc")
+        m.truncate("/a", 5)
+        assert m.namespace()["/a"] == ("file", 5, b"abc\0\0")
+
+    def test_write_on_dir_rejected(self, m):
+        m.mkdir("/d")
+        with pytest.raises(ModelError):
+            m.write("/d", 0, b"x")
+
+    def test_negative_offset_rejected(self, m):
+        m.create("/a")
+        with pytest.raises(ModelError):
+            m.write("/a", -1, b"x")
+
+
+class TestLinks:
+    def test_hardlink_shares_content(self, m):
+        m.create("/a")
+        m.link("/a", "/b")
+        m.write("/a", 0, b"shared")
+        assert m.read("/b", 0, 6) == b"shared"
+        groups = m.hardlink_groups()
+        assert sorted(groups.values()) == [["/a", "/b"]]
+
+    def test_unlink_one_name_keeps_node(self, m):
+        m.create("/a")
+        m.write("/a", 0, b"x")
+        m.link("/a", "/b")
+        m.unlink("/a")
+        assert m.namespace() == {"/b": ("file", 1, b"x")}
+
+    def test_link_to_dir_rejected(self, m):
+        m.mkdir("/d")
+        with pytest.raises(ModelError):
+            m.link("/d", "/e")
+
+    def test_symlink_resolution(self, m):
+        m.create("/target")
+        m.write("/target", 0, b"data")
+        m.symlink("/target", "/ln")
+        assert m.read("/ln", 0, 4) == b"data"
+        assert m.namespace()["/ln"] == ("symlink", "/target")
+
+    def test_symlink_loop_rejected(self, m):
+        m.symlink("/b", "/a")
+        m.symlink("/a", "/b")
+        with pytest.raises(ModelError):
+            m.read("/a", 0, 1)
+
+    def test_symlink_target_length_limit(self, m):
+        with pytest.raises(ModelError):
+            m.symlink("/" + "x" * 64, "/ln")
+
+    def test_link_follows_symlink(self, m):
+        m.create("/t")
+        m.symlink("/t", "/ln")
+        m.link("/ln", "/hard")
+        groups = m.hardlink_groups()
+        assert sorted(groups.values()) == [["/hard", "/t"]]
+
+
+class TestReflinkSnapshot:
+    def test_reflink_copies_content(self, m):
+        m.create("/a")
+        m.write("/a", 0, b"abc")
+        m.reflink("/a", "/b")
+        m.write("/a", 0, b"xyz")
+        assert m.read("/b", 0, 3) == b"abc"  # copies diverge
+
+    def test_snapshot_captures_tree(self, m):
+        m.create("/a")
+        m.write("/a", 0, b"v1")
+        m.snapshot("s1")
+        m.write("/a", 0, b"v2")
+        ns = m.namespace()
+        assert ns["/.snapshots/s1/a"] == ("file", 2, b"v1")
+        assert ns["/a"] == ("file", 2, b"v2")
+
+    def test_snapshot_members_immutable(self, m):
+        m.create("/a")
+        m.snapshot("s1")
+        with pytest.raises(ModelError):
+            m.write("/.snapshots/s1/a", 0, b"x")
+
+    def test_snapshot_duplicate_name_rejected(self, m):
+        m.create("/a")
+        m.snapshot("s1")
+        with pytest.raises(ModelError):
+            m.snapshot("s1")
+
+    def test_delete_snapshot(self, m):
+        m.create("/a")
+        m.snapshot("s1")
+        m.delete_snapshot("s1")
+        assert "/.snapshots/s1" not in m.namespace()
+
+
+class TestPageOccurrences:
+    def test_duplicate_pages_counted_across_files(self, m):
+        page = b"\x07" * 4096
+        m.create("/a")
+        m.write("/a", 0, page + page)
+        m.create("/b")
+        m.write("/b", 0, page)
+        occ = m.page_occurrences()
+        assert occ[page] == 3
+
+    def test_hardlinks_count_once(self, m):
+        page = b"\x07" * 4096
+        m.create("/a")
+        m.write("/a", 0, page)
+        m.link("/a", "/b")
+        assert m.page_occurrences()[page] == 1
+
+    def test_unmaterialized_holes_not_counted(self, m):
+        m.create("/a")
+        m.truncate("/a", 8192)  # sparse: no materialized pages
+        assert m.page_occurrences() == {}
+
+    def test_partial_tail_page_zero_padded(self, m):
+        m.create("/a")
+        m.write("/a", 0, b"ab")
+        occ = m.page_occurrences()
+        assert occ[b"ab" + b"\0" * 4094] == 1

@@ -1,0 +1,71 @@
+"""The ddmin shrinker: minimality, determinism, trace round-trip."""
+
+import base64
+
+import pytest
+
+from repro.fuzz.shrink import shrink
+from repro.workloads.trace import Trace, TraceOp
+
+
+def op(tag):
+    return TraceOp(op="create", path=f"/{tag}")
+
+
+def contains(tags):
+    def pred(ops):
+        present = {o.path for o in ops}
+        return all(f"/{t}" in present for t in tags)
+    return pred
+
+
+def test_shrinks_to_culprits():
+    ops = [op(t) for t in "abcdefghij"]
+    reduced = shrink(ops, contains(["c", "h"]))
+    assert sorted(o.path for o in reduced) == ["/c", "/h"]
+
+
+def test_single_culprit():
+    ops = [op(t) for t in "abcdefgh"]
+    reduced = shrink(ops, contains(["e"]))
+    assert [o.path for o in reduced] == ["/e"]
+
+
+def test_order_preserved():
+    ops = [op(t) for t in "abcdef"]
+    reduced = shrink(ops, contains(["b", "e"]))
+    assert [o.path for o in reduced] == ["/b", "/e"]
+
+
+def test_passing_input_rejected():
+    with pytest.raises(ValueError):
+        shrink([op("a")], lambda ops: False)
+
+
+def test_one_minimality():
+    ops = [op(t) for t in "abcdefghijklmnop"]
+    pred = contains(["a", "g", "n"])
+    reduced = shrink(ops, pred)
+    assert pred(reduced)
+    for i in range(len(reduced)):
+        assert not pred(reduced[:i] + reduced[i + 1:]), \
+            f"op {i} is removable: not 1-minimal"
+
+
+def test_deterministic():
+    ops = [op(t) for t in "abcdefghij"]
+    r1 = shrink(ops, contains(["b", "i"]))
+    r2 = shrink(ops, contains(["b", "i"]))
+    assert [o.to_json() for o in r1] == [o.to_json() for o in r2]
+
+
+def test_reduced_sequence_round_trips_as_trace(tmp_path):
+    data = base64.b64encode(b"payload").decode()
+    ops = [op("a"), op("b"),
+           TraceOp(op="write", path="/b", offset=0, length=7, data_b64=data),
+           op("c")]
+    reduced = shrink(ops, contains(["b"]))
+    path = tmp_path / "min.trace"
+    Trace(ops=list(reduced)).save(path)
+    loaded = Trace.load(path).ops
+    assert [o.to_json() for o in loaded] == [o.to_json() for o in reduced]

@@ -133,5 +133,11 @@ class TestGroup:
     def test_group_merges_runs(self):
         assert _group([5, 3, 4, 9, 10, 1]) == [(1, 1), (3, 3), (9, 2)]
 
-    def test_group_dedupes(self):
-        assert _group([2, 2, 3]) == [(2, 2)]
+    def test_group_preserves_multiplicity(self):
+        # After dedup several slots can share one canonical block; each
+        # displaced slot is one dropped reference, so the RFC-checked
+        # reclaim must see the page once per slot (found by the fuzzer:
+        # collapsing duplicates leaked shared FACT entries on overwrite).
+        assert _group([2, 2, 3]) == [(2, 1), (2, 2)]
+        assert _group([7, 7]) == [(7, 1), (7, 1)]
+        assert sum(c for _, c in _group([2, 2, 3, 9, 9, 9])) == 6
