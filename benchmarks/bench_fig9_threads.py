@@ -9,8 +9,10 @@ Paper claims to reproduce:
 * DeNova-Inline stays far below everything.
 """
 
+import json
+
 import pytest
-from _common import emit, rel
+from _common import RESULTS, emit, rel
 
 from repro.analysis import render_table
 from repro.core import Config, Variant, make_fs
@@ -19,6 +21,24 @@ from repro.workloads import large_file_job, run_workload, small_file_job
 THREADS = [1, 2, 4, 8, 16, 32]
 VARIANTS = [Variant.BASELINE, Variant.IMMEDIATE, Variant.DELAYED,
             Variant.INLINE]
+
+
+def record_baseline(job_name: str, table: dict) -> None:
+    """Merge this sweep into benchmarks/results/fig9_baseline.json.
+
+    The committed baseline pins the thread-scaling curves the repro.conc
+    runner produces, so future changes to the concurrency subsystem diff
+    against known-good numbers instead of only shape assertions.
+    """
+    path = RESULTS / "fig9_baseline.json"
+    data = json.loads(path.read_text()) if path.exists() else {}
+    data[job_name] = {
+        "threads": THREADS,
+        "throughput_mb_s": {v.value: [round(t, 3) for t in table[v]]
+                            for v in VARIANTS},
+    }
+    RESULTS.mkdir(exist_ok=True)
+    path.write_text(json.dumps(data, indent=2, sort_keys=True) + "\n")
 
 
 def run_one(variant, jobf, nfiles, threads):
@@ -47,6 +67,7 @@ def test_fig9(benchmark, jobf, nfiles, name, peak_at_most):
         title=f"Fig. 9 ({name}): write throughput MB/s vs threads "
               f"(duplicate ratio 50%)",
     ))
+    record_baseline(jobf.__name__, table)
 
     base = table[Variant.BASELINE]
     # Rise then parabolic decline.

@@ -279,16 +279,22 @@ def cmd_workload(args) -> int:
     dd = (DDMode.immediate() if hasattr(fs, "daemon") else DDMode.none())
     spec = small_file_job(nfiles=args.files, dup_ratio=args.dup,
                           threads=args.threads, seed=args.seed)
-    res = run_workload(fs, spec, dd=dd)
-    print(render_table(
-        ["metric", "value"],
-        [["files", res.files_done],
-         ["throughput MB/s (sim)", round(res.throughput_mb_s, 1)],
-         ["files/s (sim)", round(res.files_per_s)],
-         ["mean op latency us", round(res.mean_op_latency_us, 2)],
-         ["dedup nodes", res.dd_nodes],
-         ["space saving", f"{res.space.get('space_saving', 0):.1%}"]],
-        title=f"workload on {args.image}"))
+    res = run_workload(fs, spec, dd=dd, workers=args.workers)
+    rows = [["files", res.files_done],
+            ["throughput MB/s (sim)", round(res.throughput_mb_s, 1)],
+            ["files/s (sim)", round(res.files_per_s)],
+            ["mean op latency us", round(res.mean_op_latency_us, 2)],
+            ["dedup nodes", res.dd_nodes],
+            ["dedup workers", res.workers],
+            ["dwq steals", res.steals],
+            ["writer stalls", res.stalls],
+            ["space saving", f"{res.space.get('space_saving', 0):.1%}"]]
+    for t, lat in enumerate(res.per_thread_latency):
+        rows.append([f"t{t} p50/p95/p99 us",
+                     "/".join(f"{lat[k] / 1000:.1f}"
+                              for k in ("p50_ns", "p95_ns", "p99_ns"))])
+    print(render_table(["metric", "value"], rows,
+                       title=f"workload on {args.image}"))
     _close(fs, args.image)
     return 0
 
@@ -362,7 +368,8 @@ def cmd_fuzz(args) -> int:
     cfg = FuzzConfig(seed=args.seed, total_ops=args.ops,
                      seq_ops=args.seq_ops, budget=args.budget,
                      pages=args.pages, alpha=args.alpha,
-                     corpus=args.corpus, max_failures=args.max_failures)
+                     corpus=args.corpus, max_failures=args.max_failures,
+                     clients=args.clients)
     runner = FuzzRunner(cfg, gen_cfg=GenConfig(alpha=args.alpha),
                         shrink_failures=not args.no_shrink,
                         log=lambda msg: print(f"  {msg}", file=sys.stderr))
@@ -495,6 +502,8 @@ def build_parser() -> argparse.ArgumentParser:
     s.add_argument("--files", type=int, default=100)
     s.add_argument("--dup", type=float, default=0.5)
     s.add_argument("--threads", type=int, default=1)
+    s.add_argument("--workers", type=int, default=1,
+                   help="dedup worker pool size (1 = the paper's daemon)")
     s.add_argument("--seed", type=int, default=42)
     s.set_defaults(fn=cmd_workload)
 
@@ -541,6 +550,9 @@ def build_parser() -> argparse.ArgumentParser:
     s.add_argument("--no-shrink", action="store_true",
                    help="keep failing sequences at full length")
     s.add_argument("--max-failures", type=int, default=3)
+    s.add_argument("--clients", type=int, default=1,
+                   help="concurrent-mode sequences: merge this many "
+                        "per-client op streams under /c<i> roots")
     s.add_argument("--json", action="store_true")
     s.set_defaults(fn=cmd_fuzz)
 

@@ -1,0 +1,437 @@
+"""ConcurrentVFS — N simulated clients against one filesystem.
+
+The front-end of the concurrency subsystem: it owns the DES engine, the
+lock hierarchy, the sharded DWQ, and the dedup worker pool, and exposes
+one primitive — :meth:`op` — that runs a synchronous filesystem call as
+a properly locked, cost-accounted simulated-time operation.
+
+Lock hierarchy (acquisition must follow this order; the
+:class:`~repro.conc.lockorder.LockOrderValidator` enforces it at
+runtime by recording the acquisition DAG and failing fast on cycles):
+
+1. ``ns`` — the namespace (dentry) lock, a phase-fair
+   :class:`~repro.sim.RWLock`: path lookups share it, create/unlink/
+   rename/mkdir take it exclusively;
+2. ``ino:<n>`` — per-inode RWLocks: reads share, writes and the dedup
+   worker's whole Algorithm-1 node are exclusive (DeNova holds the inode
+   lock for the full node);
+3. ``shard:<s>`` — per-shard DWQ locks (dequeue/steal side);
+4. ``bucket:<b>`` — FACT bucket locks, keyed by
+   :meth:`~repro.dedup.fact.FACT.bucket_of`: a worker's lookup/insert/
+   UC-staging for one fingerprint holds its bucket so two workers can
+   never double-claim an entry.
+
+Backpressure: with ``max_shard_depth`` set, a writer targeting a full
+DWQ shard stalls in :meth:`admit` until a worker drains it — bounded
+queues instead of the paper's unbounded DRAM growth.  Contention is
+observable: ``conc.lock_wait_ns`` (lock wait-time histogram),
+``conc.stalls_total`` / ``conc.stall_ns`` (admission control),
+``dwq.shard<i>.depth`` and ``dwq.steals_total`` (shard balance), and
+``conc.live_clients``.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Callable, Optional
+
+from repro.conc.lockorder import LockOrderValidator
+from repro.conc.sdwq import ShardedDWQ
+from repro.sim import Engine, Lock, Process, Resource, RWLock
+
+__all__ = ["ConcurrentVFS", "OP_LATENCY_BUCKETS_NS"]
+
+MS = 1_000_000.0  # ns per millisecond
+
+#: Per-client op-latency buckets: 100 ns .. 1 s of simulated time.
+OP_LATENCY_BUCKETS_NS = (
+    1e2, 2.5e2, 5e2, 1e3, 2.5e3, 5e3, 1e4, 2.5e4, 5e4, 1e5,
+    2.5e5, 5e5, 1e6, 2.5e6, 5e6, 1e7, 1e8, 1e9,
+)
+
+#: Lock/stall wait buckets: 10 ns .. 100 ms.
+WAIT_BUCKETS_NS = (
+    1e1, 5e1, 1e2, 2.5e2, 5e2, 1e3, 2.5e3, 5e3, 1e4, 5e4,
+    1e5, 5e5, 1e6, 1e7, 1e8,
+)
+
+
+class ConcurrentVFS:
+    """Concurrency front-end for one mounted filesystem."""
+
+    def __init__(self, fs, *, bw_slots: int = 4,
+                 bw_queue_penalty_ns: float = 120.0,
+                 lock_penalty_ns: float = 60.0,
+                 namespace_coherence_ns: float = 1500.0,
+                 workers: int = 1,
+                 shards: Optional[int] = None,
+                 max_shard_depth: Optional[int] = None,
+                 validate_lock_order: bool = True,
+                 jitter_seed: Optional[int] = None,
+                 jitter_ns: float = 2000.0):
+        if workers < 1:
+            raise ValueError("workers must be >= 1")
+        self.fs = fs
+        self.eng = Engine(obs=getattr(fs, "obs", None))
+        self.base_ns = fs.clock.now_ns
+        self.bw = Resource(self.eng, bw_slots)
+        self.bw_queue_penalty_ns = bw_queue_penalty_ns
+        self.lock_penalty_ns = lock_penalty_ns
+        # Namespace updates (inode allocation + parent-dir dentry append)
+        # serialize harder than data writes; small-file workloads are
+        # create-dominated, which is why their throughput peaks at fewer
+        # threads than large-file workloads (the paper's Fig. 9: 2 vs 8).
+        self.ns_lock = RWLock(self.eng,
+                              contention_penalty_ns=6 * lock_penalty_ns)
+        # Per-create coherence cost added for each *other* live client:
+        # shared inode-table and directory cache lines ping-pong between
+        # cores.  Measured from the live-client gauge, not assumed from
+        # the spec — a client that finished early stops taxing the rest.
+        self.namespace_coherence_ns = namespace_coherence_ns
+        self.validator = LockOrderValidator(enabled=validate_lock_order)
+        self._ino_locks: dict[int, RWLock] = {}
+        self._bucket_locks: dict[int, Lock] = {}
+        self.live_clients = 0
+        self.workers = workers
+        self.worker_nodes = 0
+        self.worker_busy_ns = 0.0
+        self._worker_wakes: list = []
+        self._stop = False
+        self._jitter = (random.Random(f"repro.conc:{jitter_seed}")
+                        if jitter_seed is not None else None)
+        self._jitter_ns = jitter_ns
+
+        # ---- sharded DWQ swap-in (dedup-capable filesystems only) ----
+        self.sdwq: Optional[ShardedDWQ] = None
+        self._shard_locks: list[Lock] = []
+        self._space_waiters: list[list] = []
+        if hasattr(fs, "dwq"):
+            nshards = shards if shards is not None else max(1, fs.cpus)
+            sdwq = ShardedDWQ(fs.cpu_model, fs.clock, nshards,
+                              obs=getattr(fs, "obs", None),
+                              max_depth=max_shard_depth)
+            sdwq.adopt(fs.dwq)
+            fs.dwq = sdwq
+            self.sdwq = sdwq
+            self._shard_locks = [
+                Lock(self.eng, contention_penalty_ns=lock_penalty_ns)
+                for _ in range(nshards)]
+            self._space_waiters = [[] for _ in range(nshards)]
+
+        # ---- contention metrics ----
+        obs = getattr(fs, "obs", None)
+        if obs is not None:
+            reg = obs.registry
+            self._h_lock_wait = reg.histogram(
+                "conc.lock_wait_ns", buckets=WAIT_BUCKETS_NS,
+                help="simulated ns spent waiting on hierarchy locks")
+            self._c_stalls = reg.counter(
+                "conc.stalls_total",
+                help="writer stalls on a full DWQ shard (backpressure)")
+            self._h_stall = reg.histogram(
+                "conc.stall_ns", buckets=WAIT_BUCKETS_NS,
+                help="simulated ns writers spent stalled on admission")
+            reg.gauge_fn("conc.live_clients", lambda: self.live_clients,
+                         help="client processes currently running")
+        else:
+            from repro.obs import MetricsRegistry
+            reg = MetricsRegistry()
+            self._h_lock_wait = reg.histogram("conc.lock_wait_ns",
+                                              buckets=WAIT_BUCKETS_NS)
+            self._c_stalls = reg.counter("conc.stalls_total")
+            self._h_stall = reg.histogram("conc.stall_ns",
+                                          buckets=WAIT_BUCKETS_NS)
+        self._registry = reg
+
+    # ------------------------------------------------------------ plumbing
+
+    @property
+    def now_ns(self) -> float:
+        return self.base_ns + self.eng.now
+
+    def ino_rw(self, ino: int) -> RWLock:
+        lock = self._ino_locks.get(ino)
+        if lock is None:
+            lock = RWLock(self.eng,
+                          contention_penalty_ns=self.lock_penalty_ns)
+            self._ino_locks[ino] = lock
+        return lock
+
+    def bucket_lock(self, bucket: int) -> Lock:
+        lock = self._bucket_locks.get(bucket)
+        if lock is None:
+            lock = Lock(self.eng,
+                        contention_penalty_ns=self.lock_penalty_ns)
+            self._bucket_locks[bucket] = lock
+        return lock
+
+    def client_latency_histogram(self, tid: int):
+        """Per-client op-latency histogram (``conc.t<i>.op_latency_ns``)."""
+        return self._registry.histogram(
+            f"conc.t{tid}.op_latency_ns", buckets=OP_LATENCY_BUCKETS_NS,
+            help=f"client {tid} op latency (lock waits + modelled cost)")
+
+    def coherence_tax_ns(self) -> float:
+        """Per-create coherence cost, measured from live clients."""
+        return self.namespace_coherence_ns * max(0, self.live_clients - 1)
+
+    # ------------------------------------------------------------ op core
+
+    def op(self, fn: Callable[[], object], holder: str, *,
+           ns_mode: Optional[str] = None,
+           ino: Optional[int] = None, ino_mode: str = "w",
+           shard: Optional[int] = None, bucket: Optional[int] = None,
+           use_bw: bool = True, extra_ns=0.0,
+           record=None):
+        """Run one filesystem call as a simulated-time operation.
+
+        Locks are taken in hierarchy order (ns → ino → shard → bucket),
+        each acquisition checked against the lock-order DAG, with wait
+        time observed into ``conc.lock_wait_ns``.  The modelled cost of
+        ``fn`` (clock capture) elapses *while the locks are held*, which
+        is what makes bucket locking meaningful: another worker cannot
+        enter the same FACT chain during this worker's NVM latency.
+
+        Generator protocol: ``result, cost_ns = yield from vfs.op(...)``.
+        """
+        eng = self.eng
+        if self._jitter is not None:
+            # Schedule permutation: a seeded, bounded delay before the
+            # op perturbs the interleaving without changing any op.
+            yield eng.timeout(self._jitter.uniform(0.0, self._jitter_ns))
+        t_op = eng.now
+        plan: list[tuple[str, object, Optional[str]]] = []
+        if ns_mode is not None:
+            plan.append(("ns", self.ns_lock, ns_mode))
+        if ino is not None:
+            plan.append((f"ino:{ino}", self.ino_rw(ino), ino_mode))
+        if shard is not None:
+            plan.append((f"shard:{shard}", self._shard_locks[shard], None))
+        if bucket is not None:
+            plan.append((f"bucket:{bucket}", self.bucket_lock(bucket), None))
+        held: list[tuple[str, object, Optional[str]]] = []
+        try:
+            for name, lk, mode in plan:
+                self.validator.acquiring(holder, name)
+                t0 = eng.now
+                if mode is None:
+                    yield lk.acquire()
+                else:
+                    yield lk.acquire(mode)
+                held.append((name, lk, mode))
+                self._h_lock_wait.observe(eng.now - t0)
+            penalty = 0.0
+            if use_bw:
+                waiting = self.bw.in_use >= self.bw.capacity
+                queued_behind = len(self.bw._waiters)
+                yield self.bw.request()
+                if waiting:
+                    # Oversubscription coherence/queuing cost: grows with
+                    # how crowded the controller was.
+                    penalty = self.bw_queue_penalty_ns * (1 + queued_behind)
+            try:
+                fs = self.fs
+                fs.clock.sync_to(max(fs.clock.now_ns, self.now_ns))
+                with fs.clock.capture() as cap:
+                    result = fn()
+                # extra_ns may be a callable so costs that depend on the
+                # *current* schedule state (e.g. the live-client coherence
+                # tax) are sampled now, with every concurrent party
+                # running, not when the caller built the op.
+                extra = extra_ns() if callable(extra_ns) else extra_ns
+                cost = cap.total_ns + penalty + extra
+                if cost > 0:
+                    yield eng.timeout(cost)
+            finally:
+                if use_bw:
+                    self.bw.release()
+        finally:
+            for name, lk, mode in reversed(held):
+                if mode is None:
+                    lk.release()
+                else:
+                    lk.release(mode)
+                self.validator.released(holder, name)
+        if record is not None:
+            record.observe(eng.now - t_op)
+        return result, cost
+
+    # ----------------------------------------------------- admission control
+
+    def admit(self, ino: int, holder: str):
+        """Backpressure gate: stall while the target DWQ shard is full.
+
+        A no-op when the queue is unbounded (``max_shard_depth=None``,
+        the paper's semantics) or the filesystem has no DWQ.
+        """
+        sdwq = self.sdwq
+        if sdwq is None or sdwq.max_depth is None:
+            return
+        s = sdwq.shard_of(ino)
+        while sdwq.is_full(s):
+            self._c_stalls.inc()
+            t0 = self.eng.now
+            ev = self.eng.event(f"admit:{holder}")
+            self._space_waiters[s].append(ev)
+            self.kick_workers()  # a stalled writer needs a drain to run
+            yield ev
+            self._h_stall.observe(self.eng.now - t0)
+
+    def _signal_space(self, s: int) -> None:
+        if self._space_waiters:
+            waiters, self._space_waiters[s] = self._space_waiters[s], []
+            for ev in waiters:
+                if not ev.triggered:
+                    ev.succeed()
+
+    # ------------------------------------------------------------ clients
+
+    def client(self, gen, name: str = "") -> Process:
+        """Spawn a client process, tracked in the live-client gauge."""
+        def _tracked():
+            self.live_clients += 1
+            try:
+                result = yield from gen
+            finally:
+                self.live_clients -= 1
+            return result
+
+        return self.eng.process(_tracked(), name=name or "client")
+
+    # ------------------------------------------------------------ worker pool
+
+    def start_workers(self, dd) -> list[Process]:
+        """Launch the dedup worker pool.
+
+        ``dd`` carries the drive policy (duck-typed ``kind`` /
+        ``interval_ms`` / ``batch`` — :class:`repro.workloads.DDMode`):
+        immediate workers sleep until kicked and then drain; delayed
+        workers wake every ``interval_ms`` for up to ``batch`` nodes
+        (split across the pool).
+        """
+        if self.sdwq is None:
+            raise ValueError("filesystem has no DWQ to work on")
+        nshards = self.sdwq.nshards
+        w = min(self.workers, nshards)
+        self._worker_wakes = [None] * w
+        self._stop = False
+        own = [[s for s in range(nshards) if s % w == i] for i in range(w)]
+        return [self.eng.process(self._worker_proc(i, own[i], dd),
+                                 name=f"dedup-worker-{i}")
+                for i in range(w)]
+
+    def stop_workers(self) -> None:
+        """Ask the pool to exit once the queue drains."""
+        self._stop = True
+        self.kick_workers()
+
+    def kick_workers(self) -> None:
+        """Wake every idle worker (new work, or stop requested)."""
+        for i, ev in enumerate(self._worker_wakes):
+            if ev is not None and not ev.triggered:
+                ev.succeed()
+
+    def _pick_shard(self, own: list[int]) -> tuple[Optional[int], bool]:
+        """(shard, is_steal): oldest-head own shard, else longest other."""
+        sdwq = self.sdwq
+        best = None
+        best_seq = None
+        for s in own:
+            shard = sdwq._shards[s]
+            if shard and (best_seq is None or shard[0]._seq < best_seq):
+                best, best_seq = s, shard[0]._seq
+        if best is not None:
+            return best, False
+        victim = None
+        longest = 0
+        for s in range(sdwq.nshards):
+            if s not in own and sdwq.shard_len(s) > longest:
+                victim, longest = s, sdwq.shard_len(s)
+        return victim, True
+
+    def _worker_proc(self, wid: int, own: list[int], dd):
+        eng = self.eng
+        sdwq = self.sdwq
+        holder = f"worker-{wid}"
+        pool = len(self._worker_wakes)
+        while True:
+            if dd.kind == "delayed":
+                yield eng.timeout(dd.interval_ms * MS)
+                budget = max(1, -(-dd.batch // pool))  # ceil split
+            else:
+                if len(sdwq) == 0:
+                    if self._stop:
+                        break
+                    wake = eng.event(f"worker{wid}-wake")
+                    self._worker_wakes[wid] = wake
+                    if len(sdwq) == 0 and not self._stop:
+                        yield wake
+                    self._worker_wakes[wid] = None
+                    continue
+                budget = 1_000_000_000
+            processed = 0
+            while processed < budget:
+                s, is_steal = self._pick_shard(own)
+                if s is None:
+                    break
+                take = ((lambda s=s: sdwq.steal_from(s)) if is_steal
+                        else (lambda s=s: sdwq.dequeue_shard(s)))
+                node, cost = yield from self.op(
+                    take, holder, shard=s, use_bw=False)
+                self.worker_busy_ns += cost
+                self._signal_space(s)
+                if node is None:
+                    break  # raced empty; outer loop re-checks the queue
+                busy = yield from self._dedup_node(node, holder)
+                self.worker_busy_ns += busy
+                self.worker_nodes += 1
+                processed += 1
+            if dd.kind == "delayed" and self._stop and len(sdwq) == 0:
+                break
+
+    def _dedup_node(self, node, holder: str):
+        """Algorithm 1 as interleavable stages under the lock hierarchy.
+
+        The inode lock is held exclusively across the whole node (as
+        DeNova does); each page's FACT staging runs under its bucket
+        lock, so parallel workers cannot double-insert a fingerprint or
+        double-stage a UC while another's NVM latency elapses.
+        """
+        fs = self.fs
+        daemon = fs.daemon
+        busy = 0.0
+        eng = self.eng
+        ino = node.ino if node.ino in fs.caches else None
+        if ino is not None:
+            name = f"ino:{ino}"
+            self.validator.acquiring(holder, name)
+            t0 = eng.now
+            yield self.ino_rw(ino).acquire_write()
+            self._h_lock_wait.observe(eng.now - t0)
+        try:
+            task, cost = yield from self.op(
+                lambda: daemon.validate_node(node), holder, use_bw=False)
+            busy += cost
+            if task is not None:
+                for pgoff in task.page_offsets:
+                    hit, cost = yield from self.op(
+                        lambda pg=pgoff: daemon.fingerprint_page(task, pg),
+                        holder, use_bw=False)
+                    busy += cost
+                    if hit is None:
+                        continue
+                    page, fp = hit
+                    b = fs.fact.bucket_of(fp)
+                    _, cost = yield from self.op(
+                        lambda pg=pgoff, p=page, f=fp:
+                            daemon.stage_page(task, pg, p, f),
+                        holder, bucket=b, use_bw=False)
+                    busy += cost
+                _, cost = yield from self.op(
+                    lambda: daemon.commit_node(task), holder, use_bw=False)
+                busy += cost
+        finally:
+            if ino is not None:
+                self.ino_rw(ino).release_write()
+                self.validator.released(holder, f"ino:{ino}")
+        return busy

@@ -48,7 +48,7 @@ from repro.nova.entries import (
 from repro.nova.layout import PAGE_SIZE
 from repro.obs import RegistryStats
 
-__all__ = ["DedupDaemon", "DaemonStats"]
+__all__ = ["DedupDaemon", "DaemonStats", "NodeTask"]
 
 
 class DaemonStats(RegistryStats):
@@ -73,6 +73,36 @@ class _PageRec:
     fact_idx: int
     is_dup: bool
     canonical: Optional[int] = None
+
+
+@dataclass
+class NodeTask:
+    """In-flight Algorithm-1 state for one DWQ node.
+
+    Produced by :meth:`DedupDaemon.validate_node`; threaded through the
+    per-page stages and finally :meth:`DedupDaemon.commit_node`.  The
+    synchronous daemon runs the stages back-to-back; the concurrent
+    worker pool (``repro.conc``) interleaves them with engine yields and
+    wraps :meth:`DedupDaemon.stage_page` in a FACT bucket lock.
+    """
+
+    node: "DWQNode"
+    entry: "WriteEntry"
+    cache: object
+    cpu: int
+    recs: list = None
+    reorder_heads: set = None
+
+    def __post_init__(self):
+        if self.recs is None:
+            self.recs = []
+        if self.reorder_heads is None:
+            self.reorder_heads = set()
+
+    @property
+    def page_offsets(self) -> range:
+        return range(self.entry.file_pgoff,
+                     self.entry.file_pgoff + self.entry.num_pages)
 
 
 class DedupDaemon:
@@ -123,13 +153,32 @@ class DedupDaemon:
             self._process_node(node)
 
     def _process_node(self, node: DWQNode) -> None:
+        task = self.validate_node(node)
+        if task is None:
+            return
+        # Step 2+3: fingerprint live pages, stage UCs.
+        for pgoff in task.page_offsets:
+            hit = self.fingerprint_page(task, pgoff)
+            if hit is None:
+                continue
+            page, fp = hit
+            self.stage_page(task, pgoff, page, fp)
+        self.commit_node(task)
+
+    # -- stages (interleavable by the concurrent worker pool) ----------------
+
+    def validate_node(self, node: DWQNode) -> Optional[NodeTask]:
+        """Step 1: reject stale nodes; return the in-flight task if live.
+
+        Stale bookkeeping (stats + ``note_dedup_done``) happens here, so
+        a ``None`` return means the node is fully disposed of.
+        """
         fs = self.fs
-        fact = fs.fact
         cache = fs.caches.get(node.ino)
         if cache is None:  # file deleted while queued
             self.stats.nodes_stale += 1
             fs.note_dedup_done(node.entry_addr)
-            return
+            return None
         # The inode may have been deleted and its number reused while the
         # node sat queued; the old entry's log page may even be a data
         # page now.  The entry must still decode, be a write entry, carry
@@ -143,56 +192,77 @@ class DedupDaemon:
                 or entry.dedupe_flag != DEDUPE_NEEDED):
             self.stats.nodes_stale += 1
             fs.note_dedup_done(node.entry_addr)
-            return
+            return None
         self.stats.nodes_processed += 1
-        cpu = node.ino % fs.cpus
-        recs: list[_PageRec] = []
-        reorder_heads: set[int] = set()
+        return NodeTask(node=node, entry=entry, cache=cache,
+                        cpu=node.ino % fs.cpus)
 
-        # Step 2+3: fingerprint live pages, stage UCs.
-        for pgoff in range(entry.file_pgoff,
-                           entry.file_pgoff + entry.num_pages):
-            self.stats.pages_scanned += 1
-            hit = cache.index.lookup(pgoff)
-            if hit is None or hit[0] != node.entry_addr:
-                self.stats.pages_stale += 1
-                continue
-            page = entry.block_for(pgoff)
-            data = fs.dev.read(page * PAGE_SIZE, PAGE_SIZE)  # chunking read
-            fp = fs.fingerprinter.strong(data)
-            res = fact.lookup(fp)
-            if (self.reorder_enabled and res.found is not None
-                    and res.steps > self.reorder_min_steps
-                    and res.found.refcount >= self.reorder_min_rfc):
-                reorder_heads.add(fact.head_of(fp))
-            if res.found is None:
-                try:
-                    idx = fact.insert(fp, page, hint=res)
-                except FactFull:
-                    # No metadata room: leave the page un-deduplicated.
-                    self.stats.fact_full_events += 1
-                    continue
-                recs.append(_PageRec(pgoff, page, idx, is_dup=False))
+    def fingerprint_page(self, task: NodeTask,
+                         pgoff: int) -> Optional[tuple[int, bytes]]:
+        """Step 2 for one page: staleness check + chunking read + hash.
+
+        Returns ``(page, fingerprint)`` or ``None`` for a page the
+        foreground already overwrote.  Touches no shared FACT state, so
+        parallel workers may run it without holding a bucket lock.
+        """
+        fs = self.fs
+        self.stats.pages_scanned += 1
+        hit = task.cache.index.lookup(pgoff)
+        if hit is None or hit[0] != task.node.entry_addr:
+            self.stats.pages_stale += 1
+            return None
+        page = task.entry.block_for(pgoff)
+        data = fs.dev.read(page * PAGE_SIZE, PAGE_SIZE)  # chunking read
+        return page, fs.fingerprinter.strong(data)
+
+    def stage_page(self, task: NodeTask, pgoff: int, page: int,
+                   fp: bytes) -> None:
+        """Step 3 for one page: FACT lookup / insert / UC staging.
+
+        This is the bucket critical section — everything here addresses
+        the single chain ``fact.bucket_of(fp)``, and the concurrent
+        worker pool serializes it per bucket to rule out double inserts
+        and double UC increments.
+        """
+        fact = self.fs.fact
+        res = fact.lookup(fp)
+        if (self.reorder_enabled and res.found is not None
+                and res.steps > self.reorder_min_steps
+                and res.found.refcount >= self.reorder_min_rfc):
+            task.reorder_heads.add(fact.head_of(fp))
+        if res.found is None:
+            try:
+                idx = fact.insert(fp, page, hint=res)
+            except FactFull:
+                # No metadata room: leave the page un-deduplicated.
+                self.stats.fact_full_events += 1
+                return
+            task.recs.append(_PageRec(pgoff, page, idx, is_dup=False))
+            self.stats.pages_unique += 1
+        elif res.found.block == page:
+            # Self-canonical hit: only reachable when re-deduplicating
+            # a requeued target after a crash (fresh CoW pages can
+            # never pre-exist in FACT).  Recovery's undercount repair
+            # already counted this reference, so a live page with
+            # RFC >= 1 needs nothing; RFC == 0 (defensive — should be
+            # unreachable past the repair) is re-staged.
+            if res.found.refcount == 0:
+                fact.inc_uc(res.found.idx)
+                task.recs.append(_PageRec(pgoff, page, res.found.idx,
+                                          is_dup=False))
                 self.stats.pages_unique += 1
-            elif res.found.block == page:
-                # Self-canonical hit: only reachable when re-deduplicating
-                # a requeued target after a crash (fresh CoW pages can
-                # never pre-exist in FACT).  Recovery's undercount repair
-                # already counted this reference, so a live page with
-                # RFC >= 1 needs nothing; RFC == 0 (defensive — should be
-                # unreachable past the repair) is re-staged.
-                if res.found.refcount == 0:
-                    fact.inc_uc(res.found.idx)
-                    recs.append(_PageRec(pgoff, page, res.found.idx,
-                                         is_dup=False))
-                    self.stats.pages_unique += 1
-            else:
-                fact.inc_uc(res.found.idx)  # step 3
-                recs.append(_PageRec(pgoff, page, res.found.idx, is_dup=True,
-                                     canonical=res.found.block))
-                self.stats.pages_duplicate += 1
+        else:
+            fact.inc_uc(res.found.idx)  # step 3
+            task.recs.append(_PageRec(pgoff, page, res.found.idx,
+                                      is_dup=True, canonical=res.found.block))
+            self.stats.pages_duplicate += 1
 
-        dups = [r for r in recs if r.is_dup]
+    def commit_node(self, task: NodeTask) -> None:
+        """Steps 4–6: redirect entries, settle counts, reclaim, reorder."""
+        fs = self.fs
+        fact = fs.fact
+        node, cache, cpu = task.node, task.cache, task.cpu
+        dups = [r for r in task.recs if r.is_dup]
 
         # Step 4: append redirecting write entries for the duplicates.
         new_entries: list[tuple[int, WriteEntry]] = []
@@ -216,7 +286,7 @@ class DedupDaemon:
         fs.set_dedupe_flag(node.entry_addr, DEDUPE_IN_PROCESS)
 
         # Step 6: settle the counts — one atomic store per entry-page.
-        for rec in recs:
+        for rec in task.recs:
             fact.commit_uc(rec.fact_idx)
         for addr, _we in new_entries:
             fs.set_dedupe_flag(addr, DEDUPE_COMPLETE)
@@ -233,6 +303,6 @@ class DedupDaemon:
             self.stats.pages_reclaimed += displaced.total_pages
 
         # §IV-E: reorder the chains that showed slow lookups.
-        for head in reorder_heads:
+        for head in task.reorder_heads:
             if reorder_chain(fact, head):
                 self.stats.reorders += 1

@@ -54,6 +54,8 @@ class DeNovaFS(NovaFS):
             "fact_entry_removes": "dedup.fact_entry_removes_total",
             # page had no FACT entry
             "direct_frees": "dedup.direct_frees_total",
+            # RFC hit zero but a dedup transaction holds a staged UC
+            "uc_deferred_removes": "dedup.uc_deferred_removes_total",
         })
 
     # ------------------------------------------------------------ mkfs/mount
@@ -75,7 +77,7 @@ class DeNovaFS(NovaFS):
         if clean:
             restored = self.dwq.restore(self.dev, self.geo)
             if restored >= 0:
-                for node in list(self.dwq._q):
+                for node in self.dwq.snapshot():
                     self._pending_pages[node.entry_addr // PAGE_SIZE] += 1
                 report.extra["dwq_restored"] = restored
                 return
@@ -136,9 +138,20 @@ class DeNovaFS(NovaFS):
                     freeable = True
                 else:
                     if self.fact.dec_rfc(ent.idx) == 0:
-                        self.fact.remove(ent.idx)
-                        self.dedup_counters["fact_entry_removes"] += 1
-                        freeable = True
+                        if self.fact.staged_uc(ent.idx):
+                            # A concurrent dedup worker staged a UC on
+                            # this entry between its lookup and commit:
+                            # the page is about to gain a reference, so
+                            # retiring it here would dangle the worker's
+                            # redirect.  The commit turns the staged UC
+                            # into RFC = 1; a crashed transaction is
+                            # settled by recovery's UC discard + dead-
+                            # entry sweep.
+                            self.dedup_counters["uc_deferred_removes"] += 1
+                        else:
+                            self.fact.remove(ent.idx)
+                            self.dedup_counters["fact_entry_removes"] += 1
+                            freeable = True
                     else:
                         self.dedup_counters["shared_page_keeps"] += 1
                 if freeable:

@@ -54,7 +54,14 @@ class DWQNode:
 
 
 class DWQ:
-    """DRAM FIFO with lingering-time accounting and PM save/restore."""
+    """DRAM FIFO with lingering-time accounting and PM save/restore.
+
+    Raw queue storage is reached only through the ``_append`` /
+    ``_popleft`` / ``_items`` / ``_clear_items`` hooks, so subclasses
+    (``repro.conc.sdwq.ShardedDWQ``) can change the layout — per-CPU
+    shards — while inheriting the accounting and the on-PM save format
+    byte for byte.
+    """
 
     def __init__(self, cpu: CpuModel, clock: SimClock,
                  obs: Optional[ObsHub] = None):
@@ -75,38 +82,62 @@ class DWQ:
             "dwq.residency_ns", buckets=RESIDENCY_BUCKETS_NS,
             help="simulated ns a node spent queued (Fig. 10 CDF)")
 
+    # ------------------------------------------------------- storage hooks
+
+    def _append(self, node: DWQNode) -> None:
+        self._q.append(node)
+
+    def _popleft(self) -> Optional[DWQNode]:
+        return self._q.popleft() if self._q else None
+
+    def _items(self) -> list[DWQNode]:
+        """Queued nodes in global FIFO order."""
+        return list(self._q)
+
+    def _clear_items(self) -> None:
+        self._q.clear()
+
     def __len__(self) -> int:
         return len(self._q)
+
+    # ---------------------------------------------------------- operations
 
     def enqueue(self, node: DWQNode) -> None:
         """Writer side: stamp and append (one DRAM touch)."""
         self._clock.advance(self._cpu.dram_touch_ns)
         node.enqueue_time_ns = self._clock.now_ns
-        self._q.append(node)
+        self._append(node)
         self.enqueued += 1
-        self._g_depth.set(len(self._q))
-        if len(self._q) > self.peak_length:
-            self.peak_length = len(self._q)
+        self._g_depth.set(len(self))
+        if len(self) > self.peak_length:
+            self.peak_length = len(self)
 
     def dequeue(self) -> Optional[DWQNode]:
         """Daemon side: pop the oldest node, recording lingering time."""
         self._clock.advance(self._cpu.dram_touch_ns)
-        if not self._q:
+        node = self._popleft()
+        if node is None:
             return None
-        node = self._q.popleft()
+        self._account_dequeue(node)
+        return node
+
+    def _account_dequeue(self, node: DWQNode) -> None:
         self.dequeued += 1
-        self._g_depth.set(len(self._q))
+        self._g_depth.set(len(self))
         linger = self._clock.now_ns - node.enqueue_time_ns
         self.lingering_ns.append(linger)
         self._h_residency.observe(linger)
-        return node
 
     def peek_addrs(self) -> set[int]:
         """Entry addresses currently queued (log-GC veto set)."""
-        return {n.entry_addr for n in self._q}
+        return {n.entry_addr for n in self._items()}
+
+    def snapshot(self) -> list[DWQNode]:
+        """Queued nodes in FIFO order (read-only view for recovery)."""
+        return self._items()
 
     def clear(self) -> None:
-        self._q.clear()
+        self._clear_items()
         self._g_depth.set(0)
 
     # ------------------------------------------------------------ persistence
@@ -129,10 +160,10 @@ class DWQ:
         """
         base = geo.dwq_save_page * PAGE_SIZE
         cap = self.capacity_on(geo)
-        if len(self._q) > cap:
+        if len(self) > cap:
             Superblock(dev).set_dwq_saved_count(self.OVERFLOWED)
             return 0
-        nodes = list(self._q)
+        nodes = self._items()
         if nodes:
             blob = b"".join(struct.pack(_NODE_FMT, n.ino, n.entry_addr)
                             for n in nodes)

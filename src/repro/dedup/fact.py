@@ -205,6 +205,16 @@ class FACT:
     def head_of(self, fp: bytes) -> int:
         return fp_prefix(fp, self.prefix_bits)
 
+    def bucket_of(self, fp: bytes) -> int:
+        """Lock-granularity key for parallel dedup workers.
+
+        A fingerprint's whole lookup/insert footprint (its DAA slot and
+        the chain hanging off it) is addressed by the prefix, so the
+        chain head doubles as the bucket id: two workers can race on a
+        FACT mutation only if their fingerprints share this value.
+        """
+        return self.head_of(fp)
+
     def chain(self, head_idx: int, silent: bool = False) -> Iterator[FactEntry]:
         """Walk a chain via ``next`` links (cycle-guarded)."""
         idx = head_idx
@@ -332,6 +342,10 @@ class FACT:
 
     def refcount(self, idx: int) -> int:
         return self._read_u64(idx, _OFF_COUNTS) & _RFC_MASK
+
+    def staged_uc(self, idx: int) -> int:
+        """Uncommitted count: dedup transactions in flight on this entry."""
+        return self._read_u64(idx, _OFF_COUNTS) >> 32
 
     # ------------------------------------------------------------ delete pointers
 

@@ -72,6 +72,8 @@ class FuzzConfig:
     modes: tuple = ("discard", "torn")
     corpus: Optional[str] = None
     max_failures: int = 3        # stop the campaign after this many
+    clients: int = 1             # >1: concurrent-mode sequences (merged
+    #                              per-client streams under /c<i> roots)
 
 
 @dataclass

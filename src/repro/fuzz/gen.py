@@ -32,7 +32,8 @@ from repro.nova.layout import PAGE_SIZE
 from repro.workloads.datagen import DataGenerator
 from repro.workloads.trace import TraceOp
 
-__all__ = ["GenConfig", "SequenceGenerator", "generate_sequence"]
+__all__ = ["GenConfig", "SequenceGenerator", "generate_sequence",
+           "generate_concurrent_sequence"]
 
 
 @dataclass
@@ -378,3 +379,86 @@ def generate_sequence(seed: int, stream: int, nops: int,
                       cfg: Optional[GenConfig] = None) -> list[TraceOp]:
     """One-shot convenience wrapper."""
     return SequenceGenerator(seed, stream, cfg).generate(nops)
+
+
+# ---------------------------------------------------------------- concurrent
+
+
+def _prefix_path(path: Optional[str], prefix: str) -> Optional[str]:
+    """Move an absolute path under a client's private root.
+
+    Relative paths (dangling symlink targets) and ``None`` pass through:
+    a relative target resolves against its (already prefixed) parent, so
+    it needs no rewrite to stay inside the client tree.
+    """
+    if path is None or not path.startswith("/"):
+        return path
+    return prefix if path == "/" else prefix + path
+
+
+def _client_cfg(cfg: GenConfig, clients: int) -> GenConfig:
+    """Per-client budgets + no global-namespace ops.
+
+    Snapshots capture the *whole* tree, so under concurrent clients their
+    contents would depend on the merge order — exactly the kind of
+    cross-client coupling the mode excludes.  Payload and node budgets
+    are divided so a K-client sequence stresses the same totals as a
+    sequential one.
+    """
+    weights = {k: w for k, w in cfg.weights.items()
+               if k not in ("snapshot", "snap_delete")}
+    from dataclasses import replace as _dc_replace
+    return _dc_replace(
+        cfg, weights=weights,
+        max_data_pages=max(cfg.max_write_pages, cfg.max_data_pages // clients),
+        max_nodes=max(8, cfg.max_nodes // clients))
+
+
+def generate_concurrent_sequence(seed: int, stream: int, nops: int,
+                                 clients: int = 2,
+                                 cfg: Optional[GenConfig] = None,
+                                 ) -> list[TraceOp]:
+    """A K-client trace: per-client streams merged in a seeded interleave.
+
+    Each client generates against its own model under a private root
+    ``/c<i>`` (paths — including absolute symlink targets — are
+    rewritten), so clients are logically race-free: any interleaving of
+    the merged trace reaches the same final state, which is what the
+    repro.conc schedule permuter asserts on the real filesystem.  The
+    merge preserves each client's program order and is itself seeded,
+    so the whole trace stays a deterministic function of
+    ``(seed, stream, clients)`` — and remains an ordinary sequential
+    trace that the differential crash runner replays unchanged.
+    """
+    from dataclasses import replace as _dc_replace
+
+    if clients < 1:
+        raise ValueError("clients must be >= 1")
+    base = cfg or GenConfig()
+    if clients == 1:
+        return SequenceGenerator(seed, stream, base).generate(nops)
+    ccfg = _client_cfg(base, clients)
+    share = nops // clients
+    counts = [share + (1 if c < nops % clients else 0)
+              for c in range(clients)]
+    queues: list[list[TraceOp]] = []
+    merged: list[TraceOp] = []
+    for c in range(clients):
+        prefix = f"/c{c}"
+        merged.append(TraceOp(op="mkdir", path=prefix))
+        gen = SequenceGenerator(seed, stream * clients + c, ccfg)
+        ops = [_dc_replace(op,
+                           path=_prefix_path(op.path, prefix),
+                           path2=_prefix_path(op.path2, prefix))
+               for op in gen.generate(counts[c])]
+        queues.append(ops)
+    rng = random.Random(f"repro.fuzz.conc:{seed}:{stream}:{clients}")
+    cursors = [0] * clients
+    while True:
+        live = [c for c in range(clients) if cursors[c] < len(queues[c])]
+        if not live:
+            break
+        c = rng.choice(live)
+        merged.append(queues[c][cursors[c]])
+        cursors[c] += 1
+    return merged

@@ -18,7 +18,8 @@ from dataclasses import dataclass, field
 from typing import Optional
 
 from repro.fuzz.diff import FuzzConfig, Violation, run_case
-from repro.fuzz.gen import GenConfig, SequenceGenerator
+from repro.fuzz.gen import (GenConfig, SequenceGenerator,
+                            generate_concurrent_sequence)
 from repro.fuzz.shrink import shrink
 from repro.obs import MetricsRegistry
 from repro.workloads.trace import Trace, TraceOp
@@ -95,9 +96,14 @@ class FuzzRunner:
                 self.log(f"stopping after {len(result.failures)} failures")
                 break
             nops = min(cfg.seq_ops, cfg.total_ops - result.ops_generated)
-            gen = SequenceGenerator(seed=cfg.seed, stream=stream,
-                                    cfg=self.gen_cfg)
-            ops = gen.generate(nops)
+            if cfg.clients > 1:
+                ops = generate_concurrent_sequence(
+                    seed=cfg.seed, stream=stream, nops=nops,
+                    clients=cfg.clients, cfg=self.gen_cfg)
+            else:
+                gen = SequenceGenerator(seed=cfg.seed, stream=stream,
+                                        cfg=self.gen_cfg)
+                ops = gen.generate(nops)
             result.ops_generated += len(ops)
             failure = self.run_sequence(ops, stream, result)
             if failure is not None:

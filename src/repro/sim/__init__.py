@@ -30,6 +30,7 @@ from repro.sim.engine import (
     Lock,
     Process,
     Resource,
+    RWLock,
 )
 
 __all__ = [
@@ -40,4 +41,5 @@ __all__ = [
     "Lock",
     "Process",
     "Resource",
+    "RWLock",
 ]

@@ -23,6 +23,7 @@ __all__ = [
     "Event",
     "Process",
     "Lock",
+    "RWLock",
     "Resource",
     "FifoQueue",
     "Interrupt",
@@ -253,8 +254,28 @@ class Engine:
         return self.now
 
 
+def _abandoned(ev: Event) -> bool:
+    """True when a queued waiter's process was interrupted away.
+
+    :meth:`Process.interrupt` detaches the process's ``_resume`` callback
+    from the event it was waiting on, leaving an untriggered event with an
+    empty callback list in the lock's waiter queue.  Granting such an
+    event would park the lock on a dead holder forever, so hand-off must
+    skip it.  (A *live* waiter always carries exactly the ``_resume``
+    callback: the waiting process yielded the event in the same engine
+    step that queued it.)
+    """
+    return not ev.triggered and not ev.callbacks
+
+
 class Lock:
-    """A FIFO mutex for simulated threads.
+    """A strictly-FIFO mutex for simulated threads.
+
+    Fairness guarantee: waiters are granted in arrival order and a new
+    ``acquire()`` can never barge past the queue — :meth:`release` names
+    the next holder synchronously (``_holder`` is re-pointed before any
+    hand-off delay elapses), so an acquire that arrives mid-hand-off
+    still sees the lock held and queues behind everyone else.
 
     ``contention_penalty_ns`` models cache-coherence cost per queued waiter
     at acquire time: heavily contended locks (per-CPU allocator under
@@ -295,8 +316,10 @@ class Lock:
     def release(self) -> None:
         if self._holder is None:
             raise RuntimeError("release of unheld Lock")
-        if self._waiters:
+        while self._waiters:
             nxt = self._waiters.popleft()
+            if _abandoned(nxt):
+                continue  # waiter was interrupted away; never grant it
             self._holder = nxt
             penalty = self.contention_penalty_ns * (1 + len(self._waiters))
             if penalty:
@@ -305,8 +328,8 @@ class Lock:
                 hand.add_callback(lambda _e: nxt.succeed())
             else:
                 nxt.succeed()
-        else:
-            self._holder = None
+            return
+        self._holder = None
 
     def held(self, body: Generator) -> Generator:
         """Run a sub-generator while holding the lock (helper)."""
@@ -316,6 +339,141 @@ class Lock:
         finally:
             self.release()
         return result
+
+
+class RWLock:
+    """A phase-fair reader/writer lock for simulated threads.
+
+    * Readers share the lock; a writer holds it exclusively.
+    * Grant order is strictly FIFO over *phases*: a reader arriving after
+      a queued writer waits behind it (no reader barging), so a writer
+      behind any stream of readers runs after at most one read phase.
+    * On hand-off the longest possible leading run of queued readers is
+      admitted as one batch (maximum read parallelism without reordering).
+
+    Contention penalty semantics match :class:`Lock`: each hand-off is
+    delayed by ``contention_penalty_ns * (1 + remaining queue length)``.
+    """
+
+    __slots__ = ("engine", "_readers", "_writer", "_waiters", "acquisitions",
+                 "contended_acquisitions", "read_grants", "write_grants",
+                 "contention_penalty_ns")
+
+    def __init__(self, engine: Engine, contention_penalty_ns: float = 0.0):
+        self.engine = engine
+        self._readers = 0
+        self._writer: Optional[Event] = None
+        self._waiters: deque[tuple[str, Event]] = deque()
+        self.acquisitions = 0
+        self.contended_acquisitions = 0
+        self.read_grants = 0
+        self.write_grants = 0
+        self.contention_penalty_ns = contention_penalty_ns
+
+    @property
+    def locked(self) -> bool:
+        return self._writer is not None or self._readers > 0
+
+    @property
+    def write_locked(self) -> bool:
+        return self._writer is not None
+
+    @property
+    def active_readers(self) -> int:
+        return self._readers
+
+    @property
+    def queue_length(self) -> int:
+        return len(self._waiters)
+
+    def acquire_read(self) -> Event:
+        ev = self.engine.event("rwlock.acquire_read")
+        self.acquisitions += 1
+        if self._writer is None and not self._waiters:
+            self._readers += 1
+            self.read_grants += 1
+            ev.succeed()
+        else:
+            self.contended_acquisitions += 1
+            self._waiters.append(("r", ev))
+        return ev
+
+    def acquire_write(self) -> Event:
+        ev = self.engine.event("rwlock.acquire_write")
+        self.acquisitions += 1
+        if self._writer is None and self._readers == 0 and not self._waiters:
+            self._writer = ev
+            self.write_grants += 1
+            ev.succeed()
+        else:
+            self.contended_acquisitions += 1
+            self._waiters.append(("w", ev))
+        return ev
+
+    def acquire(self, mode: str) -> Event:
+        if mode == "r":
+            return self.acquire_read()
+        if mode == "w":
+            return self.acquire_write()
+        raise ValueError(f"RWLock mode must be 'r' or 'w', not {mode!r}")
+
+    def release_read(self) -> None:
+        if self._readers <= 0:
+            raise RuntimeError("release_read of unheld RWLock")
+        self._readers -= 1
+        if self._readers == 0:
+            self._hand_off()
+
+    def release_write(self) -> None:
+        if self._writer is None:
+            raise RuntimeError("release_write of unheld RWLock")
+        self._writer = None
+        self._hand_off()
+
+    def release(self, mode: str) -> None:
+        if mode == "r":
+            self.release_read()
+        elif mode == "w":
+            self.release_write()
+        else:
+            raise ValueError(f"RWLock mode must be 'r' or 'w', not {mode!r}")
+
+    def _grant(self, ev: Event, penalty: float) -> None:
+        if penalty:
+            self.engine.timeout(penalty).add_callback(
+                lambda _e, ev=ev: ev.succeed())
+        else:
+            ev.succeed()
+
+    def _hand_off(self) -> None:
+        while self._waiters and _abandoned(self._waiters[0][1]):
+            self._waiters.popleft()
+        if not self._waiters:
+            return
+        mode, ev = self._waiters.popleft()
+        if mode == "w":
+            # Holder is named synchronously: no reader can barge in
+            # during the hand-off delay.
+            self._writer = ev
+            self.write_grants += 1
+            penalty = self.contention_penalty_ns * (1 + len(self._waiters))
+            self._grant(ev, penalty)
+            return
+        batch = [ev]
+        while self._waiters:
+            m2, e2 = self._waiters[0]
+            if _abandoned(e2):
+                self._waiters.popleft()
+                continue
+            if m2 != "r":
+                break  # phase boundary: the next writer ends the batch
+            batch.append(e2)
+            self._waiters.popleft()
+        self._readers += len(batch)
+        self.read_grants += len(batch)
+        penalty = self.contention_penalty_ns * (1 + len(self._waiters))
+        for e in batch:
+            self._grant(e, penalty)
 
 
 class Resource:
@@ -356,10 +514,13 @@ class Resource:
     def release(self) -> None:
         if self._in_use <= 0:
             raise RuntimeError("release of idle Resource")
-        if self._waiters:
-            self._waiters.popleft().succeed()
-        else:
-            self._in_use -= 1
+        while self._waiters:
+            nxt = self._waiters.popleft()
+            if _abandoned(nxt):
+                continue
+            nxt.succeed()  # slot transfers FIFO: no barging, no starvation
+            return
+        self._in_use -= 1
 
 
 class FifoQueue:

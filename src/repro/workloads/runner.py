@@ -6,21 +6,27 @@ is absorbed instead of advancing global time), then the simulated thread
 sleeps that long on the engine — so interleaving, lock queuing and
 bandwidth saturation are decided by the DES, not by call order.
 
-Contention model (what produces the paper's Fig. 9 shape):
+Since the repro.conc subsystem landed, the runner drives workloads
+through :class:`~repro.conc.vfs.ConcurrentVFS`: N real client processes
+against one filesystem under the ns → ino → shard → bucket lock
+hierarchy, a per-CPU :class:`~repro.conc.sdwq.ShardedDWQ`, and a dedup
+**worker pool** (``workers=1`` replicates the single-daemon behaviour
+the paper measures).  Contention model (the paper's Fig. 9 shape):
 
 * an **iMC bandwidth resource** with ``bw_slots`` concurrent slots —
   writers queue behind it, saturating device throughput;
 * a small **coherence penalty per queued waiter** on slot hand-off —
   oversubscription makes everyone slightly slower, giving the post-peak
   decline;
-* the **shared DWQ lock** between writers and the dedup daemon — the
-  paper's <1 % foreground cost, measured rather than assumed;
-* **per-inode locks** — held by the daemon for the whole Algorithm-1
-  node, exactly as DeNova holds the inode lock during deduplication.
+* the **namespace RWLock** plus a live-client coherence tax on creates —
+  why small-file throughput peaks at fewer threads than large-file;
+* **per-inode RWLocks** — held exclusively by a dedup worker for the
+  whole Algorithm-1 node, exactly as DeNova holds the inode lock.
 
-The dedup daemon runs as its own DES process: ``DDMode.immediate()``
-(aggressive polling, woken by enqueues) or ``DDMode.delayed(n_ms, m)``
-(every n ms, up to m nodes).
+The dedup pool is driven by ``DDMode.immediate()`` (sleep until kicked,
+then drain) or ``DDMode.delayed(n_ms, m)`` (every n ms, up to m nodes
+split across the pool).  :class:`SimContext` remains for single-process
+drive paths (read-side benchmarks) that predate repro.conc.
 """
 
 from __future__ import annotations
@@ -28,6 +34,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Callable, Optional
 
+from repro.conc.vfs import ConcurrentVFS
 from repro.sim import Engine, Lock, Resource
 from repro.workloads.datagen import DataGenerator
 from repro.workloads.fio import JobSpec, Mode
@@ -82,6 +89,10 @@ class RunResult:
     dd_nodes: int = 0
     per_thread_ns: list = field(default_factory=list)
     per_thread_bytes: list = field(default_factory=list)
+    per_thread_latency: list = field(default_factory=list)  # percentile dicts
+    workers: int = 1
+    steals: int = 0
+    stalls: int = 0
     dwq_peak: int = 0
     lingering_ns: list = field(default_factory=list)
     space: dict = field(default_factory=dict)
@@ -186,15 +197,17 @@ class SimContext:
         return result, cost
 
 
-def _writer(ctx: SimContext, fs, spec: JobSpec, tid: int, gen: DataGenerator,
-            result: RunResult, mode_has_daemon: bool,
-            dd_wake: list, inos: list):
-    """One fio job thread (generator process)."""
+def _writer(cvfs: ConcurrentVFS, fs, spec: JobSpec, tid: int,
+            gen: DataGenerator, result: RunResult, mode_has_daemon: bool,
+            inos: list):
+    """One fio job thread (a ConcurrentVFS client generator)."""
     my_files = range(tid, spec.nfiles, spec.threads)
+    holder = f"writer-{tid}"
+    lat = cvfs.client_latency_histogram(tid)
     io_ns = 0.0
     think_ns = 0.0
     bytes_moved = 0
-    start = ctx.eng.now
+    start = cvfs.eng.now
     for i in my_files:
         path = f"/t{tid}/f{i}"
         file_io_ns = 0.0
@@ -204,10 +217,9 @@ def _writer(ctx: SimContext, fs, spec: JobSpec, tid: int, gen: DataGenerator,
             def _create(path=path):
                 return fs.create(path)
 
-            coherence = ctx.namespace_coherence_ns * (spec.threads - 1)
-            ino, cost = yield from ctx.op(_create, use_bw=True,
-                                          extra_lock=ctx.namespace_lock,
-                                          extra_ns=coherence)
+            ino, cost = yield from cvfs.op(
+                _create, holder, ns_mode="w", use_bw=True,
+                extra_ns=cvfs.coherence_tax_ns, record=lat)
             file_io_ns += cost
             inos[i] = ino
             chunk = spec.io_chunk or spec.file_size
@@ -217,12 +229,13 @@ def _writer(ctx: SimContext, fs, spec: JobSpec, tid: int, gen: DataGenerator,
                 def _write(ino=ino, off=off, piece=piece):
                     return fs.write(ino, off, piece, cpu=tid)
 
-                _, cost = yield from ctx.op(_write, ino=ino)
+                yield from cvfs.admit(ino, holder)
+                _, cost = yield from cvfs.op(_write, holder, ino=ino,
+                                             record=lat)
                 file_io_ns += cost
                 bytes_moved += len(piece)
-            if mode_has_daemon and dd_wake[0] is not None \
-                    and not dd_wake[0].triggered:
-                dd_wake[0].succeed()
+            if mode_has_daemon:
+                cvfs.kick_workers()
         elif spec.mode == Mode.OVERWRITE:
             ino = inos[i]
             data = gen.file_data(spec.file_size)
@@ -230,12 +243,13 @@ def _writer(ctx: SimContext, fs, spec: JobSpec, tid: int, gen: DataGenerator,
             def _write(ino=ino, data=data):
                 return fs.write(ino, 0, data, cpu=tid)
 
-            _, cost = yield from ctx.op(_write, ino=ino)
+            yield from cvfs.admit(ino, holder)
+            _, cost = yield from cvfs.op(_write, holder, ino=ino,
+                                         record=lat)
             file_io_ns += cost
             bytes_moved += spec.file_size
-            if mode_has_daemon and dd_wake[0] is not None \
-                    and not dd_wake[0].triggered:
-                dd_wake[0].succeed()
+            if mode_has_daemon:
+                cvfs.kick_workers()
         elif spec.mode == Mode.READ or (spec.mode == Mode.READWRITE
                                         and tid != 0):
             ino = inos[i]
@@ -243,7 +257,8 @@ def _writer(ctx: SimContext, fs, spec: JobSpec, tid: int, gen: DataGenerator,
             def _read(ino=ino):
                 return fs.read(ino, 0, spec.file_size, cpu=tid)
 
-            _, cost = yield from ctx.op(_read, ino=ino)
+            _, cost = yield from cvfs.op(_read, holder, ino=ino,
+                                         ino_mode="r", record=lat)
             file_io_ns += cost
             bytes_moved += spec.file_size
         elif spec.mode == Mode.READWRITE:
@@ -255,12 +270,13 @@ def _writer(ctx: SimContext, fs, spec: JobSpec, tid: int, gen: DataGenerator,
             def _write(ino=ino, data=data):
                 return fs.write(ino, 0, data, cpu=tid)
 
-            _, cost = yield from ctx.op(_write, ino=ino)
+            yield from cvfs.admit(ino, holder)
+            _, cost = yield from cvfs.op(_write, holder, ino=ino,
+                                         record=lat)
             file_io_ns += cost
             bytes_moved += spec.file_size
-            if mode_has_daemon and dd_wake[0] is not None \
-                    and not dd_wake[0].triggered:
-                dd_wake[0].succeed()
+            if mode_has_daemon:
+                cvfs.kick_workers()
         else:
             raise ValueError(f"unsupported mode {spec.mode}")
         io_ns += file_io_ns
@@ -268,54 +284,13 @@ def _writer(ctx: SimContext, fs, spec: JobSpec, tid: int, gen: DataGenerator,
             # §V-B1: 0.1 ms of think time per 0.1 ms of I/O time.
             think = file_io_ns * spec.think_ratio
             think_ns += think
-            yield ctx.eng.timeout(think)
-    result.per_thread_ns[tid] = ctx.eng.now - start
+            yield cvfs.eng.timeout(think)
+    result.per_thread_ns[tid] = cvfs.eng.now - start
     result.per_thread_bytes[tid] = bytes_moved
     result.io_ns += io_ns
     result.think_ns += think_ns
     result.bytes_moved += bytes_moved
     result.files_done += len(my_files)
-
-
-def _daemon_proc(ctx: SimContext, fs, dd: DDMode, result: RunResult,
-                 stop: list, dd_wake: list):
-    """The DD as a DES process (immediate polling or delayed(n, m))."""
-    eng = ctx.eng
-    while True:
-        if dd.kind == "delayed":
-            yield eng.timeout(dd.interval_ms * MS)
-            budget = dd.batch
-        else:
-            if len(fs.dwq) == 0:
-                if stop[0]:
-                    break
-                dd_wake[0] = eng.event("dd-wake")
-                if len(fs.dwq) == 0 and not stop[0]:
-                    yield dd_wake[0]
-                dd_wake[0] = None
-                continue
-            budget = 1_000_000_000
-        processed = 0
-        while processed < budget:
-            def _dequeue():
-                return fs.dwq.dequeue()
-
-            node, cost = yield from ctx.op(_dequeue, use_bw=False,
-                                           extra_lock=ctx.dwq_lock)
-            result.dd_busy_ns += cost
-            if node is None:
-                break
-
-            def _process(node=node):
-                fs.daemon.process_node(node)
-
-            ino = node.ino if node.ino in fs.caches else None
-            _, cost = yield from ctx.op(_process, ino=ino, use_bw=False)
-            result.dd_busy_ns += cost
-            result.dd_nodes += 1
-            processed += 1
-        if dd.kind == "delayed" and stop[0] and len(fs.dwq) == 0:
-            break
 
 
 def prepopulate(fs, spec: JobSpec, drain: bool = True) -> list[int]:
@@ -343,17 +318,26 @@ def prepopulate(fs, spec: JobSpec, drain: bool = True) -> list[int]:
 
 def run_workload(fs, spec: JobSpec, dd: Optional[DDMode] = None,
                  bw_slots: int = 4, inos: Optional[list[int]] = None,
-                 drain_before: bool = True) -> RunResult:
-    """Execute a job on the DES engine and return simulated-time results.
+                 drain_before: bool = True, workers: int = 1,
+                 shards: Optional[int] = None,
+                 max_shard_depth: Optional[int] = None,
+                 jitter_seed: Optional[int] = None) -> RunResult:
+    """Execute a job through ConcurrentVFS and return simulated results.
 
     For OVERWRITE/READ modes the file set must exist (pass ``inos`` from
     :func:`prepopulate`, or the runner prepopulates with the same spec).
+
+    ``workers`` sizes the dedup worker pool (1 = the paper's single
+    daemon); ``shards`` overrides the DWQ shard count (default: one per
+    CPU); ``max_shard_depth`` bounds shard depth (writers stall on full
+    shards — backpressure); ``jitter_seed`` perturbs the schedule for
+    the determinism permuter.
     """
     if dd is None:
         dd = DDMode.immediate() if hasattr(fs, "daemon") else DDMode.none()
     if dd.kind != "none" and not hasattr(fs, "daemon"):
         raise ValueError(f"{type(fs).__name__} has no dedup daemon")
-    result = RunResult(spec=spec, dd=str(dd))
+    result = RunResult(spec=spec, dd=str(dd), workers=workers)
     result.per_thread_ns = [0.0] * spec.threads
     result.per_thread_bytes = [0] * spec.threads
 
@@ -366,7 +350,9 @@ def run_workload(fs, spec: JobSpec, dd: Optional[DDMode] = None,
             if not fs.exists(f"/t{t}"):
                 fs.mkdir(f"/t{t}")
 
-    ctx = SimContext(fs, bw_slots=bw_slots)
+    cvfs = ConcurrentVFS(fs, bw_slots=bw_slots, workers=workers,
+                         shards=shards, max_shard_depth=max_shard_depth,
+                         jitter_seed=jitter_seed)
     # Overwrite phases rewrite with *fresh* unique-stream offsets so the
     # new data does not accidentally equal the old.
     stream_base = 1000 if spec.mode == Mode.OVERWRITE else 0
@@ -374,38 +360,46 @@ def run_workload(fs, spec: JobSpec, dd: Optional[DDMode] = None,
                           stream=stream_base + t)
             for t in range(spec.threads)]
 
-    stop = [False]
-    dd_wake: list = [None]
     has_daemon = dd.kind != "none"
 
     writers = [
-        ctx.eng.process(
-            _writer(ctx, fs, spec, t, gens[t], result, has_daemon,
-                    dd_wake, inos),
+        cvfs.client(
+            _writer(cvfs, fs, spec, t, gens[t], result, has_daemon, inos),
             name=f"writer-{t}")
         for t in range(spec.threads)
     ]
-    dd_proc = None
-    if has_daemon:
-        dd_proc = ctx.eng.process(
-            _daemon_proc(ctx, fs, dd, result, stop, dd_wake), name="dd")
+    worker_procs = cvfs.start_workers(dd) if has_daemon else []
 
     def _coordinator():
-        yield ctx.eng.all_of(writers)
-        result.foreground_ns = ctx.eng.now
-        stop[0] = True
-        if dd_wake[0] is not None and not dd_wake[0].triggered:
-            dd_wake[0].succeed()
-        if dd_proc is not None:
-            yield dd_proc
-        result.total_ns = ctx.eng.now
+        yield cvfs.eng.all_of(writers)
+        result.foreground_ns = cvfs.eng.now
+        cvfs.stop_workers()
+        if worker_procs:
+            yield cvfs.eng.all_of(worker_procs)
+        result.total_ns = cvfs.eng.now
 
-    coord = ctx.eng.process(_coordinator(), name="coordinator")
-    ctx.eng.run()
+    coord = cvfs.eng.process(_coordinator(), name="coordinator")
+    cvfs.eng.run()
     if not coord.triggered:
         raise RuntimeError("workload deadlocked: coordinator never finished")
 
-    fs.clock.sync_to(max(fs.clock.now_ns, ctx.now_ns))
+    fs.clock.sync_to(max(fs.clock.now_ns, cvfs.now_ns))
+    result.dd_busy_ns = cvfs.worker_busy_ns
+    result.dd_nodes = cvfs.worker_nodes
+    result.per_thread_latency = []
+    for t in range(spec.threads):
+        h = cvfs.client_latency_histogram(t)
+        result.per_thread_latency.append({
+            "count": h.count,
+            "p50_ns": h.percentile(0.5) if h.count else 0.0,
+            "p95_ns": h.percentile(0.95) if h.count else 0.0,
+            "p99_ns": h.percentile(0.99) if h.count else 0.0,
+            "mean_ns": h.sum / h.count if h.count else 0.0,
+            "max_ns": h.max if h.count else 0.0,
+        })
+    if cvfs.sdwq is not None:
+        result.steals = cvfs.sdwq.steals
+    result.stalls = int(cvfs._c_stalls.value)
     if hasattr(fs, "dwq"):
         result.dwq_peak = fs.dwq.peak_length
         result.lingering_ns = list(fs.dwq.lingering_ns)

@@ -1,0 +1,96 @@
+"""FACT bucket-locking property test.
+
+P parallel dedup workers pounding a duplicate-heavy block set must never
+double-claim a FACT entry: reference counts end exactly equal to the
+live file references (no double-increment), chains stay well-linked (no
+orphaned prev/next), and no two live entries claim one block — including
+when power fails at every persist event of the concurrent run.
+"""
+
+from collections import Counter
+
+import pytest
+
+from repro.core import Config, Variant, make_fs
+from repro.dedup.denova import DeNovaFS
+from repro.failure import check_fs_invariants, sweep_crash_points
+from repro.workloads import run_workload, small_file_job
+
+pytestmark = pytest.mark.conc
+
+
+def live_block_refs(fs) -> Counter:
+    """How many live file pages reference each physical block."""
+    refs: Counter = Counter()
+    for cache in fs.caches.values():
+        if cache.inode.itype != 1:
+            continue
+        for pgoff, (_a, entry) in cache.index._slots.items():
+            refs[entry.block_for(pgoff)] += 1
+    return refs
+
+
+def run_parallel(workers, shards, nfiles=36, threads=3, seed=5):
+    fs, dd = make_fs(Variant.IMMEDIATE,
+                     Config(device_pages=4096, max_inodes=512, cpus=4))
+    res = run_workload(fs, small_file_job(nfiles=nfiles, dup_ratio=0.9,
+                                          threads=threads, seed=seed),
+                       dd=dd, workers=workers, shards=shards)
+    assert res.dd_nodes == nfiles and len(fs.dwq) == 0
+    return fs
+
+
+class TestNoDoubleClaim:
+    @pytest.mark.parametrize("workers,shards", [(1, 1), (2, 4), (4, 8)])
+    def test_rfc_exactly_matches_references(self, workers, shards):
+        """After a drained duplicate-heavy run, every tracked block's RFC
+        equals its live reference count — an over-count would prove two
+        workers both claimed the same FACT entry for a page."""
+        fs = run_parallel(workers, shards)
+        refs = live_block_refs(fs)
+        entries = fs.fact.live_entries()
+        by_block = {}
+        for idx, ent in entries.items():
+            assert ent.block not in by_block, \
+                f"FACT[{by_block[ent.block]}] and FACT[{idx}] both claim " \
+                f"block {ent.block}"
+            by_block[ent.block] = idx
+            assert ent.update_count == 0, \
+                f"FACT[{idx}]: staged UC {ent.update_count} leaked"
+            assert ent.refcount == refs[ent.block], \
+                f"FACT[{idx}] block {ent.block}: RFC={ent.refcount} " \
+                f"!= {refs[ent.block]} live references"
+        fs.fact.check_chains()  # no orphaned prev/next links
+
+    def test_worker_counts_are_pool_invariant(self):
+        """Space savings must not depend on how many workers split the
+        queue — a lost or doubled UC would move physical_pages."""
+        phys = set()
+        for workers, shards in ((1, 1), (2, 4), (3, 8)):
+            fs = run_parallel(workers, shards)
+            phys.add(fs.space_stats()["physical_pages"])
+        assert len(phys) == 1
+
+
+class TestCrashDuringParallelDedup:
+    def test_invariants_hold_at_every_persist_event(self):
+        """Crash the concurrent run at persist events (subsampled pre and
+        post) and re-mount: recovery must leave RFCs that never
+        undercount live references and structurally sound chains."""
+        def build():
+            fs, dd = make_fs(Variant.IMMEDIATE,
+                             Config(device_pages=2048, max_inodes=256,
+                                    cpus=2))
+
+            def scenario():
+                run_workload(fs, small_file_job(nfiles=10, dup_ratio=0.9,
+                                                threads=2, seed=3),
+                             dd=dd, workers=2, shards=4)
+
+            return fs.dev, scenario
+
+        def check(dev, point, phase):
+            fs2 = DeNovaFS.mount(dev)
+            check_fs_invariants(fs2)
+
+        assert sweep_crash_points(build, check, stride=23) > 10

@@ -1,0 +1,117 @@
+"""Unit tests for the per-CPU sharded DWQ."""
+
+import pytest
+
+from repro.conc.sdwq import ShardedDWQ
+from repro.dedup.dwq import DWQ, DWQNode
+from repro.nova.layout import Geometry, PAGE_SIZE, Superblock
+from repro.pm import DRAM, PMDevice, SimClock
+from repro.pm.latency import CpuModel
+
+pytestmark = pytest.mark.conc
+
+
+def make_sdwq(nshards=4, max_depth=None):
+    clock = SimClock()
+    return ShardedDWQ(CpuModel(), clock, nshards, max_depth=max_depth), clock
+
+
+def make_dev_geo():
+    dev = PMDevice(256 * PAGE_SIZE, model=DRAM, clock=SimClock())
+    geo = Geometry.compute(256, max_inodes=32, dwq_save_pages=2)
+    Superblock(dev).format(geo)
+    return dev, geo
+
+
+class TestSharding:
+    def test_routing_by_ino(self):
+        q, _ = make_sdwq(nshards=4)
+        for ino in range(8):
+            q.enqueue(DWQNode(ino=ino, entry_addr=ino * 64))
+        for s in range(4):
+            assert q.shard_len(s) == 2
+            assert all(n.ino % 4 == s for n in q._shards[s])
+
+    def test_global_fifo_across_shards(self):
+        """dequeue() must honour enqueue order even though storage is
+        sharded — the single-threaded drain path behaves like the
+        unsharded queue."""
+        q, _ = make_sdwq(nshards=3)
+        inos = [5, 1, 4, 2, 0, 8, 3]
+        for ino in inos:
+            q.enqueue(DWQNode(ino=ino, entry_addr=ino))
+        assert [q.dequeue().ino for _ in inos] == inos
+        assert q.dequeue() is None
+
+    def test_dequeue_shard_is_per_lane(self):
+        q, _ = make_sdwq(nshards=2)
+        for ino in (0, 1, 2, 3):
+            q.enqueue(DWQNode(ino=ino, entry_addr=ino))
+        assert q.dequeue_shard(1).ino == 1
+        assert q.dequeue_shard(1).ino == 3
+        assert q.dequeue_shard(1) is None
+        assert len(q) == 2
+
+    def test_steal_from_counts_per_victim(self):
+        q, _ = make_sdwq(nshards=2)
+        for ino in (0, 2, 4):
+            q.enqueue(DWQNode(ino=ino, entry_addr=ino))
+        node = q.steal_from(0)
+        assert node.ino == 0  # oldest of the victim shard
+        assert q.steals == 1
+        assert q.steals_by_shard == [1, 0]
+        assert q.steal_from(1) is None  # raced-empty victim
+
+    def test_bad_config_rejected(self):
+        clock = SimClock()
+        with pytest.raises(ValueError):
+            ShardedDWQ(CpuModel(), clock, 0)
+        with pytest.raises(ValueError):
+            ShardedDWQ(CpuModel(), clock, 2, max_depth=0)
+
+
+class TestBackpressure:
+    def test_is_full_gates_per_shard(self):
+        q, _ = make_sdwq(nshards=2, max_depth=2)
+        q.enqueue(DWQNode(ino=0, entry_addr=0))
+        q.enqueue(DWQNode(ino=2, entry_addr=1))
+        assert q.is_full(0)
+        assert not q.is_full(1)
+        q.dequeue_shard(0)
+        assert not q.is_full(0)
+
+    def test_unbounded_never_full(self):
+        q, _ = make_sdwq(nshards=1, max_depth=None)
+        for i in range(64):
+            q.enqueue(DWQNode(ino=0, entry_addr=i))
+        assert not q.is_full(0)
+
+
+class TestAdoptAndPersistence:
+    def test_adopt_preserves_backlog_and_stats(self):
+        clock = SimClock()
+        old = DWQ(CpuModel(), clock)
+        for ino in (3, 1, 2):
+            old.enqueue(DWQNode(ino=ino, entry_addr=ino * 8))
+        old.dequeue()  # ino 3 gone; stats move
+        new = ShardedDWQ(CpuModel(), clock, 4)
+        new.adopt(old)
+        assert len(old) == 0
+        assert len(new) == 2
+        assert new.enqueued == 3
+        assert new.dequeued == 1
+        assert [new.dequeue().ino for _ in range(2)] == [1, 2]
+
+    def test_save_restore_via_base_format(self):
+        """The sharded queue saves/restores through the same on-PM format
+        as the unsharded one — clean-shutdown images stay compatible."""
+        dev, geo = make_dev_geo()
+        q, _ = make_sdwq(nshards=3)
+        inos = [7, 2, 9, 4]
+        for ino in inos:
+            q.enqueue(DWQNode(ino=ino, entry_addr=ino * 64))
+        q.save(dev, geo)
+
+        fresh, _ = make_sdwq(nshards=3)
+        assert fresh.restore(dev, geo) == 4
+        assert [fresh.dequeue().ino for _ in inos] == inos
