@@ -2,15 +2,20 @@
 
 Not a paper table per se — the paper argues recovery qualitatively — but
 the repo's crash suites need a cost budget: how long (simulated) does an
-unclean DeNova mount take as the filesystem grows, and how much work do
-the individual recovery passes do?
+unclean DeNova mount take as the filesystem grows, how much work do the
+individual recovery passes do, and how much the two fast paths buy —
+the clean-unmount checkpoint against the full scan, and per-CPU
+parallel replay against sequential.
 """
 
-from _common import emit
+import json
+
+from _common import RESULTS, emit
 
 from repro.analysis import render_table
 from repro.core import Config, Variant, make_fs
 from repro.dedup import DeNovaFS
+from repro.pm import PMDevice, SimClock
 from repro.workloads import DataGenerator
 
 
@@ -98,3 +103,99 @@ def test_clean_mount_is_cheaper_than_unclean(benchmark):
     unclean_ns = once(False)
     # Unclean pays the FACT structural scan + flag scan on top.
     assert unclean_ns > clean_ns
+
+
+# ---------------------------------------------------------- fast paths
+
+
+def _built_fs(nfiles=300):
+    fs, _ = make_fs(Variant.IMMEDIATE, Config(device_pages=16384,
+                                              max_inodes=nfiles + 32))
+    gen = DataGenerator(alpha=0.5, seed=11)
+    for i in range(nfiles):
+        ino = fs.create(f"/f{i}")
+        fs.write(ino, 0, gen.file_data(2 * 4096))
+    fs.daemon.drain()
+    return fs
+
+
+def _clean_image(tmp_path, nfiles=300):
+    fs = _built_fs(nfiles)
+    fs.unmount()
+    path = tmp_path / "clean.img"
+    fs.dev.save_image(path)
+    return path
+
+
+def _crashed_image(tmp_path, nfiles=300):
+    fs = _built_fs(nfiles)
+    fs.dev.crash()
+    fs.dev.recover_view()
+    path = tmp_path / "crashed.img"
+    fs.dev.save_image(path)
+    return path
+
+
+def _mount_ns(path, **kw):
+    dev = PMDevice.load_image(path, clock=SimClock())
+    t0 = dev.clock.now_ns
+    fs = DeNovaFS.mount(dev, **kw)
+    return dev.clock.now_ns - t0, fs
+
+
+def _update_baseline(key, value):
+    path = RESULTS / "recovery_baseline.json"
+    data = (json.loads(path.read_text()) if path.exists()
+            else {"schema": "repro.recovery_baseline/1"})
+    data[key] = value
+    RESULTS.mkdir(exist_ok=True)
+    path.write_text(json.dumps(data, indent=2) + "\n")
+
+
+def test_checkpoint_remount_beats_full_scan_5x(benchmark, tmp_path):
+    path = _clean_image(tmp_path)
+    ck_ns, ck_fs = benchmark.pedantic(lambda: _mount_ns(path), rounds=1,
+                                      iterations=1)
+    full_ns, _ = _mount_ns(path, use_checkpoint=False)
+    assert "checkpoint" in ck_fs.last_recovery.extra
+    speedup = full_ns / ck_ns
+    emit("recovery_checkpoint", render_table(
+        ["mount path", "clean mount ms (sim)"],
+        [["checkpoint", round(ck_ns / 1e6, 3)],
+         ["full scan", round(full_ns / 1e6, 3)],
+         ["speedup", f"{speedup:.1f}x"]],
+        title="Clean remount: checkpoint fast path vs full scan "
+              "(300 files)"))
+    _update_baseline("clean_remount", {
+        "files": 300,
+        "checkpoint_ns": ck_ns,
+        "full_scan_ns": full_ns,
+        "speedup": round(speedup, 2),
+    })
+    assert speedup >= 5.0, f"checkpoint remount only {speedup:.1f}x faster"
+
+
+def test_crash_replay_scales_with_workers(benchmark, tmp_path):
+    path = _crashed_image(tmp_path)
+    workers = (1, 2, 4, 8)
+    times = {}
+    for w in workers:
+        ns, fs = _mount_ns(path, recovery_workers=w)
+        times[w] = ns
+        assert not fs.last_recovery.clean
+    benchmark.pedantic(lambda: _mount_ns(path, recovery_workers=4),
+                       rounds=1, iterations=1)
+    emit("recovery_workers", render_table(
+        ["recovery workers", "unclean mount ms (sim)", "speedup"],
+        [[w, round(times[w] / 1e6, 3), f"{times[1] / times[w]:.2f}x"]
+         for w in workers],
+        title="Crash recovery: per-CPU parallel replay scaling "
+              "(300 files)"))
+    _update_baseline("crash_replay_by_workers", {
+        "files": 300,
+        "mount_ns": {str(w): times[w] for w in workers},
+        "speedup_4_workers": round(times[1] / times[4], 2),
+    })
+    assert times[2] < times[1]
+    assert times[4] < times[2]
+    assert times[8] <= times[4]

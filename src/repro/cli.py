@@ -37,11 +37,11 @@ from repro.pm.latency import PROFILES
 __all__ = ["main"]
 
 
-def _open_fs(image: str):
+def _open_fs(image: str, **mount_kw):
     dev = PMDevice.load_image(image, clock=SimClock())
     geo = Superblock(dev).load_geometry()
     cls = DeNovaFS if geo.fact_page else NovaFS
-    return cls.mount(dev)
+    return cls.mount(dev, **mount_kw)
 
 
 def _metrics_path(image: str) -> str:
@@ -227,9 +227,15 @@ def cmd_trace(args) -> int:
 def cmd_fsck(args) -> int:
     from repro.failure import InvariantViolation, check_fs_invariants
 
-    fs = _open_fs(args.image)
+    fs = _open_fs(args.image,
+                  use_checkpoint=not args.full_scan,
+                  recovery_workers=args.workers)
     rep = fs.last_recovery
-    print(f"mounted ({'clean' if rep.clean else 'recovered'}): "
+    how = "clean" if rep.clean else "recovered"
+    ck = rep.extra.get("checkpoint")
+    if ck:
+        how += f", checkpoint gen={ck['generation']}"
+    print(f"mounted ({how}): "
           f"{rep.inodes_recovered} inodes, "
           f"{rep.entries_replayed} log entries, "
           f"{rep.orphans_collected} orphans collected")
@@ -255,6 +261,44 @@ def cmd_fsck(args) -> int:
               f"their fingerprints")
     _close(fs, args.image)
     return 0
+
+
+def cmd_scrub(args) -> int:
+    """Budgeted, resumable FACT maintenance (scrub / deep verify)."""
+    fs = _open_fs(args.image)
+    if not hasattr(fs, "scrub"):
+        print("scrub needs a dedup-enabled image", file=sys.stderr)
+        return 1
+    code = 0
+    if args.cursor:
+        if args.deep:
+            fs._verify_cursor = args.cursor
+        else:
+            fs._scrub_cursor = args.cursor
+    if args.deep:
+        rep = fs.deep_verify(budget=args.budget)
+        if not rep["clean"]:
+            print(f"DEEP VERIFY FAILED: corrupt canonical pages "
+                  f"{rep['corrupt']}", file=sys.stderr)
+            code = 1
+    else:
+        rep = fs.scrub(budget=args.budget)
+    _close(fs, args.image)
+    if args.json:
+        print(json.dumps({"schema": "repro.scrub/1", "image": args.image,
+                          "deep": args.deep, **{k: v for k, v in rep.items()
+                                                if k != "corrupt"},
+                          "corrupt": rep.get("corrupt", [])}, indent=2))
+        return code
+    what = "deep verify" if args.deep else "scrub"
+    tail = ("done" if rep["done"]
+            else f"paused, resume with --cursor {rep['next_cursor']}")
+    print(f"{what}: {rep['examined']} FACT entries examined ({tail})")
+    if not args.deep:
+        print(f"  {rep['entries_removed']} stale entries removed, "
+              f"{rep['pages_freed']} pages freed, "
+              f"{rep['overcounted_remaining']} overcounted remain")
+    return code
 
 
 def cmd_crash(args) -> int:
@@ -491,7 +535,26 @@ def build_parser() -> argparse.ArgumentParser:
                    help="also run the FACT scrubber")
     s.add_argument("--deep", action="store_true",
                    help="fingerprint-verify every canonical page")
+    s.add_argument("--full-scan", action="store_true",
+                   help="ignore any clean-unmount checkpoint and rebuild "
+                        "all recovery state from the logs")
+    s.add_argument("--workers", type=int, default=1,
+                   help="simulated per-CPU recovery threads for the "
+                        "replay and dedup flag scan")
     s.set_defaults(fn=cmd_fsck)
+
+    s = sub.add_parser("scrub", help="budgeted, resumable FACT "
+                                     "maintenance sweep")
+    s.add_argument("image")
+    s.add_argument("--budget", type=int, default=None,
+                   help="examine at most N FACT entries (default: all)")
+    s.add_argument("--cursor", type=int, default=0,
+                   help="resume from a previous run's next_cursor")
+    s.add_argument("--deep", action="store_true",
+                   help="fingerprint-verify canonical pages instead of "
+                        "reconciling reference counts")
+    s.add_argument("--json", action="store_true")
+    s.set_defaults(fn=cmd_scrub)
 
     s = sub.add_parser("crash", help="simulate power failure on the image")
     s.add_argument("image")

@@ -47,6 +47,21 @@ class DeNovaFS(NovaFS):
         self.dwq = DWQ(self.cpu_model, self.clock, obs=self.obs)
         self.daemon = DedupDaemon(self)
         self._pending_pages: Counter[int] = Counter()  # log page -> entries
+        # Resumable maintenance cursors (budgeted scrub / deep_verify).
+        self._scrub_cursor = 0
+        self._verify_cursor = 0
+        self.maint_counters = CounterView(self.obs.registry, {
+            "scrub_examined": "dedup.scrub_examined_total",
+            "scrub_removed": "dedup.scrub_entries_removed_total",
+            "scrub_pages_freed": "dedup.scrub_pages_freed_total",
+            "verify_checked": "dedup.verify_pages_checked_total",
+        })
+        self.obs.registry.gauge_fn(
+            "dedup.scrub_cursor", lambda: self._scrub_cursor,
+            help="FACT index the next budgeted scrub resumes from")
+        self.obs.registry.gauge_fn(
+            "dedup.verify_cursor", lambda: self._verify_cursor,
+            help="FACT index the next budgeted deep_verify resumes from")
         self.dedup_counters = CounterView(self.obs.registry, {
             # reclaim skipped: RFC still > 0
             "shared_page_keeps": "dedup.shared_page_keeps_total",
@@ -75,6 +90,17 @@ class DeNovaFS(NovaFS):
 
     def _post_recover(self, report, clean: bool) -> None:
         if clean:
+            # The volatile IAA free list is only correct for a fresh
+            # FACT; a clean remount must rebuild it (structural_recover
+            # does this on the crash path).  With a checkpoint the saved
+            # occupancy restores it for free; otherwise one table scan.
+            ck = getattr(self, "_active_checkpoint", None)
+            with self.obs.span("recovery.fact_iaa_free",
+                               from_checkpoint=ck is not None):
+                if ck is not None and ck.iaa_occupied is not None:
+                    self.fact.restore_iaa_free(ck.iaa_occupied)
+                else:
+                    self.fact.rebuild_iaa_free()
             restored = self.dwq.restore(self.dev, self.geo)
             if restored >= 0:
                 for node in self.dwq.snapshot():
@@ -175,15 +201,37 @@ class DeNovaFS(NovaFS):
 
     # ------------------------------------------------------------ maintenance
 
-    def scrub(self) -> dict:
-        """Background FACT↔file reconciliation (§V-C2)."""
-        from repro.dedup.recovery import scrub
-        return scrub(self)
+    def scrub(self, budget: Optional[int] = None) -> dict:
+        """Background FACT↔file reconciliation (§V-C2).
 
-    def deep_verify(self) -> dict:
-        """Fingerprint-verify every canonical page (integrity audit)."""
+        With ``budget``, examines at most that many FACT entries and
+        remembers where it stopped — repeated calls sweep the whole
+        table incrementally (RevDedup-style out-of-line batching).
+        Without a budget, one call sweeps everything, as before.
+        """
+        from repro.dedup.recovery import scrub
+        with self.obs.span("dedup.scrub", budget=budget or 0,
+                           cursor=self._scrub_cursor):
+            out = scrub(self, budget=budget, cursor=self._scrub_cursor)
+        self._scrub_cursor = 0 if out["done"] else out["next_cursor"]
+        self.maint_counters["scrub_examined"] += out["examined"]
+        self.maint_counters["scrub_removed"] += out["entries_removed"]
+        self.maint_counters["scrub_pages_freed"] += out["pages_freed"]
+        return out
+
+    def deep_verify(self, budget: Optional[int] = None) -> dict:
+        """Fingerprint-verify canonical pages (integrity audit).
+
+        Budgeted and resumable exactly like :meth:`scrub`.
+        """
         from repro.dedup.recovery import deep_verify
-        return deep_verify(self)
+        with self.obs.span("dedup.deep_verify", budget=budget or 0,
+                           cursor=self._verify_cursor):
+            out = deep_verify(self, budget=budget,
+                              cursor=self._verify_cursor)
+        self._verify_cursor = 0 if out["done"] else out["next_cursor"]
+        self.maint_counters["verify_checked"] += out["checked"]
+        return out
 
     # ------------------------------------------------------------ reflink/snapshots
 

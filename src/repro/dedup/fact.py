@@ -412,6 +412,35 @@ class FACT:
         raw = self.dev.read(self.base, self.total * ENTRY)
         return np.frombuffer(raw, dtype=_SCAN_DTYPE)
 
+    def rebuild_iaa_free(self) -> int:
+        """Rebuild the volatile IAA free list from a (charged) table scan.
+
+        Clean mounts must call this (or :meth:`restore_iaa_free`) before
+        the first insert: ``__init__`` optimistically marks every IAA
+        slot free, which is only true for a freshly-formatted FACT.
+        Returns the number of free IAA slots.
+        """
+        arr = self._scan()
+        self._iaa_free = [
+            idx for idx in range(self.total - 1, self.daa_size - 1, -1)
+            if arr["block"][idx] == 0
+        ]
+        return len(self._iaa_free)
+
+    def restore_iaa_free(self, occupied) -> int:
+        """Restore the IAA free list from a checkpointed occupancy set.
+
+        ``occupied`` lists the IAA indices that held valid entries when
+        the checkpoint was written — the complement becomes the free
+        list, with no FACT scan at all.
+        """
+        occ = set(occupied)
+        self._iaa_free = [
+            idx for idx in range(self.total - 1, self.daa_size - 1, -1)
+            if idx not in occ
+        ]
+        return len(self._iaa_free)
+
     def live_entries(self, silent: bool = True) -> dict[int, FactEntry]:
         """Decoded view of every valid slot (invariant checks, reports)."""
         read = self.dev.read_silent if silent else self.dev.read

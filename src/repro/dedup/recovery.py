@@ -53,12 +53,15 @@ def dedup_recover(fs, report) -> dict:
         out["structural"] = fact.structural_recover()
 
     # Step 2: flag scan over every file inode's committed entries.
+    # Sharded across the simulated recovery threads like the base log
+    # replay (inodes keep their deterministic order, so the rebuilt DWQ
+    # is identical for every worker count).
     needed: list[tuple[int, int]] = []
-    resumed = 0
-    with fs.obs.span("recovery.flag_scan"):
-        for ino, cache in sorted(fs.caches.items()):
-            if cache.inode.itype != ITYPE_FILE:
-                continue
+    resumed = [0]
+    workers = getattr(fs, "recovery_workers", 1)
+
+    def make_scan(ino, cache):
+        def task():
             for addr, raw in fs.log.iter_slots(cache.inode.log_head,
                                                cache.inode.log_tail):
                 entry = decode_entry(raw)
@@ -68,8 +71,21 @@ def dedup_recover(fs, report) -> dict:
                     needed.append((ino, addr))
                 elif entry.dedupe_flag == DEDUPE_IN_PROCESS:
                     _resume_step6(fs, addr, entry)
-                    resumed += 1
-    out["in_process_resumed"] = resumed
+                    resumed[0] += 1
+        return task
+
+    with fs.obs.span("recovery.flag_scan", workers=workers):
+        files = [(ino, cache) for ino, cache in sorted(fs.caches.items())
+                 if cache.inode.itype == ITYPE_FILE]
+        if workers <= 1:
+            for ino, cache in files:
+                make_scan(ino, cache)()
+        else:
+            from repro.conc.replay import run_sharded
+            run_sharded(fs.clock,
+                        [make_scan(ino, cache) for ino, cache in files],
+                        workers)
+    out["in_process_resumed"] = resumed[0]
 
     # Step 3: discard stale UCs; step 4: drop dead entries.
     out["uc_discarded"] = fact.discard_all_uc()
@@ -144,7 +160,7 @@ def _resume_step6(fs, addr: int, entry: WriteEntry) -> None:
     fs.set_dedupe_flag(addr, DEDUPE_COMPLETE)
 
 
-def deep_verify(fs) -> dict:
+def deep_verify(fs, budget: int | None = None, cursor: int = 0) -> dict:
     """Integrity audit: every canonical page must match its fingerprint.
 
     FACT stores the full SHA-1 of each deduplicated block, which makes
@@ -152,6 +168,10 @@ def deep_verify(fs) -> dict:
     every live entry's block, re-hash, compare.  A mismatch means the
     media (or a bug) corrupted a page that multiple files may share —
     exactly the blast radius dedup amplifies, hence the audit.
+
+    ``budget`` bounds how many entries one call examines; ``cursor``
+    resumes from a previous call's ``next_cursor`` (FACT index), so the
+    audit can amortize across idle slices instead of stopping the world.
 
     Returns counts and the list of corrupt (idx, block) pairs.  Cost is
     charged (one page read + one SHA-1 per entry), so callers can also
@@ -161,17 +181,27 @@ def deep_verify(fs) -> dict:
 
     checked = 0
     corrupt: list[tuple[int, int]] = []
+    next_cursor = cursor
+    done = True
     for idx, ent in sorted(fs.fact.live_entries().items()):
+        if idx < cursor:
+            continue
+        if budget is not None and checked >= budget:
+            done = False
+            break
         data = fs.dev.read(ent.block * PAGE_SIZE, PAGE_SIZE)
         digest = fs.fingerprinter.strong(data)
         checked += 1
+        next_cursor = idx + 1
         if digest != ent.fp:
             corrupt.append((idx, ent.block))
-    return {"checked": checked, "corrupt": corrupt,
-            "clean": not corrupt}
+    if done:
+        next_cursor = 0
+    return {"checked": checked, "corrupt": corrupt, "clean": not corrupt,
+            "examined": checked, "next_cursor": next_cursor, "done": done}
 
 
-def scrub(fs) -> dict:
+def scrub(fs, budget: int | None = None, cursor: int = 0) -> dict:
     """The §V-C2 background thread: retire FACT entries no file uses.
 
     Builds the actual reference count per block from every file's radix
@@ -179,6 +209,11 @@ def scrub(fs) -> dict:
     the entry and frees its page if the allocator still considers it in
     use (the over-increment leak).  Over-counted entries that still have
     references are left alone — they converge as references drop.
+
+    Reclaimed pages go back to their *home* CPU's free list (the static
+    partition owner) — not CPU 0 — so a large reclaim does not skew the
+    per-CPU lists.  ``budget``/``cursor`` bound and resume the sweep
+    exactly like :func:`deep_verify`.
     """
     refs: Counter[int] = Counter()
     for cache in fs.caches.values():
@@ -190,7 +225,17 @@ def scrub(fs) -> dict:
     removed = 0
     pages_freed = 0
     overcounted = 0
+    examined = 0
+    next_cursor = cursor
+    done = True
     for idx, ent in sorted(fs.fact.live_entries().items()):
+        if idx < cursor:
+            continue
+        if budget is not None and examined >= budget:
+            done = False
+            break
+        examined += 1
+        next_cursor = idx + 1
         actual = refs.get(ent.block, 0)
         if actual == 0:
             counts = fs.fact._read_u64(idx, 0)
@@ -199,9 +244,13 @@ def scrub(fs) -> dict:
             fs.fact.remove(idx)
             removed += 1
             if not fs.allocator.is_free(ent.block):
-                fs.allocator.free(ent.block, 1, 0)
+                fs.allocator.free(ent.block, 1,
+                                  fs.allocator.home_cpu(ent.block))
                 pages_freed += 1
         elif ent.refcount > actual:
             overcounted += 1
+    if done:
+        next_cursor = 0
     return {"entries_removed": removed, "pages_freed": pages_freed,
-            "overcounted_remaining": overcounted}
+            "overcounted_remaining": overcounted, "examined": examined,
+            "next_cursor": next_cursor, "done": done}

@@ -71,11 +71,20 @@ def check_fs_invariants(fs, check_dedup: bool = True) -> dict:
                     _fail(f"ino {ino}: committed empty slot at {addr:#x}")
             except ValueError as exc:
                 _fail(f"ino {ino}: corrupt committed entry at {addr:#x}: {exc}")
-        # Directory entries resolve.
+        # Directory entries resolve, and nlink obeys POSIX 2 + nsubdirs.
         if cache.inode.itype == ITYPE_DIR:
+            nsubdirs = 0
             for name, child in cache.dentries.items():
                 if child not in fs.caches:
                     _fail(f"dangling dentry {name!r} -> ino {child}")
+                child_cache = fs.caches.get(child)
+                if (child_cache is not None
+                        and child_cache.inode.itype == ITYPE_DIR):
+                    nsubdirs += 1
+            expected = 2 + nsubdirs
+            if cache.inode.links != expected:
+                _fail(f"dir ino {ino}: nlink={cache.inode.links}, expected "
+                      f"{expected} (2 + {nsubdirs} subdirs)")
         # File data mappings.
         if cache.inode.itype == ITYPE_FILE:
             for pgoff, (_addr, entry) in cache.index._slots.items():

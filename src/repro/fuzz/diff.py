@@ -218,6 +218,25 @@ def _hardlink_groups_real(fs) -> dict[int, list[str]]:
     return groups
 
 
+def _dir_links_real(fs) -> dict[str, int]:
+    """path -> on-PM nlink for every directory (counterpart of
+    :meth:`ModelFS.dir_links`)."""
+    out: dict[str, int] = {"/": fs.caches[ROOT_INO].inode.links}
+
+    def walk(prefix: str, ino: int):
+        cache = fs.caches[ino]
+        for name in sorted(cache.dentries):
+            child = cache.dentries[name]
+            ccache = fs.caches[child]
+            if ccache.inode.itype == ITYPE_DIR:
+                path = f"{prefix}/{name}"
+                out[path] = ccache.inode.links
+                walk(path, child)
+
+    walk("", ROOT_INO)
+    return out
+
+
 def flags_converged(fs) -> bool:
     """After a drain no committed write entry may stay ``in_process``."""
     for cache in fs.caches.values():
@@ -285,6 +304,17 @@ def full_equivalence_check(fs, model: ModelFS) -> None:
             raise OracleDivergence(
                 f"ino {ino}: link count {links} != {len(paths)} paths "
                 f"{sorted(paths)!r}")
+
+    # POSIX directory link counts: nlink == 2 + nsubdirs, everywhere.
+    real_links = _dir_links_real(fs)
+    model_links = model.dir_links()
+    if real_links != model_links:
+        bad = [f"{p}: real {real_links.get(p)} != model {model_links.get(p)}"
+               for p in sorted(set(real_links) | set(model_links))
+               if real_links.get(p) != model_links.get(p)]
+        raise OracleDivergence(
+            f"directory link-count divergence ({len(bad)} dirs): "
+            + "; ".join(bad[:5]))
 
     if not flags_converged(fs):
         raise InvariantViolation(
@@ -404,6 +434,11 @@ def run_case(ops: list[TraceOp], cfg: Optional[FuzzConfig] = None,
                 if status == "stop":
                     break
             f.daemon.drain()
+            # Clean unmount persists the DWQ save area and the remount
+            # checkpoint — sweeping past the drain tears every
+            # checkpoint persist event too (recovery must fall back to
+            # the full scan when the header or payload is incomplete).
+            f.unmount()
 
         return case_fs.dev, scenario
 

@@ -61,7 +61,8 @@ class ModelFS:
     """Expected filesystem state; all ops are instant and in-DRAM."""
 
     def __init__(self):
-        self.nodes: dict[int, ModelNode] = {ROOT_ID: ModelNode(kind="dir")}
+        self.nodes: dict[int, ModelNode] = {
+            ROOT_ID: ModelNode(kind="dir", nlink=2)}
         self._next_id = ROOT_ID + 1
 
     # ------------------------------------------------------------ resolution
@@ -156,8 +157,11 @@ class ModelFS:
         pid, name, parent = self._namei(path)
         if name in parent.children:
             raise ModelError(f"exists: {path}")
-        nid = self._alloc(ModelNode(kind="dir"))
+        # POSIX: a new directory has nlink 2 ("." + its parent's entry)
+        # and its ".." adds one link to the parent.
+        nid = self._alloc(ModelNode(kind="dir", nlink=2))
         parent.children[name] = nid
+        parent.nlink += 1
         return nid
 
     def symlink(self, target: str, linkpath: str) -> int:
@@ -195,6 +199,7 @@ class ModelFS:
             raise ModelError(f"not empty: {path}")
         del parent.children[name]
         del self.nodes[nid]
+        parent.nlink -= 1
 
     def link(self, existing: str, newpath: str) -> None:
         nid = self.lookup(existing, follow=True)
@@ -220,6 +225,9 @@ class ModelFS:
                 raise ModelError(f"cannot move {src!r} into its own subtree")
         del sparent.children[sname]
         dparent.children[dname] = nid
+        if self.nodes[nid].kind == "dir" and spid != dpid:
+            sparent.nlink -= 1
+            dparent.nlink += 1
 
     def _is_ancestor(self, maybe_ancestor: int, nid: int) -> bool:
         parent_of: dict[int, int] = {}
@@ -412,6 +420,23 @@ class ModelFS:
 
         walk("", ROOT_ID)
         return groups
+
+    def dir_links(self) -> dict[str, int]:
+        """path -> expected nlink for every directory (``2 + nsubdirs``)."""
+        out: dict[str, int] = {"/": self.nodes[ROOT_ID].nlink}
+
+        def walk(prefix: str, nid: int):
+            node = self.nodes[nid]
+            for name in sorted(node.children):
+                child_id = node.children[name]
+                child = self.nodes[child_id]
+                if child.kind == "dir":
+                    path = f"{prefix}/{name}"
+                    out[path] = child.nlink
+                    walk(path, child_id)
+
+        walk("", ROOT_ID)
+        return out
 
     def count_nodes(self, kind: Optional[str] = None) -> int:
         if kind is None:

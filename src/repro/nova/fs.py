@@ -112,6 +112,59 @@ class InodeCache:
     entry_count: int = 0                            # committed log entries
     invalid_entries: dict[int, int] = field(default_factory=dict)
     #: log page -> count of dead entries (drives fast GC)
+    hydrated: bool = True
+    #: False for checkpoint-mount stubs whose log has not been replayed
+    #: yet; the index/dentries/symlink_target fields are empty until
+    #: :class:`CacheMap` hydrates them on first access.
+
+
+class CacheMap(dict):
+    """``ino -> InodeCache`` map with lazy log hydration.
+
+    A checkpoint mount installs *stub* caches (correct inode metadata,
+    empty index/dentries).  Any keyed access replays that inode's log
+    on demand; bulk views (``items``/``values``) hydrate everything
+    first, so full-scan consumers (fsck, invariant checks, du) keep
+    working unchanged.  ``raw_items``/``raw_get`` bypass hydration for
+    callers that only need inode metadata (unmount, checkpoint write).
+    """
+
+    def __init__(self, fs: "NovaFS"):
+        super().__init__()
+        self._fs = fs
+
+    def _hydrate(self, cache: "InodeCache") -> "InodeCache":
+        if not cache.hydrated:
+            from repro.nova.recovery import hydrate_cache
+            hydrate_cache(self._fs, cache)
+        return cache
+
+    def __getitem__(self, ino: int) -> "InodeCache":
+        return self._hydrate(super().__getitem__(ino))
+
+    def get(self, ino, default=None):
+        cache = super().get(ino)
+        if cache is None:
+            return default
+        return self._hydrate(cache)
+
+    def raw_get(self, ino, default=None):
+        return super().get(ino, default)
+
+    def raw_items(self):
+        return super().items()
+
+    def hydrate_all(self) -> None:
+        for cache in super().values():
+            self._hydrate(cache)
+
+    def items(self):
+        self.hydrate_all()
+        return super().items()
+
+    def values(self):
+        self.hydrate_all()
+        return super().values()
 
 
 class NovaFS:
@@ -130,11 +183,16 @@ class NovaFS:
         self.allocator = PageAllocator(geo.data_start_page, geo.total_pages,
                                        cpus)
         self.log = LogManager(dev, self.allocator, self.itable)
-        self.caches: dict[int, InodeCache] = {}
+        self.caches: CacheMap = CacheMap(self)
         self.cpu_model = dev.model.cpu
         self.clock = dev.clock
         self.mounted = False
         self.last_recovery = None
+        #: Recovery-time knobs (set by :meth:`mount` before recovery runs).
+        self.recovery_workers = 1
+        self.use_checkpoint = True
+        self._active_checkpoint = None  # decoded ckpt during recovery
+        self._hydrations = 0
         # Observability hub: one registry + tracer per fs instance, so a
         # remount starts from zero (DRAM state, like NOVA's in-memory
         # trees).  ``counters`` keeps the seed's dict-shaped API as a
@@ -150,6 +208,10 @@ class NovaFS:
         self._h_overwrite = self.obs.histogram(
             "fs.overwrite_latency_ns",
             help="charged simulated ns of writes that displaced pages")
+        self.obs.counter_fn("recovery.lazy_hydrations_total",
+                            lambda: self._hydrations,
+                            help="inode logs replayed on demand after a "
+                                 "checkpoint mount")
         self.allocator.attach_registry(self.obs.registry)
 
     # ------------------------------------------------------------------ lifecycle
@@ -180,10 +242,21 @@ class NovaFS:
         """Subclass hook: initialize extra persistent regions (FACT)."""
 
     @classmethod
-    def mount(cls, dev: PMDevice, cpus: int = 1) -> "NovaFS":
-        """Mount an existing filesystem, recovering if it's unclean."""
+    def mount(cls, dev: PMDevice, cpus: int = 1,
+              recovery_workers: Optional[int] = None,
+              use_checkpoint: bool = True) -> "NovaFS":
+        """Mount an existing filesystem, recovering if it's unclean.
+
+        ``recovery_workers`` shards the log replay across that many
+        simulated recovery threads (defaults to ``cpus``, NOVA's per-CPU
+        recovery); ``use_checkpoint=False`` forces the full scan even
+        when a valid clean-unmount checkpoint exists.
+        """
         geo = Superblock(dev).load_geometry()
         fs = cls(dev, geo, cpus)
+        fs.recovery_workers = (cpus if recovery_workers is None
+                               else max(1, int(recovery_workers)))
+        fs.use_checkpoint = bool(use_checkpoint)
         from repro.nova.recovery import recover
         fs.last_recovery = recover(fs, clean=fs.sb.clean)
         fs.sb.bump_epoch()
@@ -194,15 +267,31 @@ class NovaFS:
     def unmount(self) -> None:
         """Clean shutdown: persist lazy state and set the clean flag."""
         self._check_mounted()
-        for ino, cache in self.caches.items():
-            if cache.inode.itype == ITYPE_FILE:
+        for ino, cache in self.caches.raw_items():
+            # Never-hydrated stubs kept their persisted size from the
+            # unmount that wrote the checkpoint — nothing to flush.
+            if cache.hydrated and cache.inode.itype == ITYPE_FILE:
                 self.itable.update_size(ino, cache.inode.size)
         self._pre_unmount()
+        self._pre_clean_unmount()
         self.sb.set_clean(True)
         self.mounted = False
 
     def _pre_unmount(self) -> None:
         """Subclass hook: save the DWQ etc. before the clean flag."""
+
+    def _pre_clean_unmount(self) -> None:
+        """Persist the clean-unmount checkpoint (advisory fast remount).
+
+        Runs after :meth:`_pre_unmount` so the snapshot can embed the
+        saved-DWQ length, and before the clean flag so a crash mid-
+        checkpoint is just an unclean shutdown with a torn (ignored)
+        checkpoint.
+        """
+        from repro.nova.checkpoint import write_checkpoint
+        with self.obs.span("recovery.checkpoint_write",
+                           pages=self.geo.ckpt_pages):
+            write_checkpoint(self)
 
     def _check_mounted(self) -> None:
         if not self.mounted:
@@ -324,9 +413,17 @@ class NovaFS:
         self._append_and_commit(parent_ino, parent, entry.pack(), cpu)
         self.clock.advance(self.cpu_model.dram_touch_ns)
         if valid:
+            changed = parent.dentries.get(name) != ino
             parent.dentries[name] = ino
         else:
-            parent.dentries.pop(name, None)
+            changed = parent.dentries.pop(name, None) is not None
+        # POSIX nlink: a directory holds 2 + one link per subdirectory
+        # (each child's ".." back-reference).  Maintained here — the one
+        # point every namespace op and the journal redo funnel through.
+        child = self.caches.raw_get(ino)
+        if (changed and child is not None
+                and child.inode.itype == ITYPE_DIR):
+            parent.inode.links += 1 if valid else -1
 
     def _append_and_commit(self, ino: int, cache: InodeCache, raw: bytes,
                            cpu: int) -> int:

@@ -42,7 +42,9 @@ _OFF_FACT_PREFIX_BITS = 72
 _OFF_DATA_START_PAGE = 80
 _OFF_DWQ_SAVED_COUNT = 88
 _OFF_EPOCH = 96
-_SB_BYTES = 104
+_OFF_CKPT_PAGE = 104
+_OFF_CKPT_PAGES = 112
+_SB_BYTES = 120
 
 VERSION = 1
 
@@ -60,6 +62,8 @@ class Geometry:
     fact_page: int          # 0 when the filesystem has no dedup region
     fact_prefix_bits: int   # n; FACT holds 2^(n+1) 64 B entries
     data_start_page: int
+    ckpt_page: int = 0      # 0 when the device is too small for a checkpoint
+    ckpt_pages: int = 0
 
     @property
     def data_pages(self) -> int:
@@ -112,6 +116,20 @@ class Geometry:
                 f"layout leaves no data pages: metadata needs "
                 f"{data_start} of {total_pages} pages"
             )
+        # Clean-unmount checkpoint region: sized for the inode records,
+        # free-list extents, and FACT occupancy summary of a full device.
+        # Skipped when carving it out would eat into the data pages of a
+        # small device (old images read these fields back as zero and
+        # simply never fast-remount).
+        ckpt_page = 0
+        ckpt_pages = 0
+        want_bytes = (64 + 24 + max_inodes * 48
+                      + (total_pages // 32) * 16 + 4096)
+        want = math.ceil(want_bytes / PAGE_SIZE)
+        if data_start + want < total_pages - max(2, total_pages // 8):
+            ckpt_page = data_start
+            ckpt_pages = want
+            data_start += want
         return Geometry(
             total_pages=total_pages,
             inode_table_page=inode_table_page,
@@ -122,6 +140,8 @@ class Geometry:
             fact_page=fact_page,
             fact_prefix_bits=n,
             data_start_page=data_start,
+            ckpt_page=ckpt_page,
+            ckpt_pages=ckpt_pages,
         )
 
 
@@ -147,6 +167,8 @@ class Superblock:
         dev.write_atomic64(_OFF_DATA_START_PAGE, geo.data_start_page)
         dev.write_atomic64(_OFF_DWQ_SAVED_COUNT, 0)
         dev.write_atomic64(_OFF_EPOCH, 0)
+        dev.write_atomic64(_OFF_CKPT_PAGE, geo.ckpt_page)
+        dev.write_atomic64(_OFF_CKPT_PAGES, geo.ckpt_pages)
         dev.write_u32(_OFF_VERSION, VERSION)
         dev.write_u32(_OFF_CLEAN, 1)
         dev.persist(0, _SB_BYTES)
@@ -168,6 +190,8 @@ class Superblock:
             fact_page=dev.read_u64(_OFF_FACT_PAGE),
             fact_prefix_bits=dev.read_u64(_OFF_FACT_PREFIX_BITS),
             data_start_page=dev.read_u64(_OFF_DATA_START_PAGE),
+            ckpt_page=dev.read_u64(_OFF_CKPT_PAGE),
+            ckpt_pages=dev.read_u64(_OFF_CKPT_PAGES),
         )
 
     # -- runtime flags --------------------------------------------------------------

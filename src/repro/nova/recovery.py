@@ -12,6 +12,20 @@ and any half-linked log page are automatically excluded — they were never
 visible, so the filesystem state is exactly "the write happened or it
 didn't".
 
+Two fast paths layer on top of the full scan:
+
+* **Checkpoint mounts** — a clean unmount persists a checkpoint
+  (:mod:`repro.nova.checkpoint`); when it validates, recovery installs
+  stub inode caches and the saved free lists without reading a single
+  log page.  Logs hydrate lazily (:func:`hydrate_cache`) on first
+  access.  A torn or stale checkpoint silently falls back to the scan.
+* **Parallel replay** — ``fs.recovery_workers > 1`` shards the log
+  replay (and DeNova's flag scan) across a simulated recovery-thread
+  pool (:func:`repro.conc.replay.run_sharded`).  Work still executes in
+  deterministic order, so the :class:`RecoveryReport` and all DRAM
+  state are identical for every worker count; only the charged mount
+  latency shrinks.
+
 DeNova layers its own recovery on top via :meth:`NovaFS._post_recover`
 (DWQ rebuild, in-process dedup resumption, UC reset, FACT↔bitmap
 reconciliation — §V-C).
@@ -31,12 +45,12 @@ from repro.nova.entries import (
     WriteEntry,
     decode_entry,
 )
-from repro.nova.inode import ITYPE_DIR, ITYPE_FILE, ITYPE_SYMLINK, ROOT_INO
+from repro.nova.inode import ITYPE_DIR, ITYPE_FILE, ITYPE_SYMLINK, ROOT_INO, Inode
 from repro.nova.layout import PAGE_SIZE
 from repro.nova.radix import FileIndex
 from repro.pm.allocator import PageAllocator
 
-__all__ = ["recover", "RecoveryReport"]
+__all__ = ["recover", "RecoveryReport", "hydrate_cache"]
 
 
 @dataclass
@@ -59,10 +73,28 @@ def recover(fs, clean: bool) -> RecoveryReport:
     phase shows up in the metrics registry (``recovery.mount_latency_ns``
     with nested ``recovery.log_replay`` etc.) and in ``repro trace``.
     """
-    report = RecoveryReport(clean=clean)
-    fs.caches = {}
+    from repro.nova.fs import CacheMap
 
-    with fs.obs.span("recovery.mount", clean=clean):
+    report = RecoveryReport(clean=clean)
+    fs.caches = CacheMap(fs)
+
+    with fs.obs.span("recovery.mount", clean=clean,
+                     workers=getattr(fs, "recovery_workers", 1)):
+        if clean and getattr(fs, "use_checkpoint", True):
+            from repro.nova.checkpoint import load_checkpoint
+            ck = load_checkpoint(fs)
+            if ck is not None:
+                with fs.obs.span("recovery.checkpoint_load",
+                                 inodes=len(ck.inodes)):
+                    _restore_checkpoint(fs, ck, report)
+                fs._active_checkpoint = ck
+                try:
+                    with fs.obs.span("recovery.dedup"):
+                        fs._post_recover(report, clean)
+                finally:
+                    fs._active_checkpoint = None
+                return report
+
         # Pass 0: drop half-written inode records (torn crash in create).
         # The mutation gate reintroduces the pre-fix behaviour (skipping
         # the fsck) so the mutation self-check can prove the fuzzer
@@ -83,22 +115,32 @@ def recover(fs, clean: bool) -> RecoveryReport:
         # directory, and only the journal knows it is still alive.  The
         # redo may append to directory logs, so it needs a safe allocator
         # first — a conservative one that treats every currently-valid
-        # inode's pages (orphans included) as in use; the exact rebuild
-        # happens in pass 3.
+        # inode's pages (orphans included) as in use.  That one scan is
+        # then maintained incrementally (redo allocations added, orphan
+        # pages removed) instead of being recomputed in pass 3.
         with fs.obs.span("recovery.journal_redo"):
-            fs.allocator = _build_allocator(fs)
+            bitmap, data_refs = _build_usage(fs, report)
+            fs.allocator = PageAllocator.from_bitmap(
+                fs.geo.data_start_page, fs.geo.total_pages, bitmap, fs.cpus)
+            fs.allocator.alloc_log = []
             fs.allocator.attach_registry(fs.obs.registry)
             fs.log.allocator = fs.allocator
             report.extra["journal_redone"] = fs.apply_journal()
             if fs.journal.committed:
                 fs.journal.clear()
+            # Log pages the redo appended are in use now; fold them into
+            # the scan so pass 3 sees them without rescanning.
+            for ext in fs.allocator.alloc_log:
+                for page in range(ext.start, ext.end):
+                    bitmap[page] = True
+                    report.log_pages += 1
+            fs.allocator.alloc_log = None
 
         with fs.obs.span("recovery.reachability"):
-            _collect_orphans(fs, report)
+            _collect_orphans(fs, report, bitmap, data_refs)
 
         # Pass 3: in-use bitmap -> per-CPU free lists.
         with fs.obs.span("recovery.free_list"):
-            bitmap = _in_use_bitmap(fs, report)
             fs.allocator = PageAllocator.from_bitmap(
                 fs.geo.data_start_page, fs.geo.total_pages, bitmap, fs.cpus)
             fs.allocator.attach_registry(fs.obs.registry)
@@ -111,12 +153,53 @@ def recover(fs, clean: bool) -> RecoveryReport:
     return report
 
 
-def _replay_logs(fs, report: RecoveryReport) -> None:
-    """Pass 1: replay every valid inode's log."""
+def _restore_checkpoint(fs, ck, report: RecoveryReport) -> None:
+    """Install stub caches and saved free lists from a valid checkpoint."""
+    from repro.nova.fs import InodeCache
+
+    for (ino, itype, flags, links, size, log_head, log_tail,
+         mtime) in ck.inodes:
+        inode = Inode(ino=ino, valid=1, itype=itype, flags=flags,
+                      links=links, size=size, log_head=log_head,
+                      log_tail=log_tail, mtime=mtime)
+        fs.caches[ino] = InodeCache(
+            inode=inode, index=FileIndex(fs.cpu_model, fs.clock),
+            tail=log_tail, hydrated=False)
+        report.inodes_recovered += 1
+    fs.allocator = PageAllocator.from_free_lists(
+        fs.geo.data_start_page, fs.geo.total_pages, ck.free_lists, fs.cpus)
+    fs.allocator.attach_registry(fs.obs.registry)
+    fs.log.allocator = fs.allocator
+    report.pages_in_use = (fs.geo.data_pages - fs.allocator.free_pages)
+    report.extra["checkpoint"] = {
+        "generation": ck.generation,
+        "inodes": len(ck.inodes),
+        "lazy": True,
+    }
+
+
+def hydrate_cache(fs, cache) -> None:
+    """Replay one stub cache's log on first access (checkpoint mounts).
+
+    The checkpoint already restored the inode's metadata (size, links,
+    mtime, committed tail), so the replay only rebuilds the DRAM radix
+    tree / dentries / symlink target.  Chain-tail rescue is skipped —
+    the checkpoint was written after a clean shutdown, so the recorded
+    tail is trusted.
+    """
+    cache.hydrated = True
+    fs._hydrations += 1
+    with fs.obs.span("recovery.lazy_hydrate", ino=cache.inode.ino):
+        _replay_one(fs, cache.inode, None, cache=cache, trust_tail=True)
+
+
+def _replay_one(fs, inode, report: RecoveryReport | None, cache=None,
+                trust_tail: bool = False):
+    """Replay one inode's log into a (possibly pre-existing) cache."""
     from repro.nova.fs import InodeCache  # cycle-free late import
     from repro.nova.log import LOG_HEADER_SIZE
 
-    for inode in fs.itable.iter_valid():
+    if not trust_tail:
         if inode.log_head and not inode.log_tail:
             # Crash between log-page allocation and the first commit:
             # the log exists but holds nothing; appends resume at slot 0.
@@ -130,48 +213,92 @@ def _replay_logs(fs, report: RecoveryReport) -> None:
                 from repro.nova.gc import find_tail_by_scan
                 inode.log_tail = find_tail_by_scan(fs, inode.log_head)
                 fs.itable.update_log_tail(inode.ino, inode.log_tail)
-                report.extra["gc_tails_rebuilt"] = \
-                    report.extra.get("gc_tails_rebuilt", 0) + 1
+                if report is not None:
+                    report.extra["gc_tails_rebuilt"] = \
+                        report.extra.get("gc_tails_rebuilt", 0) + 1
+    if cache is None:
         cache = InodeCache(
             inode=inode,
             index=FileIndex(fs.cpu_model, fs.clock),
             tail=inode.log_tail,
         )
-        for addr, raw in fs.log.iter_slots(inode.log_head, inode.log_tail):
-            try:
-                entry = decode_entry(raw)
-            except ValueError:
+    else:
+        cache.tail = inode.log_tail
+        cache.entry_count = 0
+    for addr, raw in fs.log.iter_slots(inode.log_head, inode.log_tail):
+        try:
+            entry = decode_entry(raw)
+        except ValueError:
+            if report is not None:
                 report.corrupt_entries_skipped += 1
-                continue
-            if entry is None:
-                continue
+            continue
+        if entry is None:
+            continue
+        if report is not None:
             report.entries_replayed += 1
-            cache.entry_count += 1
-            if isinstance(entry, WriteEntry) and inode.itype == ITYPE_FILE:
-                cache.index.install(addr, entry)
-                cache.inode.size = entry.size_after
-                cache.inode.mtime = max(cache.inode.mtime, entry.mtime)
-            elif isinstance(entry, SetattrEntry) and inode.itype == ITYPE_FILE:
-                keep = (entry.new_size + PAGE_SIZE - 1) // PAGE_SIZE
-                cache.index.truncate_pages(keep)
-                cache.inode.size = entry.new_size
-                cache.inode.mtime = max(cache.inode.mtime, entry.mtime)
-            elif isinstance(entry, DentryEntry) and inode.itype == ITYPE_DIR:
-                if entry.valid:
-                    cache.dentries[entry.name] = entry.ino
-                else:
-                    cache.dentries.pop(entry.name, None)
-            elif (isinstance(entry, SymlinkEntry)
-                    and inode.itype == ITYPE_SYMLINK):
-                cache.symlink_target = entry.target
+        cache.entry_count += 1
+        if isinstance(entry, WriteEntry) and inode.itype == ITYPE_FILE:
+            cache.index.install(addr, entry)
+            cache.inode.size = entry.size_after
+            cache.inode.mtime = max(cache.inode.mtime, entry.mtime)
+        elif isinstance(entry, SetattrEntry) and inode.itype == ITYPE_FILE:
+            keep = (entry.new_size + PAGE_SIZE - 1) // PAGE_SIZE
+            cache.index.truncate_pages(keep)
+            cache.inode.size = entry.new_size
+            cache.inode.mtime = max(cache.inode.mtime, entry.mtime)
+        elif isinstance(entry, DentryEntry) and inode.itype == ITYPE_DIR:
+            if entry.valid:
+                cache.dentries[entry.name] = entry.ino
             else:
+                cache.dentries.pop(entry.name, None)
+        elif (isinstance(entry, SymlinkEntry)
+                and inode.itype == ITYPE_SYMLINK):
+            cache.symlink_target = entry.target
+        else:
+            if report is not None:
                 report.corrupt_entries_skipped += 1
-        fs.caches[inode.ino] = cache
-        report.inodes_recovered += 1
+    return cache
 
 
-def _collect_orphans(fs, report: RecoveryReport) -> None:
-    """Pass 2: reachability from the root; collect orphans."""
+def _replay_logs(fs, report: RecoveryReport) -> None:
+    """Pass 1: replay every valid inode's log.
+
+    With ``fs.recovery_workers > 1`` the per-inode replays run through
+    the sharded-replay pool: each replay's charged cost is captured and
+    the clock advances by the pool makespan instead of the serial sum.
+    Execution order — and therefore every report field and all DRAM
+    state — is identical to the sequential path.
+    """
+    workers = getattr(fs, "recovery_workers", 1)
+    if workers <= 1:
+        for inode in fs.itable.iter_valid():
+            fs.caches[inode.ino] = _replay_one(fs, inode, report)
+            report.inodes_recovered += 1
+        return
+
+    from repro.conc.replay import run_sharded
+
+    inodes = list(fs.itable.iter_valid())
+
+    def make_task(inode):
+        def task():
+            fs.caches[inode.ino] = _replay_one(fs, inode, report)
+            report.inodes_recovered += 1
+        return task
+
+    fs.last_replay_pool = run_sharded(
+        fs.clock, [make_task(inode) for inode in inodes], workers)
+
+
+def _collect_orphans(fs, report: RecoveryReport,
+                     bitmap: np.ndarray | None = None,
+                     data_refs: np.ndarray | None = None) -> None:
+    """Pass 2: reachability from the root; collect orphans.
+
+    When given the conservative usage scan from pass 1.5, each orphan's
+    log and (otherwise-unreferenced) data pages are removed from it, so
+    pass 3 can rebuild the free lists without a second device scan.
+    """
     reachable: set[int] = set()
     stack = [ROOT_INO] if ROOT_INO in fs.caches else []
     while stack:
@@ -184,6 +311,15 @@ def _collect_orphans(fs, report: RecoveryReport) -> None:
             stack.extend(i for i in cache.dentries.values()
                          if i in fs.caches)
     for ino in sorted(set(fs.caches) - reachable):
+        cache = fs.caches[ino]
+        if bitmap is not None:
+            for page in fs.log.iter_pages(cache.inode.log_head):
+                bitmap[page] = False
+                report.log_pages -= 1
+            for page in cache.index.referenced_pages():
+                data_refs[page] -= 1
+                if data_refs[page] <= 0:
+                    bitmap[page] = False
         fs.itable.release(ino)
         del fs.caches[ino]
         report.orphans_collected += 1
@@ -195,7 +331,9 @@ def _collect_orphans(fs, report: RecoveryReport) -> None:
                 del cache.dentries[name]
 
     # Recompute link counts from the surviving dentries (the hot path
-    # never persists them; the namespace is the ground truth).
+    # never persists them; the namespace is the ground truth).  POSIX:
+    # a directory's nlink is 2 ("." plus its parent's entry) plus one
+    # ".." back-reference per subdirectory.
     link_counts = Counter(
         child
         for cache in fs.caches.values()
@@ -204,15 +342,26 @@ def _collect_orphans(fs, report: RecoveryReport) -> None:
     )
     for ino, cache in fs.caches.items():
         if cache.inode.itype == ITYPE_DIR:
-            cache.inode.links = 2
+            nsubdirs = sum(
+                1 for child in cache.dentries.values()
+                if (c := fs.caches.raw_get(child)) is not None
+                and c.inode.itype == ITYPE_DIR)
+            cache.inode.links = 2 + nsubdirs
         else:  # files and symlinks
             cache.inode.links = link_counts.get(ino, 0)
 
 
-def _in_use_bitmap(fs, report: RecoveryReport | None = None) -> np.ndarray:
-    """Pages referenced by the current ``fs.caches`` (plus system area)."""
+def _build_usage(fs, report: RecoveryReport | None = None):
+    """One conservative device scan: (in-use bitmap, data-page refcounts).
+
+    Covers every currently-valid inode, orphans included; counts
+    ``report.log_pages`` as it goes.  ``data_refs`` lets orphan
+    collection release a data page only when its last referencing inode
+    dies (dedup-shared pages stay in use).
+    """
     bitmap = np.zeros(fs.geo.total_pages, dtype=bool)
     bitmap[:fs.geo.data_start_page] = True  # superblock/itable/FACT/etc.
+    data_refs = np.zeros(fs.geo.total_pages, dtype=np.int32)
     for cache in fs.caches.values():
         for page in fs.log.iter_pages(cache.inode.log_head):
             bitmap[page] = True
@@ -220,10 +369,5 @@ def _in_use_bitmap(fs, report: RecoveryReport | None = None) -> np.ndarray:
                 report.log_pages += 1
         for page in cache.index.referenced_pages():
             bitmap[page] = True
-    return bitmap
-
-
-def _build_allocator(fs) -> PageAllocator:
-    return PageAllocator.from_bitmap(
-        fs.geo.data_start_page, fs.geo.total_pages, _in_use_bitmap(fs),
-        fs.cpus)
+            data_refs[page] += 1
+    return bitmap, data_refs

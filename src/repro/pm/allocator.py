@@ -57,6 +57,7 @@ class PageAllocator:
         self.allocs = 0
         self.frees = 0
         self.steals = 0
+        self.alloc_log: Optional[list[Extent]] = None
 
     def attach_registry(self, registry) -> None:
         """Expose allocator state as callback-backed metrics.
@@ -92,6 +93,24 @@ class PageAllocator:
         return any(e.start <= page < e.end
                    for lst in self._lists for e in lst)
 
+    def home_cpu(self, page: int) -> int:
+        """CPU owning ``page`` under the static mkfs partition.
+
+        Frees that cannot name the allocating CPU (scrub, GC of
+        long-dead extents) return pages here so large reclaims do not
+        pile everything onto CPU 0.
+        """
+        if not self.lo <= page < self.hi:
+            raise ValueError(f"page {page} outside [{self.lo}, {self.hi})")
+        share = (self.hi - self.lo) // self.cpus
+        if share == 0:
+            return 0
+        return min((page - self.lo) // share, self.cpus - 1)
+
+    def free_extents(self) -> list[list[Extent]]:
+        """Per-CPU free lists as plain extent lists (checkpoint snapshot)."""
+        return [list(lst) for lst in self._lists]
+
     # -- allocation ------------------------------------------------------------
 
     def alloc(self, count: int, cpu: int = 0) -> int:
@@ -125,6 +144,8 @@ class PageAllocator:
                 f"{self.largest_extent()})"
             )
         self.allocs += 1
+        if self.alloc_log is not None:
+            self.alloc_log.append(Extent(start, count))
         return start
 
     def _take_from(self, cpu: int, count: int) -> Optional[int]:
@@ -204,4 +225,32 @@ class PageAllocator:
             alloc._lists[i % cpus].append(ext)
         for lst in alloc._lists:
             lst.sort(key=lambda e: e.start)
+        alloc.alloc_log = None
+        return alloc
+
+    @classmethod
+    def from_free_lists(cls, lo: int, hi: int,
+                        lists: list[list[Extent]], cpus: int = 1
+                        ) -> "PageAllocator":
+        """Rebuild from checkpointed per-CPU free lists (clean remount).
+
+        When the checkpoint was written under a different CPU count the
+        extents are redistributed round-robin, mirroring
+        :meth:`from_bitmap`'s re-balancing.
+        """
+        alloc = cls.__new__(cls)
+        alloc.lo, alloc.hi, alloc.cpus = lo, hi, cpus
+        alloc._lists = [[] for _ in range(cpus)]
+        alloc.allocs = alloc.frees = alloc.steals = 0
+        alloc.alloc_log = None
+        if len(lists) == cpus:
+            for cpu, lst in enumerate(lists):
+                alloc._lists[cpu] = sorted(lst, key=lambda e: e.start)
+        else:
+            flat = sorted((e for lst in lists for e in lst),
+                          key=lambda e: e.start)
+            for i, ext in enumerate(flat):
+                alloc._lists[i % cpus].append(ext)
+            for lst in alloc._lists:
+                lst.sort(key=lambda e: e.start)
         return alloc

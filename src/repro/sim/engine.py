@@ -27,6 +27,7 @@ __all__ = [
     "Resource",
     "FifoQueue",
     "Interrupt",
+    "simulate_workers",
 ]
 
 
@@ -570,3 +571,33 @@ class FifoQueue:
     def snapshot(self) -> list[Any]:
         """Copy of queued items (for clean-shutdown persistence)."""
         return list(self._items)
+
+
+def simulate_workers(costs, workers: int) -> dict:
+    """Makespan of a work-conserving FIFO worker pool over ``costs``.
+
+    Each cost is a task duration in simulated ns.  ``workers`` processes
+    pull from one shared queue in order, so the result is deterministic
+    for a given cost sequence — the scheduling model behind the per-CPU
+    parallel recovery replay (tasks keep their serial execution order;
+    only the *charged time* is divided across workers).
+
+    Returns ``{"makespan": ns, "busy": total task ns}``.
+    """
+    if workers < 1:
+        raise ValueError("workers must be >= 1")
+    pending = deque(costs)
+    busy = sum(pending)
+    if not pending:
+        return {"makespan": 0, "busy": 0}
+    eng = Engine()
+
+    def worker():
+        while pending:
+            cost = pending.popleft()
+            yield eng.timeout(cost)
+
+    for w in range(min(workers, len(pending))):
+        eng.process(worker(), name=f"replay.worker{w}")
+    makespan = eng.run()
+    return {"makespan": makespan, "busy": busy}

@@ -180,7 +180,8 @@ class TestScrub:
         fs.daemon.drain()
         rep = fs.scrub()
         assert rep == {"entries_removed": 0, "pages_freed": 0,
-                       "overcounted_remaining": 0}
+                       "overcounted_remaining": 0, "examined": 1,
+                       "next_cursor": 0, "done": True}
 
     def test_scrub_reclaims_leaked_page(self):
         """Simulate the §V-C2 over-increment leak and scrub it away."""

@@ -1,0 +1,92 @@
+"""Recovery-path equivalence: every way of coming back up converges.
+
+Build the same workload deterministically, then reach a mounted
+filesystem four ways — checkpointed clean remount, full-scan clean
+remount, parallel full-scan remount, and post-crash recovery — and
+require the identical logical-state digest from all of them.
+"""
+
+import pytest
+
+from repro.conc import fs_state_digest
+from repro.dedup import DeNovaFS
+from repro.failure import check_fs_invariants
+from repro.nova import PAGE_SIZE
+from repro.pm import DRAM, PMDevice, SimClock
+from repro.workloads import DataGenerator
+
+pytestmark = pytest.mark.recovery
+
+
+def build_fs(seed=7, cpus=2):
+    dev = PMDevice(4096 * PAGE_SIZE, model=DRAM, clock=SimClock())
+    fs = DeNovaFS.mkfs(dev, max_inodes=128, cpus=cpus)
+    gen = DataGenerator(alpha=0.5, seed=seed)
+    fs.mkdir("/a")
+    fs.mkdir("/a/b")
+    for i in range(20):
+        ino = fs.create(f"/a/f{i}")
+        fs.write(ino, 0, gen.file_data(2 * PAGE_SIZE))
+    fs.symlink("/a/f3", "/s")
+    fs.link("/a/f4", "/a/b/hard")
+    fs.rename("/a/f0", "/a/b/g0")  # cross-directory (journaled)
+    fs.unlink("/a/f1")
+    fs.truncate(fs.lookup("/a/f2"), PAGE_SIZE)
+    fs.daemon.drain()
+    return fs
+
+
+def test_all_recovery_paths_converge(tmp_path):
+    fs = build_fs()
+    digest_live = fs_state_digest(fs)
+    fs.unmount()
+    path = tmp_path / "clean.img"
+    fs.dev.save_image(path)
+
+    digests = {}
+    reports = {}
+    for label, kw in (
+        ("checkpoint", {}),
+        ("full-scan", {"use_checkpoint": False}),
+        ("full-scan-parallel", {"use_checkpoint": False,
+                                "recovery_workers": 4}),
+    ):
+        dev = PMDevice.load_image(path, clock=SimClock())
+        mounted = DeNovaFS.mount(dev, cpus=2, **kw)
+        check_fs_invariants(mounted)
+        digests[label] = fs_state_digest(mounted)
+        reports[label] = mounted.last_recovery
+
+    # Post-crash recovery of the *same* (fully drained) workload.
+    crashed = build_fs()
+    crashed.dev.crash()
+    crashed.dev.recover_view()
+    recovered = DeNovaFS.mount(crashed.dev, cpus=2)
+    check_fs_invariants(recovered)
+    digests["crash"] = fs_state_digest(recovered)
+
+    assert "checkpoint" in reports["checkpoint"].extra
+    assert "checkpoint" not in reports["full-scan"].extra
+    assert not recovered.last_recovery.clean
+    assert set(digests.values()) == {digest_live}, digests
+
+
+def test_checkpoint_remount_survives_further_mutation(tmp_path):
+    """State stays convergent across a second mutate/remount cycle."""
+    fs = build_fs()
+    fs.unmount()
+    path = tmp_path / "gen2.img"
+    fs.dev.save_image(path)
+    dev = PMDevice.load_image(path, clock=SimClock())
+    fs2 = DeNovaFS.mount(dev, cpus=2)
+    ino = fs2.create("/a/new")
+    fs2.write(ino, 0, b"generation 2")
+    fs2.daemon.drain()
+    digest = fs_state_digest(fs2)
+    fs2.unmount()
+    fs2.dev.save_image(path)
+    dev3 = PMDevice.load_image(path, clock=SimClock())
+    fs3 = DeNovaFS.mount(dev3, cpus=2)
+    assert "checkpoint" in fs3.last_recovery.extra
+    assert fs_state_digest(fs3) == digest
+    check_fs_invariants(fs3)

@@ -1,0 +1,94 @@
+"""Per-CPU parallel replay: identical state, smaller charged latency."""
+
+import numpy as np
+import pytest
+
+from repro.conc import fs_state_digest
+from repro.dedup import DeNovaFS
+from repro.failure import check_fs_invariants
+from repro.nova import NovaFS, PAGE_SIZE
+from repro.pm import DRAM, PMDevice, SimClock
+
+pytestmark = pytest.mark.recovery
+
+
+def crashed_image(tmp_path, cls=NovaFS, nfiles=24, **mkfs_kw):
+    dev = PMDevice(4096 * PAGE_SIZE, model=DRAM, clock=SimClock())
+    fs = cls.mkfs(dev, max_inodes=max(64, nfiles + 8), **mkfs_kw)
+    fs.mkdir("/d")
+    for i in range(nfiles):
+        ino = fs.create(f"/d/f{i}")
+        fs.write(ino, 0, bytes([i % 251]) * (2 * PAGE_SIZE + i))
+    fs.unlink("/d/f1")
+    fs.rename("/d/f2", "/f2-moved")
+    fs.dev.crash()
+    fs.dev.recover_view()
+    path = tmp_path / "crashed.img"
+    fs.dev.save_image(path)
+    return path
+
+
+def mount_from(path, cls=NovaFS, **kw):
+    dev = PMDevice.load_image(path, clock=SimClock())
+    return cls.mount(dev, **kw)
+
+
+def report_fields(rep):
+    return (rep.clean, rep.inodes_recovered, rep.entries_replayed,
+            rep.orphans_collected, rep.pages_in_use,
+            rep.corrupt_entries_skipped, rep.log_pages)
+
+
+class TestParallelReplayEquivalence:
+    def test_worker_counts_produce_identical_report(self, tmp_path):
+        path = crashed_image(tmp_path)
+        fs1 = mount_from(path, recovery_workers=1)
+        fs4 = mount_from(path, recovery_workers=4)
+        r1, r4 = fs1.last_recovery, fs4.last_recovery
+        assert report_fields(r1) == report_fields(r4)
+        assert np.array_equal(r1.bitmap, r4.bitmap)
+        assert r1.extra == r4.extra
+        assert fs_state_digest(fs1) == fs_state_digest(fs4)
+        assert fs1.allocator.free_pages == fs4.allocator.free_pages
+        check_fs_invariants(fs1)
+        check_fs_invariants(fs4)
+
+    def test_dedup_flag_scan_shards_identically(self, tmp_path):
+        path = crashed_image(tmp_path, cls=DeNovaFS, nfiles=16)
+        fs1 = mount_from(path, cls=DeNovaFS, recovery_workers=1)
+        fs4 = mount_from(path, cls=DeNovaFS, recovery_workers=4)
+        q1 = [(n.ino, n.entry_addr) for n in fs1.dwq.snapshot()]
+        q4 = [(n.ino, n.entry_addr) for n in fs4.dwq.snapshot()]
+        assert q1 == q4
+        assert (fs1.last_recovery.extra["dedup"]
+                == fs4.last_recovery.extra["dedup"])
+        assert fs_state_digest(fs1) == fs_state_digest(fs4)
+        fs1.daemon.drain()
+        fs4.daemon.drain()
+        assert (fs1.space_stats()["physical_pages"]
+                == fs4.space_stats()["physical_pages"])
+
+
+class TestParallelReplaySpeedup:
+    def test_replay_latency_scales_down_with_workers(self, tmp_path):
+        path = crashed_image(tmp_path, nfiles=48)
+        times = {}
+        for w in (1, 2, 4):
+            dev = PMDevice.load_image(path, clock=SimClock())
+            t0 = dev.clock.now_ns
+            fs = NovaFS.mount(dev, recovery_workers=w)
+            times[w] = dev.clock.now_ns - t0
+            if w > 1:
+                pool = fs.last_replay_pool
+                assert pool["workers"] == w
+                assert pool["makespan_ns"] < pool["busy_ns"]
+        assert times[4] < times[2] < times[1]
+
+    def test_single_worker_keeps_sequential_cost(self, tmp_path):
+        """workers=1 must charge exactly the sequential replay time."""
+        path = crashed_image(tmp_path, nfiles=12)
+        dev_a = PMDevice.load_image(path, clock=SimClock())
+        NovaFS.mount(dev_a, recovery_workers=1)
+        dev_b = PMDevice.load_image(path, clock=SimClock())
+        NovaFS.mount(dev_b, recovery_workers=1)
+        assert dev_a.clock.now_ns == dev_b.clock.now_ns

@@ -100,7 +100,9 @@ class TestTraceCommand:
         assert main(["trace", image]) == 0
         out = capsys.readouterr().out
         assert "recovery.mount" in out
-        assert "recovery.log_replay" in out
+        # A clean mount restores from the unmount checkpoint instead of
+        # replaying logs.
+        assert "recovery.checkpoint_load" in out
 
     def test_trace_limit(self, image, capsys):
         capsys.readouterr()
