@@ -1,0 +1,361 @@
+"""``backup recv``: dedup-aware, failure-atomic snapshot ingest.
+
+Incoming pages are deduplicated against the *target's* FACT: a
+fingerprint already present costs one staged-UC/commit-RFC pair and no
+data copy; a novel fingerprint allocates a page, streams its record in,
+and inserts a FACT entry (table-full falls back to an un-fingerprinted
+page — one reference, no entry, exactly like a write whose offline
+dedup was skipped).
+
+Failure atomicity — the commit-flag protocol
+--------------------------------------------
+The snapshot is materialized under a *staging* directory,
+``/.backup_stage/<name>``, file by file with reflink's own crash
+discipline (orphan inode → staged UCs → ``in_process`` entries → one
+atomic tail commit → settle → publish dentry).  When the whole tree is
+staged, one atomic cross-directory rename — the redo journal's
+committed flag is the linearization point — moves it to
+``/.snapshots/<name>``.  That rename *is* the single commit flag: until
+it happens the target has no snapshot named ``<name>``, and
+:meth:`DeNovaFS._post_mount` rolls every staging directory back after
+an **unclean** mount, so a crash torn anywhere during ingest leaves the
+target fsck-clean with the partial snapshot absent.
+
+Resume — the in-image cursor
+----------------------------
+A *clean* unmount intentionally preserves staging: the sibling cursor
+file ``/.backup_stage/<name>.cursor`` records the ``stream_id`` being
+ingested, and a later ``recv`` of the same stream skips every
+already-published path (publishing is per-entry atomic, so an existing
+path is a complete entry).  A cursor whose ``stream_id`` does not match
+invalidates the staging — resuming a deleted-and-recreated source
+snapshot restarts from scratch.  The cursor lives in the image, so it
+can never disagree with the staged tree it describes.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Optional
+
+from repro.backup.diff import BackupError
+from repro.backup.stream import (
+    StreamError,
+    index_records,
+    read_header,
+    read_record_at,
+)
+from repro.dedup.fact import FactFull
+from repro.dedup.reflink import SNAPSHOT_DIR
+from repro.nova.entries import (
+    DEDUPE_COMPLETE,
+    DEDUPE_IN_PROCESS,
+    SetattrEntry,
+    WriteEntry,
+)
+from repro.nova.fs import FSError, FileExists, ino_cpu
+from repro.nova.inode import FLAG_IMMUTABLE, ITYPE_DIR, ITYPE_FILE
+from repro.nova.layout import PAGE_SIZE
+
+__all__ = ["STAGE_DIR", "receive_backup", "rollback_staging",
+           "stage_cursor"]
+
+STAGE_DIR = "/.backup_stage"
+
+
+def _stage_path(name: str) -> str:
+    return f"{STAGE_DIR}/{name}"
+
+
+def _cursor_path(name: str) -> str:
+    return f"{STAGE_DIR}/{name}.cursor"
+
+
+def _present(fs, path: str) -> bool:
+    """Existence without following a final symlink (exists() would)."""
+    try:
+        fs.lookup(path, follow=False)
+        return True
+    except FSError:
+        return False
+
+
+def _write_small(fs, path: str, data: bytes) -> None:
+    if not _present(fs, path):
+        fs.create(path)
+    ino = fs.lookup(path, follow=False)
+    fs.truncate(ino, 0)
+    if data:
+        fs.write(ino, 0, data)
+
+
+def stage_cursor(fs, name: str) -> Optional[dict]:
+    """The in-image recv cursor for ``name`` (None if absent/garbled)."""
+    path = _cursor_path(name)
+    if not _present(fs, path):
+        return None
+    ino = fs.lookup(path, follow=False)
+    try:
+        return json.loads(fs.read(ino, 0, fs.stat(ino).size).decode())
+    except (ValueError, UnicodeDecodeError):
+        return None
+
+
+def _teardown(fs, path: str) -> int:
+    """Recursively remove a staged subtree; returns non-dir removals."""
+    removed = 0
+    for entry in list(fs.listdir(path)):
+        child = f"{path}/{entry}"
+        ino = fs.lookup(child, follow=False)
+        if fs.caches[ino].inode.itype == ITYPE_DIR:
+            removed += _teardown(fs, child)
+        else:
+            fs.unlink(child)
+            removed += 1
+    fs.rmdir(path)
+    return removed
+
+
+def rollback_staging(fs) -> dict:
+    """Remove every staged ingest (and stray cursor) — the fsck path.
+
+    Unlinking staged files drops the RFCs their ingest committed; pages
+    that reach zero are freed and their FACT entries retired, so a
+    rolled-back ingest leaves no trace in the table.
+    """
+    out = {"stages": 0, "files": 0, "cursors": 0}
+    if not _present(fs, STAGE_DIR):
+        return out
+    for entry in list(fs.listdir(STAGE_DIR)):
+        path = f"{STAGE_DIR}/{entry}"
+        ino = fs.lookup(path, follow=False)
+        if fs.caches[ino].inode.itype == ITYPE_DIR:
+            out["files"] += _teardown(fs, path)
+            out["stages"] += 1
+        else:
+            fs.unlink(path)
+            out["cursors"] += 1
+    fs.rmdir(STAGE_DIR)
+    return out
+
+
+def _ingest_file(fs, path: str, size: int, pages: list, fh, index,
+                 stats: dict) -> int:
+    """Materialize one file from ``(pgoff, fp)`` pairs + stream records.
+
+    Mirrors :func:`repro.dedup.reflink.reflink` step for step: the
+    inode stays an orphan (recovery collects it) until the very last
+    dentry append publishes the fully-committed file.
+    """
+    pino, name, _parent = fs._namei(path)
+    cpu = ino_cpu(pino, fs.cpus)
+    ino = fs._new_inode(ITYPE_FILE, cpu)
+    cache = fs.caches[ino]
+    cache.inode.flags |= FLAG_IMMUTABLE
+    fs.itable.write(ino, cache.inode)
+
+    staged: list[int] = []               # FACT idxs with a staged UC
+    runs: list[tuple[int, int, int]] = []  # (pgoff, block, count)
+    fresh: list[int] = []                # pages allocated by this file
+    try:
+        for pgoff, fp_hex in pages:
+            fp = bytes.fromhex(fp_hex)
+            res = fs.fact.lookup(fp)
+            if res.found is not None:
+                # Dedup hit against the target: no data copy.
+                fs.fact.inc_uc(res.found.idx)
+                staged.append(res.found.idx)
+                block = res.found.block
+                stats["pages_dup"] += 1
+            else:
+                data = read_record_at(fh, fp_hex, index)
+                if len(data) != PAGE_SIZE:
+                    raise StreamError(
+                        f"record {fp_hex}: {len(data)} B, want a page")
+                block = fs.allocator.alloc(1, cpu)
+                fresh.append(block)
+                fs.dev.write(block * PAGE_SIZE, data, nt=True)
+                try:
+                    # UC=1; the commit below turns it into RFC=1.
+                    staged.append(fs.fact.insert(fp, block, hint=res))
+                except FactFull:
+                    # Un-fingerprinted page: single reference, no entry.
+                    stats["pages_unfingerprinted"] += 1
+                stats["pages_novel"] += 1
+                stats["bytes_ingested"] += len(data)
+            if runs and runs[-1][0] + runs[-1][2] == pgoff \
+                    and runs[-1][1] + runs[-1][2] == block:
+                runs[-1] = (runs[-1][0], runs[-1][1], runs[-1][2] + 1)
+            else:
+                runs.append((pgoff, block, 1))
+    except BaseException:
+        # Undo the volatile/PM side effects of the unpublished file so a
+        # *handled* error (bad record, ENOSPC) leaves the target exactly
+        # as before; a crash reaches the same state through recovery.
+        for idx in staged:
+            fs.fact.discard_uc(idx)
+        fs.fact.remove_dead()
+        for block in fresh:
+            fs.allocator.free(block, 1, cpu)
+        fs.itable.release(ino)
+        del fs.caches[ino]
+        raise
+
+    mtime = int(fs.clock.now_ns)
+    appended: list[tuple[int, WriteEntry]] = []
+    if not runs and size:
+        head, first_tail = fs.log.ensure_log(ino, cache.inode.log_head, cpu)
+        if cache.inode.log_head == 0:
+            cache.inode.log_head = head
+            cache.tail = first_tail
+        entry = SetattrEntry(ino=ino, new_size=size, mtime=mtime)
+        _addr, tail = fs.log.append(ino, cache.tail, entry.pack(), cpu)
+        fs.log.commit(ino, tail)
+        cache.tail = tail
+        cache.inode.log_tail = tail
+        cache.entry_count += 1
+    if runs:
+        head, first_tail = fs.log.ensure_log(ino, cache.inode.log_head, cpu)
+        if cache.inode.log_head == 0:
+            cache.inode.log_head = head
+            cache.tail = first_tail
+        tail = cache.tail
+        for pgoff, block, count in runs:
+            we = WriteEntry(file_pgoff=pgoff, num_pages=count, block=block,
+                            size_after=size, ino=ino, mtime=mtime,
+                            dedupe_flag=DEDUPE_IN_PROCESS)
+            addr, tail = fs.log.append(ino, tail, we.pack(), cpu)
+            appended.append((addr, we))
+            fs.note_dedup_pending(addr)
+        fs.log.commit(ino, tail)  # the file's atomic commit
+        cache.tail = tail
+        cache.inode.log_tail = tail
+        cache.entry_count += len(appended)
+    cache.inode.size = size
+    cache.inode.mtime = mtime
+
+    for idx in staged:
+        fs.fact.commit_uc(idx)
+    for addr, we in appended:
+        fs.set_dedupe_flag(addr, DEDUPE_COMPLETE)
+        fs.note_dedup_done(addr)
+        cache.index.install(addr, we)
+
+    fs._append_dentry(pino, name, ino, valid=1, cpu=cpu)
+    return ino
+
+
+def receive_backup(fs, stream, resume: bool = True,
+                   max_entries: Optional[int] = None) -> dict:
+    """Ingest a complete send stream into ``fs``.
+
+    ``stream`` is a path or a readable+seekable binary file object.
+    ``max_entries`` stops after that many *new* tree entries, leaving
+    the staging and cursor in place for a later resume (the test hook
+    for interrupted transfers).  Returns a report whose ``committed``
+    says whether the snapshot was atomically published.
+    """
+    if not hasattr(fs, "fact"):
+        raise BackupError("backup recv needs a dedup-enabled filesystem")
+    close_fh = isinstance(stream, str)
+    fh = open(stream, "rb") if close_fh else stream
+    try:
+        manifest, header_len = read_header(fh)
+        index = index_records(fh, header_len, manifest)
+        if not index.complete:
+            raise StreamError(
+                "stream is truncated (no trailer) — resume the send "
+                "before receiving")
+        if manifest["page_size"] != PAGE_SIZE:
+            raise BackupError(
+                f"stream page size {manifest['page_size']} != {PAGE_SIZE}")
+        missing = [fp for fp in manifest["novel"]
+                   if fp not in index.offsets]
+        if missing:
+            raise StreamError(
+                f"{len(missing)} novel fingerprints have no record")
+
+        name = manifest["snapshot"]
+        sid = manifest["stream_id"]
+        dst = f"{SNAPSHOT_DIR}/{name}"
+        if _present(fs, dst):
+            raise FileExists(dst)
+
+        if not _present(fs, STAGE_DIR):
+            fs.mkdir(STAGE_DIR)
+        stage = _stage_path(name)
+        cpath = _cursor_path(name)
+        resumed = False
+        if _present(fs, stage):
+            cur = stage_cursor(fs, name) if resume else None
+            if cur is not None and cur.get("stream_id") == sid:
+                resumed = True
+            else:
+                # Different/unknown stream staged under this name: a
+                # stale transfer whose source was recreated.  Roll it
+                # back and start fresh.
+                _teardown(fs, stage)
+                if _present(fs, cpath):
+                    fs.unlink(cpath)
+        if not _present(fs, stage):
+            fs.mkdir(stage)
+        _write_small(fs, cpath, json.dumps(
+            {"stream_id": sid, "applied": 0}).encode())
+
+        stats = {"pages_dup": 0, "pages_novel": 0,
+                 "pages_unfingerprinted": 0, "bytes_ingested": 0,
+                 "files": 0, "dirs": 0, "symlinks": 0}
+        counters = getattr(fs, "backup_counters", None)
+        applied = skipped = 0
+        stopped = False
+        with fs.obs.span("backup.recv", snapshot=name,
+                         entries=len(manifest["tree"]), resumed=resumed):
+            for ent in manifest["tree"]:
+                kind, relpath = ent[0], ent[1]
+                path = f"{stage}/{relpath}"
+                if _present(fs, path):
+                    skipped += 1  # published by an interrupted run
+                    continue
+                if max_entries is not None and applied >= max_entries:
+                    stopped = True
+                    break
+                if kind == "dir":
+                    fs.mkdir(path)
+                    stats["dirs"] += 1
+                elif kind == "symlink":
+                    fs.symlink(ent[2], path)
+                    stats["symlinks"] += 1
+                else:
+                    _ingest_file(fs, path, ent[2], ent[3], fh, index,
+                                 stats)
+                    stats["files"] += 1
+                applied += 1
+                _write_small(fs, cpath, json.dumps(
+                    {"stream_id": sid,
+                     "applied": applied + skipped}).encode())
+            committed = False
+            if not stopped:
+                if not _present(fs, SNAPSHOT_DIR):
+                    fs.mkdir(SNAPSHOT_DIR)
+                fs.rename(stage, dst)  # THE commit flag (journal)
+                fs.unlink(cpath)
+                if not fs.listdir(STAGE_DIR):
+                    fs.rmdir(STAGE_DIR)
+                committed = True
+        if counters is not None:
+            counters["recv_pages_dup"] += stats["pages_dup"]
+            counters["recv_pages_novel"] += stats["pages_novel"]
+            counters["recv_bytes"] += stats["bytes_ingested"]
+        return {
+            "snapshot": name,
+            "stream_id": sid,
+            "entries": len(manifest["tree"]),
+            "entries_applied": applied,
+            "entries_skipped": skipped,
+            "resumed": resumed,
+            "committed": committed,
+            **stats,
+        }
+    finally:
+        if close_fh:
+            fh.close()

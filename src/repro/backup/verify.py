@@ -1,0 +1,126 @@
+"""``backup verify``: stream integrity + received-snapshot equivalence.
+
+Two independent checks:
+
+* :func:`verify_stream` — pure wire-format validation of a stream file:
+  header CRC, every record's CRC, trailer presence/count, and manifest
+  consistency (every novel fingerprint has a record and vice versa).
+  Works on incomplete streams too (reports ``complete=False``).
+
+* :func:`verify_snapshot` — the round-trip property: rebuild the
+  received snapshot's tree with the same deterministic walk the sender
+  used and compare it entry-by-entry against the manifest.  Equality
+  means byte-identical structure, sizes, and per-page fingerprints —
+  hence an identical fingerprint *set*.  ``deep=True`` re-hashes page
+  bytes instead of trusting the target's FACT, catching table
+  corruption as well.
+"""
+
+from __future__ import annotations
+
+from repro.backup.diff import snapshot_root, snapshot_tree
+from repro.backup.stream import (
+    StreamError,
+    index_records,
+    read_header,
+    read_record_at,
+)
+
+__all__ = ["verify_stream", "verify_snapshot"]
+
+
+def verify_stream(stream) -> dict:
+    """CRC-validate a stream file (path or readable binary file)."""
+    close_fh = isinstance(stream, str)
+    fh = open(stream, "rb") if close_fh else stream
+    errors: list[str] = []
+    manifest = None
+    complete = False
+    records = 0
+    try:
+        try:
+            manifest, header_len = read_header(fh)
+        except StreamError as exc:
+            return {"ok": False, "complete": False, "records": 0,
+                    "errors": [str(exc)]}
+        try:
+            index = index_records(fh, header_len, manifest)
+        except StreamError as exc:
+            return {"ok": False, "complete": False, "records": 0,
+                    "snapshot": manifest["snapshot"],
+                    "stream_id": manifest["stream_id"],
+                    "errors": [str(exc)]}
+        complete = index.complete
+        records = index.nrecords
+        if not complete:
+            errors.append("no trailer: stream is incomplete (resumable)")
+        novel = set(manifest["novel"])
+        for fp_hex in manifest["novel"]:
+            if fp_hex not in index.offsets:
+                if complete:
+                    errors.append(f"missing record for {fp_hex}")
+                continue
+            try:
+                read_record_at(fh, fp_hex, index)
+            except StreamError as exc:
+                errors.append(str(exc))
+        for fp_hex in sorted(set(index.offsets) - novel):
+            errors.append(f"record {fp_hex} not named by the manifest")
+        return {
+            "ok": complete and not errors,
+            "complete": complete,
+            "snapshot": manifest["snapshot"],
+            "base": manifest["base"],
+            "stream_id": manifest["stream_id"],
+            "records": records,
+            "expected_records": len(manifest["novel"]),
+            "errors": errors,
+        }
+    finally:
+        if close_fh:
+            fh.close()
+
+
+def verify_snapshot(fs, stream, deep: bool = False) -> dict:
+    """Compare the materialized snapshot against the stream's manifest."""
+    close_fh = isinstance(stream, str)
+    fh = open(stream, "rb") if close_fh else stream
+    try:
+        manifest, _header_len = read_header(fh)
+    finally:
+        if close_fh:
+            fh.close()
+    name = manifest["snapshot"]
+    if not fs.exists(snapshot_root(name)):
+        return {"ok": False, "snapshot": name, "present": False,
+                "mismatches": [f"snapshot {name!r} not present"]}
+    tree, blocks = snapshot_tree(fs, name, recompute=deep)
+    want = manifest["tree"]
+    mismatches: list[str] = []
+    have_by_path = {e[1]: e for e in tree}
+    want_by_path = {e[1]: e for e in want}
+    for path in sorted(set(have_by_path) | set(want_by_path)):
+        h, w = have_by_path.get(path), want_by_path.get(path)
+        if h is None:
+            mismatches.append(f"missing: {path}")
+        elif w is None:
+            mismatches.append(f"unexpected: {path}")
+        elif h != w:
+            mismatches.append(f"differs: {path} ({h[0]} vs {w[0]})")
+        if len(mismatches) >= 20:
+            mismatches.append("...")
+            break
+    want_fps = {fp for e in want if e[0] == "file" for _o, fp in e[3]}
+    fps_equal = set(blocks) == want_fps
+    if not fps_equal and not mismatches:
+        mismatches.append("fingerprint sets differ")
+    return {
+        "ok": not mismatches and tree == want and fps_equal,
+        "snapshot": name,
+        "present": True,
+        "deep": deep,
+        "entries": len(tree),
+        "fingerprints": len(blocks),
+        "fingerprint_set_equal": fps_equal,
+        "mismatches": mismatches,
+    }

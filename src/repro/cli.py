@@ -107,28 +107,59 @@ def cmd_ls(args) -> int:
     return 0
 
 
+#: put/get/backup stream in chunks of this size — no whole-file buffer.
+STREAM_CHUNK = 1 << 20
+
+
+def _streamed_counter(fs):
+    return fs.obs.registry.counter(
+        "cli.bytes_streamed_total",
+        help="bytes moved through chunked CLI streaming (put/get)")
+
+
 def cmd_put(args) -> int:
-    data = (sys.stdin.buffer.read() if args.source == "-"
-            else open(args.source, "rb").read())
+    src = sys.stdin.buffer if args.source == "-" else open(args.source, "rb")
     fs = _open_fs(args.image)
-    if not fs.exists(args.path):
-        fs.create(args.path)
-    ino = fs.lookup(args.path)
-    fs.truncate(ino, 0)
-    fs.write(ino, 0, data)
+    streamed = _streamed_counter(fs)
+    try:
+        if not fs.exists(args.path):
+            fs.create(args.path)
+        ino = fs.lookup(args.path)
+        fs.truncate(ino, 0)
+        offset = 0
+        while True:
+            chunk = src.read(STREAM_CHUNK)
+            if not chunk:
+                break
+            fs.write(ino, offset, chunk)
+            offset += len(chunk)
+            streamed.inc(len(chunk))
+    finally:
+        if src is not sys.stdin.buffer:
+            src.close()
     _close(fs, args.image)
-    print(f"wrote {len(data)} bytes to {args.path}")
+    print(f"wrote {offset} bytes to {args.path}")
     return 0
 
 
 def cmd_get(args) -> int:
     fs = _open_fs(args.image)
+    streamed = _streamed_counter(fs)
     ino = fs.lookup(args.path)
-    data = fs.read(ino, 0, fs.stat(ino).size)
-    if args.dest == "-":
-        sys.stdout.buffer.write(data)
-    else:
-        open(args.dest, "wb").write(data)
+    size = fs.stat(ino).size
+    out = sys.stdout.buffer if args.dest == "-" else open(args.dest, "wb")
+    try:
+        offset = 0
+        while offset < size:
+            chunk = fs.read(ino, offset, min(STREAM_CHUNK, size - offset))
+            if not chunk:
+                break
+            out.write(chunk)
+            offset += len(chunk)
+            streamed.inc(len(chunk))
+    finally:
+        if out is not sys.stdout.buffer:
+            out.close()
     _close(fs, args.image)
     return 0
 
@@ -168,7 +199,14 @@ def cmd_stats(args) -> int:
         space = fs.space_stats()
         rows += [["logical pages", space["logical_pages"]],
                  ["physical pages", space["physical_pages"]],
+                 ["logical bytes", space["logical_bytes"]],
+                 ["physical bytes", space["physical_bytes"]],
                  ["dedup saving", f"{space['space_saving']:.1%}"],
+                 ["FACT RFC sum", space["rfc_sum"]],
+                 ["unfingerprinted pages", space["unfingerprinted_pages"]],
+                 ["snapshots", space["snapshots"]["count"]],
+                 ["snapshot logical pages",
+                  space["snapshots"]["logical_pages"]],
                  ["DWQ backlog", space["dwq_backlog"]],
                  ["FACT entries", space["fact"]["entries"]],
                  ["FACT DAA/IAA", f"{space['fact']['daa_used']}"
@@ -368,8 +406,11 @@ def cmd_du(args) -> int:
         ["metric", "value"],
         [["files", rep["files"]], ["dirs", rep["dirs"]],
          ["logical bytes", rep["logical_bytes"]],
+         ["logical pages", rep["logical_pages"]],
          ["unique data pages", rep["unique_pages"]],
-         ["physical bytes", rep["physical_bytes"]]],
+         ["shared data pages", rep["shared_pages"]],
+         ["physical bytes", rep["physical_bytes"]],
+         ["saved by sharing", rep["saved_bytes"]]],
         title=f"du {args.path} on {args.image} (dedup-aware)"))
     return 0
 
@@ -405,9 +446,134 @@ def cmd_snap(args) -> int:
     return code
 
 
+def cmd_backup(args) -> int:
+    """Dedup-aware snapshot replication between device images."""
+    from repro.backup import (StreamError, receive_backup, send_backup,
+                              stage_cursor, verify_snapshot, verify_stream)
+    from repro.nova.fs import FSError
+
+    fs = _open_fs(args.image)
+    if not hasattr(fs, "fact"):
+        print("backup needs a dedup-enabled image", file=sys.stderr)
+        return 1
+    code = 0
+    try:
+        if args.baction == "send":
+            rep = send_backup(fs, args.snapshot, args.stream,
+                              base=args.base, resume=not args.no_resume,
+                              max_records=args.max_records)
+            _close(fs, args.image)
+            if args.json:
+                print(json.dumps({"schema": "repro.backup.send/1", **rep},
+                                 indent=2))
+            else:
+                state = ("complete" if rep["complete"]
+                         else "interrupted (resumable)")
+                print(f"sent {rep['snapshot']!r}"
+                      + (f" (incremental vs {rep['base']!r})"
+                         if rep["base"] else " (full)")
+                      + f": {rep['records_written']}/{rep['records_total']}"
+                      f" records, {rep['bytes_written']} B, {state}")
+                print(f"  {rep['base_shared_pages']}/{rep['total_pages']} "
+                      f"page refs shared with base; stream "
+                      f"{rep['stream_id'][:12]}")
+            return 0 if rep["complete"] else 3
+        if args.baction == "recv":
+            rep = receive_backup(fs, args.stream,
+                                 resume=not args.no_resume,
+                                 max_entries=args.max_entries)
+            _close(fs, args.image)
+            if args.json:
+                print(json.dumps({"schema": "repro.backup.recv/1", **rep},
+                                 indent=2))
+            else:
+                state = ("committed" if rep["committed"]
+                         else "staged (resumable)")
+                print(f"received {rep['snapshot']!r}: "
+                      f"{rep['entries_applied']} entries applied"
+                      f" ({rep['entries_skipped']} resumed), "
+                      f"{rep['pages_dup']} pages deduped, "
+                      f"{rep['pages_novel']} copied — {state}")
+            return 0 if rep["committed"] else 3
+        if args.baction == "verify":
+            srep = verify_stream(args.stream)
+            nrep = (verify_snapshot(fs, args.stream, deep=args.deep)
+                    if srep.get("snapshot") else
+                    {"ok": False, "present": False, "mismatches": []})
+            _close(fs, args.image)
+            if args.json:
+                print(json.dumps({"schema": "repro.backup.verify/1",
+                                  "stream": srep, "snapshot": nrep},
+                                 indent=2))
+            else:
+                print(f"stream: {'OK' if srep['ok'] else 'BAD'} "
+                      f"({srep['records']} records)")
+                for err in srep.get("errors", []):
+                    print(f"  {err}", file=sys.stderr)
+                if nrep.get("present"):
+                    print(f"snapshot {nrep['snapshot']!r}: "
+                          f"{'OK' if nrep['ok'] else 'MISMATCH'} "
+                          f"({nrep.get('entries', 0)} entries, "
+                          f"{nrep.get('fingerprints', 0)} fingerprints"
+                          + (", deep" if args.deep else "") + ")")
+                    for m in nrep["mismatches"]:
+                        print(f"  {m}", file=sys.stderr)
+                else:
+                    print("snapshot: not present in image "
+                          "(stream-only verify)")
+            return 0 if srep["ok"] and (not nrep.get("present")
+                                        or nrep["ok"]) else 1
+        # list: snapshots (backup sources/targets) + staged ingests,
+        # in the same deterministic order as ``snap list``.
+        for name in fs.list_snapshots():
+            print(name)
+        from repro.backup import STAGE_DIR
+        if fs.exists(STAGE_DIR):
+            for entry in sorted(fs.listdir(STAGE_DIR)):
+                if entry.endswith(".cursor"):
+                    cur = stage_cursor(fs, entry[:-len(".cursor")]) or {}
+                    print(f"{entry[:-len('.cursor')]} "
+                          f"[staged: {cur.get('applied', '?')} entries, "
+                          f"stream {str(cur.get('stream_id'))[:12]}]")
+        _close(fs, args.image)
+        return 0
+    except (FSError, StreamError, OSError) as exc:
+        print(f"backup {args.baction}: {exc}", file=sys.stderr)
+        return 1
+
+
 def cmd_fuzz(args) -> int:
     """Differential crash-consistency fuzzing (no image file needed)."""
     from repro.fuzz import FuzzConfig, FuzzRunner, GenConfig
+
+    if args.backup:
+        from repro.fuzz import run_backup_case
+
+        cases = max(1, args.ops // max(1, args.seq_ops))
+        results = []
+        for i in range(cases):
+            cfg = FuzzConfig(seed=args.seed + i, seq_ops=args.seq_ops,
+                             budget=args.budget, pages=args.pages,
+                             alpha=args.alpha)
+            results.append(run_backup_case(cfg))
+        points = sum(r.crash_points for r in results)
+        violations = [v for r in results for v in r.violations]
+        if args.json:
+            print(json.dumps({
+                "seed": args.seed,
+                "cases": cases,
+                "crash_points": points,
+                "records": sum(r.records for r in results),
+                "violations": [str(v) for v in violations],
+            }, indent=2))
+        else:
+            verdict = "CLEAN" if not violations else "FAILURES"
+            print(f"{verdict}: {cases} ingest sweeps, "
+                  f"{points} crash points checked, "
+                  f"{len(violations)} violations")
+            for v in violations:
+                print(f"  {v}")
+        return 0 if not violations else 1
 
     cfg = FuzzConfig(seed=args.seed, total_ops=args.ops,
                      seq_ops=args.seq_ops, budget=args.budget,
@@ -592,6 +758,51 @@ def build_parser() -> argparse.ArgumentParser:
     s.add_argument("name", nargs="?", default="")
     s.set_defaults(fn=cmd_snap)
 
+    s = sub.add_parser("backup", help="dedup-aware snapshot replication "
+                                      "(send/recv/verify/list)")
+    bsub = s.add_subparsers(dest="baction", required=True)
+
+    b = bsub.add_parser("send", help="serialize a snapshot diff into a "
+                                     "stream file")
+    b.add_argument("image")
+    b.add_argument("snapshot", help="snapshot name to send")
+    b.add_argument("stream", help="output stream file")
+    b.add_argument("--base", default=None,
+                   help="base snapshot for an incremental send")
+    b.add_argument("--no-resume", action="store_true",
+                   help="ignore any sidecar cursor and restart")
+    b.add_argument("--max-records", type=int, default=None,
+                   help="write at most N new records, then pause "
+                        "(resumable)")
+    b.add_argument("--json", action="store_true")
+    b.set_defaults(fn=cmd_backup)
+
+    b = bsub.add_parser("recv", help="ingest a stream into this image "
+                                     "(dedup against its FACT)")
+    b.add_argument("image")
+    b.add_argument("stream")
+    b.add_argument("--no-resume", action="store_true",
+                   help="discard any staged ingest and restart")
+    b.add_argument("--max-entries", type=int, default=None,
+                   help="apply at most N new tree entries, then pause "
+                        "(resumable)")
+    b.add_argument("--json", action="store_true")
+    b.set_defaults(fn=cmd_backup)
+
+    b = bsub.add_parser("verify", help="CRC-check a stream and compare "
+                                       "the received snapshot")
+    b.add_argument("image")
+    b.add_argument("stream")
+    b.add_argument("--deep", action="store_true",
+                   help="re-hash page bytes instead of trusting FACT")
+    b.add_argument("--json", action="store_true")
+    b.set_defaults(fn=cmd_backup)
+
+    b = bsub.add_parser("list", help="snapshots and staged ingests "
+                                     "(same order as 'snap list')")
+    b.add_argument("image")
+    b.set_defaults(fn=cmd_backup)
+
     s = sub.add_parser("fuzz", help="differential crash-consistency "
                                     "fuzzing against the model oracle")
     s.add_argument("--seed", type=int, default=0)
@@ -616,6 +827,9 @@ def build_parser() -> argparse.ArgumentParser:
     s.add_argument("--clients", type=int, default=1,
                    help="concurrent-mode sequences: merge this many "
                         "per-client op streams under /c<i> roots")
+    s.add_argument("--backup", action="store_true",
+                   help="sweep crashes through backup ingest instead of "
+                        "the differential campaign")
     s.add_argument("--json", action="store_true")
     s.set_defaults(fn=cmd_fuzz)
 

@@ -62,6 +62,17 @@ class DeNovaFS(NovaFS):
         self.obs.registry.gauge_fn(
             "dedup.verify_cursor", lambda: self._verify_cursor,
             help="FACT index the next budgeted deep_verify resumes from")
+        self.backup_counters = CounterView(self.obs.registry, {
+            # send: records/bytes written to a stream file
+            "send_records": "backup.send_records_total",
+            "send_bytes": "backup.send_bytes_total",
+            # recv: dedup hits (RFC bump, no copy) vs data copies
+            "recv_pages_dup": "backup.recv_pages_dup_total",
+            "recv_pages_novel": "backup.recv_pages_novel_total",
+            "recv_bytes": "backup.recv_bytes_total",
+            # staged ingests rolled back by unclean-mount fsck
+            "rollbacks": "backup.staging_rollbacks_total",
+        })
         self.dedup_counters = CounterView(self.obs.registry, {
             # reclaim skipped: RFC still > 0
             "shared_page_keeps": "dedup.shared_page_keeps_total",
@@ -113,6 +124,25 @@ class DeNovaFS(NovaFS):
             report.extra["dwq_restored"] = "overflow->scan"
         from repro.dedup.recovery import dedup_recover
         report.extra["dedup"] = dedup_recover(self, report)
+
+    def _post_mount(self) -> None:
+        """Roll back interrupted backup ingests after a crash.
+
+        An in-flight ``backup recv`` stages its snapshot under
+        ``/.backup_stage`` and commits with one atomic rename; anything
+        still staged when an *unclean* mount completes is a torn ingest
+        and must vanish (the fsck-clean guarantee).  Clean unmounts keep
+        staging untouched — that is what makes recv resumable.
+        """
+        rep = self.last_recovery
+        if rep is None or rep.clean:
+            return
+        from repro.backup.recv import rollback_staging
+        with self.obs.span("backup.rollback_staging"):
+            out = rollback_staging(self)
+        if out["stages"] or out["cursors"]:
+            self.backup_counters["rollbacks"] += out["stages"]
+            rep.extra["backup_rollback"] = out
 
     # ------------------------------------------------------------ write-path hooks
 
@@ -260,22 +290,48 @@ class DeNovaFS(NovaFS):
     # ------------------------------------------------------------ reporting
 
     def space_stats(self) -> dict:
-        """Logical vs physical usage — the space-savings headline."""
-        logical_pages = 0
-        physical: set[int] = set()
+        """Logical vs physical usage — the space-savings headline.
+
+        ``logical_pages`` counts every page reference (snapshot-shared
+        pages count once per referencing file, matching how FACT RFCs
+        count them); ``physical_pages`` counts distinct blocks.  The
+        RFC cross-check: once the DWQ is drained and no dedup is in
+        flight, ``logical_pages == rfc_sum + unfingerprinted_refs`` —
+        every mapping either contributes to some entry's RFC or points
+        at a block with no FACT entry.
+        """
+        refs: Counter[int] = Counter()
         for cache in self.caches.values():
             if cache.inode.itype != 1:  # files only
                 continue
             for pgoff, (_a, entry) in cache.index._slots.items():
-                logical_pages += 1
-                physical.add(entry.block_for(pgoff))
-        phys = len(physical)
+                refs[entry.block_for(pgoff)] += 1
+        logical_pages = sum(refs.values())
+        phys = len(refs)
+        live = self.fact.live_entries()
+        rfc_sum = sum(e.refcount for e in live.values())
+        entry_blocks = {e.block for e in live.values()}
+        unfp = set(refs) - entry_blocks
+        unfp_refs = sum(refs[b] for b in unfp)
+        snapshots = self.list_snapshots()
+        snap = (self.du("/.snapshots") if snapshots
+                else {"logical_pages": 0, "unique_pages": 0})
         return {
             "logical_pages": logical_pages,
             "physical_pages": phys,
+            "logical_bytes": logical_pages * PAGE_SIZE,
+            "physical_bytes": phys * PAGE_SIZE,
             "pages_saved": logical_pages - phys,
             "dedup_ratio": logical_pages / phys if phys else 1.0,
             "space_saving": 1 - phys / logical_pages if logical_pages else 0.0,
+            "rfc_sum": rfc_sum,
+            "unfingerprinted_pages": len(unfp),
+            "unfingerprinted_refs": unfp_refs,
+            "snapshots": {
+                "count": len(snapshots),
+                "logical_pages": snap["logical_pages"],
+                "unique_pages": snap["unique_pages"],
+            },
             "dwq_backlog": len(self.dwq),
             "fact": self.fact.occupancy(),
         }

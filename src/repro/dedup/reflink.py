@@ -169,11 +169,13 @@ def snapshot(fs, name: str) -> dict:
     files = 0
     dirs = 0
 
+    from repro.backup.recv import STAGE_DIR
+
     def walk(src_dir: str, dst_dir: str):
         nonlocal files, dirs
         for entry in fs.listdir(src_dir):
             src_path = f"{src_dir.rstrip('/')}/{entry}"
-            if src_path == SNAPSHOT_DIR:
+            if src_path in (SNAPSHOT_DIR, STAGE_DIR):
                 continue
             dst_path = f"{dst_dir}/{entry}"
             ino = fs.lookup(src_path, follow=False)
@@ -194,9 +196,15 @@ def snapshot(fs, name: str) -> dict:
 
 
 def list_snapshots(fs) -> list[str]:
+    """Snapshot names in deterministic (lexicographic) order.
+
+    The sort is explicit — ``snap list``, ``backup list``, and every
+    test that compares listings rely on this ordering contract, not on
+    ``listdir`` happening to sort.
+    """
     if not fs.exists(SNAPSHOT_DIR):
         return []
-    return fs.listdir(SNAPSHOT_DIR)
+    return sorted(fs.listdir(SNAPSHOT_DIR))
 
 
 def delete_snapshot(fs, name: str) -> int:

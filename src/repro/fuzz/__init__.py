@@ -20,6 +20,11 @@ Four pieces, composable from tests and the ``repro fuzz`` CLI:
   with obs metrics and a reproducer corpus.
 """
 
+from repro.fuzz.backup import (
+    BackupSweepResult,
+    backup_gen_config,
+    run_backup_case,
+)
 from repro.fuzz.diff import (
     CaseResult,
     FuzzConfig,
@@ -48,4 +53,5 @@ __all__ = [
     "apply_op", "run_case", "fs_namespace",
     "shrink", "shrink_case",
     "FuzzRunner", "CampaignResult", "Failure",
+    "BackupSweepResult", "backup_gen_config", "run_backup_case",
 ]

@@ -1,0 +1,226 @@
+"""Crash sweep for backup ingest: tear every recv persistence event.
+
+The main differential fuzzer can't host backup ops — its namespace
+oracle (:class:`repro.fuzz.model.ModelFS`) models one image, while a
+``recv`` involves two.  This module runs a dedicated sweep instead:
+
+1. a seeded source tree is built by applying a generated op sequence
+   to a real filesystem *and* the model oracle in lockstep (the usual
+   :func:`repro.fuzz.diff.apply_op` protocol), drained, snapshotted,
+   and sent to an in-memory stream;
+2. a target image — prefilled with a *prefix* of the same sequence so
+   the ingest exercises the RFC-bump dup path, not just novel copies —
+   receives the stream while :func:`repro.failure.injector.
+   sweep_crash_points` crashes it at every persistence event, in both
+   phases and both crash modes;
+3. after each recovery mount (which runs the staging rollback hook),
+   the target must be fsck-clean with **no** ``/.backup_stage``
+   residue, its own pre-existing tree byte-identical to the
+   pre-ingest baseline, and the snapshot either fully absent
+   (crash before the commit rename) or byte-identical to the model
+   namespace relocated under ``/.snapshots/<name>`` (crash after) —
+   nothing in between;
+4. whenever the snapshot is absent, a follow-up ``recv`` of the same
+   stream must complete and converge, proving every crash point is
+   resumable from scratch.
+"""
+
+from __future__ import annotations
+
+import io
+from dataclasses import dataclass, field
+
+from repro.backup import receive_backup, send_backup
+from repro.backup.recv import STAGE_DIR
+from repro.dedup.denova import DeNovaFS
+from repro.dedup.reflink import SNAPSHOT_DIR, snapshot
+from repro.failure.injector import count_persist_events, sweep_crash_points
+from repro.failure.invariants import check_fs_invariants
+from repro.fuzz.diff import (
+    FuzzConfig,
+    Violation,
+    apply_op,
+    flags_converged,
+    fs_namespace,
+    make_fs,
+)
+from repro.fuzz.gen import GenConfig, generate_sequence
+from repro.fuzz.model import ModelFS
+
+__all__ = ["BackupSweepResult", "backup_gen_config", "prepare_backup_case",
+           "run_backup_case"]
+
+
+def backup_gen_config(alpha: float = 0.55) -> GenConfig:
+    """Generator knobs for building a backup *source* tree.
+
+    Snapshot/crash/remount ops are disabled: the sweep takes its own
+    snapshot, and the source build must run straight through so the
+    model stays an exact oracle for the snapshotted tree.
+    """
+    cfg = GenConfig(alpha=alpha)
+    cfg.weights = dict(cfg.weights)
+    for kind in ("snapshot", "snap_delete", "crash", "remount"):
+        cfg.weights[kind] = 0
+    return cfg
+
+
+@dataclass
+class BackupSweepResult:
+    """Outcome of one backup-ingest crash sweep."""
+
+    snapshot: str = ""
+    stream_bytes: int = 0
+    records: int = 0
+    ops_applied: int = 0
+    crash_points: int = 0
+    violations: list = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        return not self.violations
+
+
+def _apply_sequence(fs, ops) -> tuple:
+    """Run ops against (fs, fresh model) in lockstep; returns (fs, model,
+    applied-count)."""
+    model = ModelFS()
+    applied = 0
+    for op in ops:
+        fs, status = apply_op(fs, model, op)
+        if status == "stop":
+            break
+        if status == "ok":
+            applied += 1
+    return fs, model, applied
+
+
+def prepare_backup_case(cfg: FuzzConfig, name: str = "fz") -> dict:
+    """Build source, snapshot it, send to memory; return the sweep inputs.
+
+    Returns ``{"stream", "expected", "prefill", "ops_applied",
+    "records"}`` where ``expected`` is the model namespace relocated
+    under the snapshot root (plus the snapshot directories themselves)
+    and ``prefill`` is the op-sequence prefix used to seed the target.
+    """
+    ops = generate_sequence(cfg.seed, stream=0, nops=cfg.seq_ops,
+                            cfg=backup_gen_config(cfg.alpha))
+    src = make_fs(cfg)
+    src, model, applied = _apply_sequence(src, ops)
+    src.daemon.drain()
+    snapshot(src, name)
+    buf = io.BytesIO()
+    report = send_backup(src, name, buf)
+    root = f"{SNAPSHOT_DIR}/{name}"
+    expected = {SNAPSHOT_DIR: ("dir",), root: ("dir",)}
+    for path, desc in model.namespace().items():
+        expected[root + path] = desc
+    return {
+        "stream": buf.getvalue(),
+        "expected": expected,
+        "prefill": ops[:len(ops) // 2],
+        "ops_applied": applied,
+        "records": report["records_total"],
+    }
+
+
+def run_backup_case(cfg=None, name: str = "fz") -> BackupSweepResult:
+    """Sweep crashes through one backup ingest; see the module docstring."""
+    cfg = cfg or FuzzConfig()
+    case = prepare_backup_case(cfg, name)
+    stream = case["stream"]
+    expected = case["expected"]
+    prefill = case["prefill"]
+    root = f"{SNAPSHOT_DIR}/{name}"
+    result = BackupSweepResult(snapshot=name, stream_bytes=len(stream),
+                               records=case["records"],
+                               ops_applied=case["ops_applied"])
+
+    def build():
+        tfs = make_fs(cfg)
+        tfs, _m, _n = _apply_sequence(tfs, prefill)
+        tfs.daemon.drain()
+        state = {"fs": tfs}
+        tfs.dev._fuzz_state = state
+
+        def scenario():
+            receive_backup(state["fs"], io.BytesIO(stream))
+            state["fs"].unmount()
+
+        return tfs.dev, scenario
+
+    # The target's own tree must ride through every ingest crash
+    # untouched; capture it once (builds are deterministic).
+    base_fs = make_fs(cfg)
+    base_fs, _m, _n = _apply_sequence(base_fs, prefill)
+    base_fs.daemon.drain()
+    baseline = fs_namespace(base_fs)
+
+    def _split(ns: dict) -> tuple[dict, dict]:
+        snap = {p: d for p, d in ns.items()
+                if p == SNAPSHOT_DIR or p.startswith(SNAPSHOT_DIR + "/")}
+        rest = {p: d for p, d in ns.items() if p not in snap}
+        return snap, rest
+
+    def _expect_snapshot(snap: dict) -> None:
+        if snap != expected:
+            missing = sorted(set(expected) - set(snap))[:4]
+            extra = sorted(set(snap) - set(expected))[:4]
+            wrong = sorted(p for p in set(snap) & set(expected)
+                           if snap[p] != expected[p])[:4]
+            raise AssertionError(
+                f"committed snapshot diverges from model: "
+                f"missing={missing} extra={extra} wrong={wrong}")
+
+    def check(dev, point, phase):
+        rec = DeNovaFS.mount(dev, cpus=cfg.cpus)
+        check_fs_invariants(rec)
+        ns = fs_namespace(rec)
+        residue = [p for p in ns
+                   if p == STAGE_DIR or p.startswith(STAGE_DIR + "/")]
+        if residue:
+            raise AssertionError(
+                f"staging residue after recovery: {residue[:4]}")
+        snap, rest = _split(ns)
+        if rest != baseline:
+            changed = sorted(set(rest) ^ set(baseline))[:4]
+            raise AssertionError(
+                f"target's own tree changed across ingest crash: {changed}")
+        if root in snap:
+            _expect_snapshot(snap)
+        else:
+            partial = sorted(p for p in snap if p != SNAPSHOT_DIR)
+            if partial:
+                raise AssertionError(
+                    f"partial snapshot visible after crash: {partial[:4]}")
+            # Rollback left a clean slate: ingest again from scratch and
+            # demand convergence — every crash point must be retryable.
+            rep = receive_backup(rec, io.BytesIO(stream))
+            if not rep["committed"]:
+                raise AssertionError("post-crash re-receive did not commit")
+            snap2, rest2 = _split(fs_namespace(rec))
+            _expect_snapshot(snap2)
+            if rest2 != baseline:
+                raise AssertionError(
+                    "post-crash re-receive disturbed the target tree")
+        rec.daemon.drain()
+        check_fs_invariants(rec)
+        if not flags_converged(rec):
+            raise AssertionError(
+                "in_process entries survive ingest recovery + drain")
+        result.crash_points += 1
+
+    combos = [(p, m) for m in cfg.modes for p in cfg.phases]
+    if combos and cfg.budget > 0:
+        total = count_persist_events(build)
+        per_combo = max(1, cfg.budget // len(combos))
+        stride = max(1, total // per_combo)
+        for mode in cfg.modes:
+            try:
+                sweep_crash_points(build, check, phases=cfg.phases,
+                                   mode=mode, stride=stride, seed=cfg.seed)
+            except AssertionError as exc:
+                result.violations.append(Violation(
+                    kind="invariant", detail=str(exc), stage="sweep",
+                    mode=mode))
+    return result

@@ -262,6 +262,7 @@ class NovaFS:
         fs.sb.bump_epoch()
         fs.sb.set_clean(False)
         fs.mounted = True
+        fs._post_mount()
         return fs
 
     def unmount(self) -> None:
@@ -824,12 +825,23 @@ class NovaFS:
             yield from self.walk(sub)
 
     def du(self, top: str = "/") -> dict:
-        """Tree usage: logical bytes, and the *unique* data pages the
-        tree pins (shared pages counted once — dedup-aware)."""
+        """Tree usage: logical vs. physical, dedup/snapshot-aware.
+
+        ``logical_pages`` counts every page *reference* in the tree
+        (a block reflinked from three snapshots counts three times, as
+        it does in FACT RFC sums); ``unique_pages`` counts each block
+        once — the pages the tree actually pins.  ``shared_pages`` is
+        the number of blocks referenced more than once within the tree,
+        and ``saved_bytes`` what sharing saves relative to a dedup-less
+        copy of the same logical content.
+        """
+        from collections import Counter
+
         logical = 0
+        logical_pages = 0
         nfiles = 0
         ndirs = 0
-        pages: set[int] = set()
+        refs: Counter[int] = Counter()
         for dirpath, dirnames, filenames in self.walk(top):
             ndirs += len(dirnames)
             for name in filenames:
@@ -840,10 +852,20 @@ class NovaFS:
                     continue
                 nfiles += 1
                 logical += cache.inode.size
-                pages.update(cache.index.referenced_pages())
+                # Per-mapping, not per-unique-block: a block mapped at
+                # two offsets is two logical pages (matches FACT RFCs).
+                file_blocks = [entry.block_for(pgoff) for pgoff, (_a, entry)
+                               in cache.index._slots.items()]
+                logical_pages += len(file_blocks)
+                refs.update(file_blocks)
+        unique = len(refs)
+        shared = sum(1 for n in refs.values() if n > 1)
         return {"files": nfiles, "dirs": ndirs, "logical_bytes": logical,
-                "unique_pages": len(pages),
-                "physical_bytes": len(pages) * PAGE_SIZE}
+                "logical_pages": logical_pages,
+                "unique_pages": unique,
+                "shared_pages": shared,
+                "physical_bytes": unique * PAGE_SIZE,
+                "saved_bytes": (logical_pages - unique) * PAGE_SIZE}
 
     # ------------------------------------------------------------------ helpers
 
@@ -949,6 +971,15 @@ class NovaFS:
 
     def _post_recover(self, report, clean: bool) -> None:
         """Subclass hook run at the end of recovery (DWQ/FACT fix-ups)."""
+
+    def _post_mount(self) -> None:
+        """Subclass hook run once the fs is mounted and operable.
+
+        Unlike :meth:`_post_recover` (which runs *during* recovery,
+        before ``mounted`` is set), this hook may use the full public
+        op surface — DeNova rolls back interrupted backup-ingest
+        staging here.
+        """
 
 
 def ino_cpu(ino: int, cpus: int) -> int:

@@ -1,0 +1,120 @@
+"""Failure atomicity of backup ingest: a crash torn anywhere leaves the
+target fsck-clean with the partial snapshot absent (and no FACT leaks)."""
+
+import io
+
+import pytest
+
+from repro.backup import STAGE_DIR, receive_backup, send_backup, verify_snapshot
+from repro.dedup import DeNovaFS
+from repro.failure import check_fs_invariants
+from repro.fuzz import FuzzConfig, run_backup_case
+from repro.nova import PAGE_SIZE
+from repro.pm import DRAM, PMDevice, SimClock
+
+pytestmark = pytest.mark.backup
+
+
+def make_fs(pages=4096):
+    dev = PMDevice(pages * PAGE_SIZE, model=DRAM, clock=SimClock())
+    return DeNovaFS.mkfs(dev, max_inodes=256)
+
+
+def page_of(tag):
+    return bytes([tag & 0xFF]) * PAGE_SIZE
+
+
+def stream_of(npages=4):
+    """Four tree entries so max_entries=2 interrupts mid-transfer."""
+    src = make_fs()
+    src.mkdir("/d")
+    f = src.create("/d/f")
+    src.write(f, 0, b"".join(page_of(20 + i) for i in range(npages - 1)))
+    g = src.create("/g")
+    src.write(g, 0, page_of(20 + npages - 1))
+    src.symlink("/d/f", "/link")
+    src.daemon.drain()
+    src.snapshot("s1")
+    buf = io.BytesIO()
+    send_backup(src, "s1", buf)
+    buf.seek(0)
+    return buf
+
+
+class TestUncleanRollback:
+    def test_crash_mid_ingest_rolls_back(self):
+        """Power loss with staging on disk: the unclean mount removes it,
+        frees its pages, and retires its FACT references."""
+        stream = stream_of()
+        dst = make_fs()
+        g = dst.create("/g")
+        dst.write(g, 0, page_of(1))
+        dst.daemon.drain()
+        live_before = len(dst.fact.live_entries())
+        used_before = dst.statfs()["used_pages"]
+
+        receive_backup(dst, stream, max_entries=2)  # stops mid-transfer
+        dev = dst.dev
+        dev.crash(mode="discard")
+        dev.recover_view()
+
+        rec = DeNovaFS.mount(dev)
+        assert not rec.last_recovery.clean
+        rb = rec.last_recovery.extra["backup_rollback"]
+        assert rb["stages"] == 1
+        assert not rec.exists(STAGE_DIR)
+        assert rec.list_snapshots() == []
+        # No leaked FACT entries or pages from the torn ingest.
+        assert len(rec.fact.live_entries()) == live_before
+        assert rec.statfs()["used_pages"] <= used_before + 1
+        ino = rec.lookup("/g")
+        assert rec.read(ino, 0, PAGE_SIZE) == page_of(1)
+        check_fs_invariants(rec)
+
+    def test_retry_after_rollback_commits(self):
+        stream = stream_of()
+        dst = make_fs()
+        receive_backup(dst, stream, max_entries=2)
+        dev = dst.dev
+        dev.crash(mode="discard")
+        dev.recover_view()
+        rec = DeNovaFS.mount(dev)
+
+        stream.seek(0)
+        rep = receive_backup(rec, stream)
+        assert rep["committed"] and not rep["resumed"]
+        stream.seek(0)
+        assert verify_snapshot(rec, stream, deep=True)["ok"]
+        check_fs_invariants(rec)
+
+    def test_clean_unmount_is_not_rolled_back(self):
+        stream = stream_of()
+        dst = make_fs()
+        receive_backup(dst, stream, max_entries=2)
+        dev = dst.dev
+        dst.unmount()
+        rec = DeNovaFS.mount(dev)
+        assert rec.last_recovery.clean
+        assert "backup_rollback" not in rec.last_recovery.extra
+        assert rec.exists(f"{STAGE_DIR}/s1")
+
+
+class TestIngestCrashSweep:
+    def test_sweep_every_persistence_event(self):
+        """Tear the ingest at persistence events in both phases/modes;
+        every recovery must be fsck-clean with the snapshot all-or-
+        nothing and re-receivable (see repro.fuzz.backup)."""
+        cfg = FuzzConfig(seed=2, seq_ops=24, budget=8, pages=2048)
+        result = run_backup_case(cfg)
+        assert result.crash_points > 0
+        assert result.ok, "\n".join(str(v) for v in result.violations)
+
+    @pytest.mark.fuzz
+    @pytest.mark.slow
+    def test_sweep_campaign(self):
+        """Broader multi-seed sweep for the CI fuzz job."""
+        for seed in range(4):
+            cfg = FuzzConfig(seed=seed, seq_ops=40, budget=16, pages=2048)
+            result = run_backup_case(cfg)
+            assert result.ok, (seed,
+                               [str(v) for v in result.violations])

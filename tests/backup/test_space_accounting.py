@@ -1,0 +1,149 @@
+"""Space accounting: du/space_stats logical-vs-physical consistency with
+FACT RFC sums, including snapshot-shared pages."""
+
+import io
+
+import pytest
+
+from repro.backup import receive_backup, send_backup
+from repro.dedup import DeNovaFS
+from repro.nova import PAGE_SIZE
+from repro.pm import DRAM, PMDevice, SimClock
+
+pytestmark = pytest.mark.backup
+
+
+def make_fs(pages=4096):
+    dev = PMDevice(pages * PAGE_SIZE, model=DRAM, clock=SimClock())
+    return DeNovaFS.mkfs(dev, max_inodes=256)
+
+
+def page_of(tag):
+    return bytes([tag & 0xFF]) * PAGE_SIZE
+
+
+def assert_rfc_identity(fs):
+    """The drained-state invariant: every logical page reference is
+    either counted by some FACT entry's RFC or un-fingerprinted."""
+    st = fs.space_stats()
+    assert st["logical_pages"] == st["rfc_sum"] + st["unfingerprinted_refs"]
+    return st
+
+
+class TestDu:
+    def test_logical_counts_every_reference(self):
+        fs = make_fs()
+        f = fs.create("/f")
+        fs.write(f, 0, page_of(1) + page_of(2) + page_of(1))  # dup mapping
+        fs.daemon.drain()
+        d = fs.du("/")
+        assert d["files"] == 1
+        assert d["logical_pages"] == 3      # per mapping, not per block
+        assert d["unique_pages"] == 2
+        assert d["shared_pages"] == 1       # page_of(1) mapped twice
+        assert d["logical_bytes"] == 3 * PAGE_SIZE
+        assert d["physical_bytes"] == 2 * PAGE_SIZE
+        assert d["saved_bytes"] == PAGE_SIZE
+
+    def test_snapshot_shared_pages_count_per_reference(self):
+        fs = make_fs()
+        f = fs.create("/f")
+        fs.write(f, 0, page_of(1) + page_of(2))
+        fs.daemon.drain()
+        fs.snapshot("s1")
+        fs.snapshot("s2")
+        d = fs.du("/")
+        # Live file + two snapshot copies: 3 references per block.
+        assert d["logical_pages"] == 6
+        assert d["unique_pages"] == 2
+        assert d["shared_pages"] == 2
+        assert d["saved_bytes"] == 4 * PAGE_SIZE
+        snaps = fs.du("/.snapshots")
+        assert snaps["logical_pages"] == 4 and snaps["unique_pages"] == 2
+
+    def test_du_subtree_scoping(self):
+        fs = make_fs()
+        fs.mkdir("/a")
+        f = fs.create("/a/f")
+        fs.write(f, 0, page_of(1))
+        g = fs.create("/g")
+        fs.write(g, 0, page_of(2))
+        fs.daemon.drain()
+        assert fs.du("/a")["logical_pages"] == 1
+        assert fs.du("/")["logical_pages"] == 2
+
+
+class TestSpaceStats:
+    def test_rfc_identity_plain_tree(self):
+        fs = make_fs()
+        f = fs.create("/f")
+        fs.write(f, 0, page_of(1) + page_of(2) + page_of(1))
+        g = fs.create("/g")
+        fs.write(g, 0, page_of(2))
+        fs.daemon.drain()
+        st = assert_rfc_identity(fs)
+        assert st["logical_pages"] == 4
+        assert st["physical_pages"] == 2
+        assert st["snapshots"]["count"] == 0
+
+    def test_rfc_identity_with_snapshots(self):
+        fs = make_fs()
+        f = fs.create("/f")
+        fs.write(f, 0, page_of(1) + page_of(2))
+        fs.daemon.drain()
+        fs.snapshot("s1")
+        st = assert_rfc_identity(fs)
+        assert st["logical_pages"] == 4
+        assert st["physical_pages"] == 2
+        assert st["snapshots"] == {"count": 1, "logical_pages": 2,
+                                   "unique_pages": 2}
+        assert st["rfc_sum"] == 4
+
+    def test_rfc_identity_after_receive(self):
+        src = make_fs()
+        f = src.create("/f")
+        src.write(f, 0, page_of(1) + page_of(2) + page_of(3))
+        src.daemon.drain()
+        src.snapshot("s1")
+        buf = io.BytesIO()
+        send_backup(src, "s1", buf)
+        buf.seek(0)
+
+        dst = make_fs()
+        g = dst.create("/g")
+        dst.write(g, 0, page_of(1))
+        dst.daemon.drain()
+        receive_backup(dst, buf)
+        st = assert_rfc_identity(dst)
+        # /g's page + three snapshot pages; page_of(1) shared.
+        assert st["logical_pages"] == 4
+        assert st["physical_pages"] == 3
+        assert st["snapshots"]["count"] == 1
+
+    def test_unfingerprinted_pages_balance(self):
+        """Pages whose offline dedup has not run yet sit on the
+        un-fingerprinted side of the identity, not in rfc_sum."""
+        fs = make_fs()
+        f = fs.create("/f")
+        fs.write(f, 0, page_of(1) + page_of(2))
+        # No drain: dedup still queued, so no FACT entries exist.
+        st = fs.space_stats()
+        assert st["rfc_sum"] == 0
+        assert st["unfingerprinted_refs"] == 2
+        assert st["logical_pages"] == 2
+        fs.daemon.drain()
+        st = assert_rfc_identity(fs)
+        assert st["unfingerprinted_refs"] == 0
+
+    def test_delete_snapshot_restores_counts(self):
+        fs = make_fs()
+        f = fs.create("/f")
+        fs.write(f, 0, page_of(1) + page_of(2))
+        fs.daemon.drain()
+        before = assert_rfc_identity(fs)
+        fs.snapshot("s1")
+        fs.delete_snapshot("s1")
+        fs.daemon.drain()
+        after = assert_rfc_identity(fs)
+        assert after["logical_pages"] == before["logical_pages"]
+        assert after["rfc_sum"] == before["rfc_sum"]
