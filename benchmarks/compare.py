@@ -1,0 +1,167 @@
+#!/usr/bin/env python
+"""Compare current benchmark numbers against committed baselines.
+
+Two modes over the JSON baselines under ``benchmarks/results/``:
+
+* ``--current FILE`` — diff a freshly produced results JSON against a
+  committed baseline of the same shape, flagging every numeric leaf
+  whose relative drift leaves the tolerance band.
+* ``--quick`` — re-measure a small, deterministic subset of the fig. 9
+  thread-scaling points (same Config/JobSpec as the full benchmark; the
+  simulator is deterministic, so healthy code reproduces the committed
+  throughput almost exactly) and check them against
+  ``fig9_baseline.json``.
+
+Exit status 1 when any point falls outside its band — the perf-smoke CI
+job fails on regression.  The band is symmetric by default: an
+unexplained speed*up* also invalidates the committed curves and should
+be re-baselined deliberately, not absorbed silently.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import pathlib
+import sys
+
+RESULTS = pathlib.Path(__file__).parent / "results"
+sys.path.insert(0, str(pathlib.Path(__file__).resolve().parents[1] / "src"))
+
+# (job, variant value, thread count) -> exercised by --quick.  Chosen to
+# cover the baseline fs, the delayed-dedup fs, and both sides of the
+# small-file throughput peak (T=2) without the cost of a full sweep.
+QUICK_POINTS = [
+    ("small_file_job", "nova", 1),
+    ("small_file_job", "nova", 4),
+    ("small_file_job", "denova-delayed", 1),
+    ("small_file_job", "denova-delayed", 4),
+]
+QUICK_NFILES = {"small_file_job": 192, "large_file_job": 48}
+
+
+def iter_numeric_leaves(doc, path=()):
+    """Yield (path-tuple, number) for every numeric leaf in a JSON doc."""
+    if isinstance(doc, bool):
+        return
+    if isinstance(doc, (int, float)):
+        yield path, float(doc)
+    elif isinstance(doc, dict):
+        for k in sorted(doc):
+            yield from iter_numeric_leaves(doc[k], path + (str(k),))
+    elif isinstance(doc, list):
+        for i, v in enumerate(doc):
+            yield from iter_numeric_leaves(v, path + (str(i),))
+
+
+def compare_docs(current: dict, baseline: dict,
+                 tolerance: float) -> list[dict]:
+    """Aligned numeric leaves outside the relative tolerance band."""
+    cur = dict(iter_numeric_leaves(current))
+    violations = []
+    for path, base in iter_numeric_leaves(baseline):
+        if path not in cur:
+            continue
+        now = cur[path]
+        if base == 0:
+            drift = 0.0 if now == 0 else float("inf")
+        else:
+            drift = (now - base) / abs(base)
+        if abs(drift) > tolerance:
+            violations.append({"path": ".".join(path), "baseline": base,
+                               "current": now, "drift": drift})
+    return violations
+
+
+def measure_quick_points():
+    """Re-run QUICK_POINTS with the exact fig. 9 bench configuration."""
+    from repro.core import Config, Variant, make_fs
+    from repro.workloads import (large_file_job, run_workload,
+                                 small_file_job)
+
+    jobs = {"small_file_job": small_file_job,
+            "large_file_job": large_file_job}
+    by_value = {v.value: v for v in Variant}
+    current: dict = {}
+    for job_name, variant_value, threads in QUICK_POINTS:
+        nfiles = QUICK_NFILES[job_name]
+        cfg = Config(device_pages=8192, max_inodes=nfiles + 64, cpus=8,
+                     delayed_interval_ms=0.75, delayed_batch=20000)
+        fs, dd = make_fs(by_value[variant_value], cfg)
+        spec = jobs[job_name](nfiles=nfiles, dup_ratio=0.5,
+                              threads=threads)
+        mb_s = run_workload(fs, spec, dd=dd).throughput_mb_s
+        current.setdefault(job_name, {})[f"{variant_value}@T{threads}"] \
+            = round(mb_s, 3)
+        print(f"measured {job_name} {variant_value} T={threads}: "
+              f"{mb_s:.1f} MB/s")
+    return current
+
+
+def quick_baseline_view(baseline: dict) -> dict:
+    """Project fig9_baseline.json onto the QUICK_POINTS key shape."""
+    view: dict = {}
+    for job_name, variant_value, threads in QUICK_POINTS:
+        job = baseline.get(job_name)
+        if not job:
+            continue
+        try:
+            idx = job["threads"].index(threads)
+            value = job["throughput_mb_s"][variant_value][idx]
+        except (KeyError, ValueError, IndexError):
+            continue
+        view.setdefault(job_name, {})[f"{variant_value}@T{threads}"] = value
+    return view
+
+
+def report(violations: list[dict]) -> int:
+    if not violations:
+        print("OK: all points within the tolerance band")
+        return 0
+    print(f"REGRESSION: {len(violations)} point(s) outside the band")
+    for v in sorted(violations, key=lambda v: -abs(v["drift"])):
+        print(f"  {v['path']}: baseline={v['baseline']:.6g} "
+              f"current={v['current']:.6g} drift={v['drift']:+.1%}")
+    return 1
+
+
+def main(argv=None) -> int:
+    ap = argparse.ArgumentParser(
+        description="diff benchmark results against committed baselines")
+    ap.add_argument("--baseline", default="fig9_baseline.json",
+                    help="baseline JSON under benchmarks/results/ "
+                         "(or a path)")
+    ap.add_argument("--current",
+                    help="results JSON to compare (default: --quick "
+                         "re-measures)")
+    ap.add_argument("--tolerance", type=float, default=0.05,
+                    help="relative band per numeric leaf (default 5%%)")
+    ap.add_argument("--quick", action="store_true",
+                    help="re-measure the quick fig9 points in-process")
+    args = ap.parse_args(argv)
+
+    base_path = pathlib.Path(args.baseline)
+    if not base_path.exists():
+        base_path = RESULTS / args.baseline
+    if not base_path.exists():
+        print(f"error: baseline {args.baseline} not found", file=sys.stderr)
+        return 2
+    baseline = json.loads(base_path.read_text())
+
+    if args.current:
+        current = json.loads(pathlib.Path(args.current).read_text())
+    elif args.quick:
+        current = measure_quick_points()
+        baseline = quick_baseline_view(baseline)
+        if not baseline:
+            print("error: baseline has none of the quick points",
+                  file=sys.stderr)
+            return 2
+    else:
+        ap.error("need --current FILE or --quick")
+
+    return report(compare_docs(current, baseline, args.tolerance))
+
+
+if __name__ == "__main__":
+    sys.exit(main())

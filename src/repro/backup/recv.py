@@ -308,7 +308,8 @@ def receive_backup(fs, stream, resume: bool = True,
         counters = getattr(fs, "backup_counters", None)
         applied = skipped = 0
         stopped = False
-        with fs.obs.span("backup.recv", snapshot=name,
+        with fs.obs.tracer.use_track("backup"), \
+             fs.obs.span("backup.recv", snapshot=name,
                          entries=len(manifest["tree"]), resumed=resumed):
             for ent in manifest["tree"]:
                 kind, relpath = ent[0], ent[1]

@@ -93,7 +93,8 @@ def send_backup(fs, snapshot: str, out, base: Optional[str] = None,
     bytes_written = 0
     complete = False
     try:
-        with fs.obs.span("backup.send", snapshot=snapshot,
+        with fs.obs.tracer.use_track("backup"), \
+             fs.obs.span("backup.send", snapshot=snapshot,
                          records=len(diff.novel), resumed_at=skip):
             for i, fp_hex in enumerate(diff.novel):
                 if i < skip:

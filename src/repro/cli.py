@@ -30,7 +30,10 @@ from repro.core import Config, Variant
 from repro.dedup import DeNovaFS
 from repro.nova import NovaFS
 from repro.nova.layout import Superblock
-from repro.obs import format_table, merge_snapshots, to_prometheus
+from repro.obs import (PROFILE_SCHEMA, diff_profiles, evaluate_snapshot,
+                       format_profile, format_table, load_profile,
+                       merge_profiles, merge_snapshots, profile_from_events,
+                       to_chrome_trace, to_folded, to_prometheus)
 from repro.pm import PMDevice, SimClock
 from repro.pm.latency import PROFILES
 
@@ -41,7 +44,11 @@ def _open_fs(image: str, **mount_kw):
     dev = PMDevice.load_image(image, clock=SimClock())
     geo = Superblock(dev).load_geometry()
     cls = DeNovaFS if geo.fact_page else NovaFS
-    return cls.mount(dev, **mount_kw)
+    fs = cls.mount(dev, **mount_kw)
+    # SLO alerts / invariant trips during this invocation dump the
+    # flight recorder next to the image automatically.
+    fs.obs.flight.artifact_path = image + ".flight.json"
+    return fs
 
 
 def _metrics_path(image: str) -> str:
@@ -73,6 +80,28 @@ def _save_metrics(fs, image: str) -> dict:
     return merged
 
 
+def _profile_path(image: str) -> str:
+    return image + ".profile.json"
+
+
+def _load_profile_sidecar(image: str) -> dict:
+    """The image's persisted profile history (empty when none)."""
+    try:
+        return load_profile(_profile_path(image))
+    except (OSError, ValueError):
+        return {"schema": PROFILE_SCHEMA, "unit": "charged_ns",
+                "spans": 0, "stacks": {}}
+
+
+def _save_profile(fs, image: str) -> dict:
+    """Fold this mount's span profile onto the image's profile sidecar."""
+    merged = merge_profiles(_load_profile_sidecar(image),
+                            profile_from_events(fs.obs.tracer.events))
+    with open(_profile_path(image), "w") as fh:
+        json.dump(merged, fh)
+    return merged
+
+
 def _close(fs, image: str, clean: bool = True) -> None:
     if clean:
         if hasattr(fs, "daemon"):
@@ -80,6 +109,7 @@ def _close(fs, image: str, clean: bool = True) -> None:
         fs.unmount()
     fs.dev.save_image(image)
     _save_metrics(fs, image)
+    _save_profile(fs, image)
 
 
 def cmd_mkfs(args) -> int:
@@ -245,21 +275,88 @@ def cmd_trace(args) -> int:
     """Spans recorded during this mount (recovery phases, replay ops)."""
     fs = _open_fs(args.image)
     events = list(fs.obs.tracer.events)
+    if args.name:
+        events = [e for e in events if e.name.startswith(args.name)]
     if args.limit and len(events) > args.limit:
         events = events[-args.limit:]
+
+    def _emit(text: str) -> int:
+        if args.output and args.output != "-":
+            with open(args.output, "w") as fh:
+                fh.write(text)
+        else:
+            sys.stdout.write(text)
+        return 0
+
+    if args.chrome:
+        return _emit(json.dumps(to_chrome_trace(events), indent=1) + "\n")
+    if args.folded:
+        return _emit(to_folded(events))
+
     rows = [[e.span_id,
              e.parent_id if e.parent_id is not None else "-",
+             e.trace_id,
+             e.track,
              e.name,
              f"{e.start_ns / 1e3:.1f}",
              f"{e.duration_ns / 1e3:.2f}",
              " ".join(f"{k}={v}" for k, v in e.attrs)]
             for e in events]
     print(render_table(
-        ["span", "parent", "name", "start us", "dur us", "attrs"], rows,
-        title=f"mount trace of {args.image} "
-              f"({fs.obs.tracer.total_spans} spans, "
-              f"{fs.obs.tracer.evicted} evicted)"))
+        ["span", "parent", "trace", "track", "name", "start us", "dur us",
+         "attrs"], rows,
+        title=f"mount trace of {args.image}"))
+    t = fs.obs.tracer
+    # Ring truncation must be visible, never silent.
+    print(f"spans_recorded={t.total_spans} spans_evicted={t.evicted} "
+          f"shown={len(rows)}")
     return 0
+
+
+def cmd_profile(args) -> int:
+    """Charged-ns call-tree profile from the image's profile sidecar."""
+    fs = _open_fs(args.image)
+    _close(fs, args.image)  # folds this mount's spans into the sidecar
+    prof = _load_profile_sidecar(args.image)
+    if args.diff:
+        prof = diff_profiles(prof, load_profile(args.diff))
+    if args.json:
+        print(json.dumps(prof, indent=2))
+        return 0
+    title = f"profile of {args.image}"
+    if args.diff:
+        title += f" minus {args.diff}"
+    print(title)
+    print(format_profile(prof, top=args.top, sort=args.sort))
+    return 0
+
+
+def cmd_slo(args) -> int:
+    """Evaluate declarative SLO rules against the metrics history.
+
+    One-shot evaluation (latency and gauge rules; rate rules need the
+    live in-run watchdog — ``run_workload(..., slo=rules)``).  Exit
+    status 1 when any rule is violated.
+    """
+    fs = _open_fs(args.image)
+    _close(fs, args.image)  # fold this mount, then judge the history
+    alerts = evaluate_snapshot(args.rules, _load_metrics(args.image))
+    violations = [a for a in alerts if a.get("kind") != "skipped"]
+    skipped = [a for a in alerts if a.get("kind") == "skipped"]
+    if args.json:
+        print(json.dumps({"schema": "repro.slo.report/1",
+                          "image": args.image, "rules": args.rules,
+                          "alerts": alerts}, indent=2))
+        return 1 if violations else 0
+    for a in violations:
+        bound = "<" if a.get("below") else ">"
+        print(f"VIOLATED {a['rule']}: {a['metric']} = {a['value']:.6g} "
+              f"{bound} bound {a['bound']:.6g}")
+    for a in skipped:
+        print(f"skipped (need live watchdog): {', '.join(a['rules'])}")
+    if not violations:
+        print("SLO OK")
+    return 1 if violations else 0
 
 
 def cmd_fsck(args) -> int:
@@ -377,6 +474,13 @@ def cmd_workload(args) -> int:
                               for k in ("p50_ns", "p95_ns", "p99_ns"))])
     print(render_table(["metric", "value"], rows,
                        title=f"workload on {args.image}"))
+    if args.trace_out:
+        # The span ring dies with this process; export the concurrent
+        # run's causal trace (writer/worker/shard lanes) while we have it.
+        with open(args.trace_out, "w") as fh:
+            json.dump(to_chrome_trace(list(fs.obs.tracer.events)), fh,
+                      indent=1)
+        print(f"chrome trace written to {args.trace_out}")
     _close(fs, args.image)
     return 0
 
@@ -693,7 +797,39 @@ def build_parser() -> argparse.ArgumentParser:
     s.add_argument("image")
     s.add_argument("--limit", type=int, default=40,
                    help="show at most the last N spans (0 = all)")
+    s.add_argument("--name", default=None,
+                   help="only spans whose name starts with this prefix")
+    s.add_argument("--chrome", action="store_true",
+                   help="emit Chrome trace-event JSON (Perfetto-loadable, "
+                        "one lane per client/worker/shard)")
+    s.add_argument("--folded", action="store_true",
+                   help="emit collapsed stacks (flamegraph.pl/speedscope)")
+    s.add_argument("-o", "--output", default=None,
+                   help="write --chrome/--folded output to a file "
+                        "(default: stdout)")
     s.set_defaults(fn=cmd_trace)
+
+    s = sub.add_parser("profile",
+                       help="charged-ns call-tree profile "
+                            "(<image>.profile.json history)")
+    s.add_argument("image")
+    s.add_argument("--top", type=int, default=15,
+                   help="hot paths to list (0 = all)")
+    s.add_argument("--sort", default="self_ns",
+                   choices=["self_ns", "total_ns", "count"])
+    s.add_argument("--diff", default=None,
+                   help="subtract another repro.profile/1 JSON dump")
+    s.add_argument("--json", action="store_true",
+                   help="emit the repro.profile/1 schema")
+    s.set_defaults(fn=cmd_profile)
+
+    s = sub.add_parser("slo", help="evaluate SLO rules against the "
+                                   "image's metrics history")
+    s.add_argument("image")
+    s.add_argument("--rules", required=True,
+                   help="repro.slo/1 rules file (JSON)")
+    s.add_argument("--json", action="store_true")
+    s.set_defaults(fn=cmd_slo)
 
     s = sub.add_parser("fsck", help="mount, recover, verify invariants")
     s.add_argument("image")
@@ -734,6 +870,9 @@ def build_parser() -> argparse.ArgumentParser:
     s.add_argument("--workers", type=int, default=1,
                    help="dedup worker pool size (1 = the paper's daemon)")
     s.add_argument("--seed", type=int, default=42)
+    s.add_argument("--trace-out", metavar="FILE",
+                   help="write the run's Chrome/Perfetto trace "
+                        "(per-client and per-worker lanes) to FILE")
     s.set_defaults(fn=cmd_workload)
 
     s = sub.add_parser("tree", help="print the directory tree")

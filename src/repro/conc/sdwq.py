@@ -109,6 +109,7 @@ class ShardedDWQ(DWQ):
             return None
         node = shard.popleft()
         self._account_dequeue(node)
+        self._handoff_span("dwq.dequeue", node, s)
         return node
 
     def steal_from(self, victim: int) -> Optional[DWQNode]:
@@ -126,7 +127,19 @@ class ShardedDWQ(DWQ):
         self.steals += 1
         self.steals_by_shard[victim] += 1
         self._account_dequeue(node)
+        self._handoff_span("dwq.steal", node, victim)
         return node
+
+    def _handoff_span(self, kind: str, node: DWQNode, s: int) -> None:
+        """A tiny span on the shard's own Perfetto lane, carrying the
+        node's trace id — the visual link between the enqueuing write's
+        lane and the draining worker's.  Emitted via ``tracer.emit`` (no
+        auto-histogram: the duration is a constant DRAM touch)."""
+        if self._obs is None:
+            return
+        self._obs.tracer.emit(
+            kind, self._clock.now_ns, self._cpu.dram_touch_ns,
+            trace_id=node.trace_id, track=f"shard:{s}", ino=node.ino)
 
     # ---------------------------------------------------------- migration
 

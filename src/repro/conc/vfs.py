@@ -33,6 +33,7 @@ observable: ``conc.lock_wait_ns`` (lock wait-time histogram),
 from __future__ import annotations
 
 import random
+from contextlib import nullcontext
 from typing import Callable, Optional
 
 from repro.conc.lockorder import LockOrderValidator
@@ -120,6 +121,7 @@ class ConcurrentVFS:
 
         # ---- contention metrics ----
         obs = getattr(fs, "obs", None)
+        self._obs = obs
         if obs is not None:
             reg = obs.registry
             self._h_lock_wait = reg.histogram(
@@ -220,6 +222,10 @@ class ConcurrentVFS:
                     yield lk.acquire(mode)
                 held.append((name, lk, mode))
                 self._h_lock_wait.observe(eng.now - t0)
+                if self._obs is not None:
+                    self._obs.flight.record("lock", name=name,
+                                            holder=holder,
+                                            wait_ns=eng.now - t0)
             penalty = 0.0
             if use_bw:
                 waiting = self.bw.in_use >= self.bw.capacity
@@ -232,7 +238,13 @@ class ConcurrentVFS:
             try:
                 fs = self.fs
                 fs.clock.sync_to(max(fs.clock.now_ns, self.now_ns))
-                with fs.clock.capture() as cap:
+                # Spans opened inside fn (fs.write, daemon stages) are
+                # attributed to this holder's Perfetto lane; fn runs
+                # without engine yields, so the track context cannot
+                # leak into another simulated thread.
+                track = (self._obs.tracer.use_track(holder)
+                         if self._obs is not None else nullcontext())
+                with fs.clock.capture() as cap, track:
                     result = fn()
                 # extra_ns may be a callable so costs that depend on the
                 # *current* schedule state (e.g. the live-client coherence
@@ -401,6 +413,7 @@ class ConcurrentVFS:
         daemon = fs.daemon
         busy = 0.0
         eng = self.eng
+        start_ns = self.now_ns
         ino = node.ino if node.ino in fs.caches else None
         if ino is not None:
             name = f"ino:{ino}"
@@ -434,4 +447,15 @@ class ConcurrentVFS:
             if ino is not None:
                 self.ino_rw(ino).release_write()
                 self.validator.released(holder, f"ino:{ino}")
+            # Externally-timed span: the stages above interleave with
+            # other simulated threads across engine yields, so a
+            # context-manager span would corrupt the tracer stack and
+            # absorb other actors' charges.  Duration is this node's
+            # accumulated busy ns; the trace id is the one stamped on
+            # the node by the enqueuing write (0 → fresh trace).
+            if self._obs is not None:
+                self._obs.emit_span(
+                    "dedup.process_node", start_ns, busy,
+                    trace_id=node.trace_id or None, track=holder,
+                    ino=node.ino)
         return busy

@@ -149,8 +149,12 @@ class DedupDaemon:
     # -- Algorithm 1 ------------------------------------------------------------
 
     def process_node(self, node: DWQNode) -> None:
-        with self.fs.obs.span("dedup.process_node", ino=node.ino):
-            self._process_node(node)
+        # Adopt the enqueuing write's trace so the drain is causally
+        # linked to it; trace_id 0 (restored/rebuilt node) starts fresh.
+        obs = self.fs.obs
+        with obs.tracer.use_trace(node.trace_id):
+            with obs.span("dedup.process_node", ino=node.ino):
+                self._process_node(node)
 
     def _process_node(self, node: DWQNode) -> None:
         task = self.validate_node(node)

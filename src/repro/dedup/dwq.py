@@ -46,11 +46,19 @@ _NODE_BYTES = struct.calcsize(_NODE_FMT)
 
 @dataclass
 class DWQNode:
-    """One pending dedup unit: a committed write entry."""
+    """One pending dedup unit: a committed write entry.
+
+    ``trace_id`` carries the causal root (the client write that enqueued
+    this node) across the queue handoff — DRAM-only, never persisted:
+    the on-PM save format stays 16 bytes/node, and nodes restored on a
+    later mount start fresh traces (their originating write's trace died
+    with the previous process).
+    """
 
     ino: int
     entry_addr: int
     enqueue_time_ns: float = 0.0
+    trace_id: int = 0
 
 
 class DWQ:
@@ -72,6 +80,7 @@ class DWQ:
         self.dequeued = 0
         self.peak_length = 0
         self.lingering_ns: list[float] = []
+        self._obs = obs
         registry = obs.registry if obs is not None else MetricsRegistry()
         self._g_depth = registry.gauge(
             "dwq.depth", help="write entries currently awaiting dedup")
@@ -106,11 +115,17 @@ class DWQ:
         """Writer side: stamp and append (one DRAM touch)."""
         self._clock.advance(self._cpu.dram_touch_ns)
         node.enqueue_time_ns = self._clock.now_ns
+        if node.trace_id == 0 and self._obs is not None:
+            node.trace_id = self._obs.tracer.current_trace_id
         self._append(node)
         self.enqueued += 1
         self._g_depth.set(len(self))
         if len(self) > self.peak_length:
             self.peak_length = len(self)
+        if self._obs is not None:
+            self._obs.flight.record("dwq.enqueue", ino=node.ino,
+                                    depth=len(self),
+                                    trace_id=node.trace_id)
 
     def dequeue(self) -> Optional[DWQNode]:
         """Daemon side: pop the oldest node, recording lingering time."""
@@ -160,6 +175,9 @@ class DWQ:
         """
         base = geo.dwq_save_page * PAGE_SIZE
         cap = self.capacity_on(geo)
+        if self._obs is not None:
+            self._obs.flight.record("persist", what="dwq.save",
+                                    nodes=len(self), cap=cap)
         if len(self) > cap:
             Superblock(dev).set_dwq_saved_count(self.OVERFLOWED)
             return 0

@@ -52,8 +52,23 @@ def check_fs_invariants(fs, check_dedup: bool = True) -> dict:
     """Run every applicable invariant on a mounted filesystem.
 
     Returns a small report dict (page reference counts etc.) so tests can
-    layer scenario-specific assertions on top.
+    layer scenario-specific assertions on top.  A violation is recorded
+    in the filesystem's flight recorder and triggers a flight dump, so
+    the crash report carries the recent event history.
     """
+    try:
+        return _check_fs_invariants(fs, check_dedup)
+    except InvariantViolation as exc:
+        obs = getattr(fs, "obs", None)
+        if obs is not None:
+            obs.flight.record("invariant", message=str(exc))
+            # Stashed on the exception so fuzz reports can persist the
+            # history even when the fs instance is out of scope.
+            exc.flight_dump = obs.flight.dump(reason="invariant")
+        raise
+
+
+def _check_fs_invariants(fs, check_dedup: bool = True) -> dict:
     refs: Counter[int] = Counter()
     log_pages: set[int] = set()
 

@@ -87,6 +87,8 @@ class Violation:
     point: Optional[int] = None
     phase: Optional[str] = None
     mode: Optional[str] = None
+    #: ``repro.flight/1`` dump captured at detection time (when available).
+    flight: Optional[dict] = None
 
     def __str__(self) -> str:
         where = f"op {self.op_index}" if self.op_index is not None else ""
@@ -397,13 +399,16 @@ def run_case(ops: list[TraceOp], cfg: Optional[FuzzConfig] = None,
             kind="divergence" if isinstance(exc, OracleDivergence)
             else "invariant",
             detail=str(exc), stage="clean",
-            op_index=result.ops_applied + result.ops_skipped))
+            op_index=result.ops_applied + result.ops_skipped,
+            flight=getattr(exc, "flight_dump", None)
+            or fs.obs.flight.dump(reason="fuzz:clean")))
         return result
     except (FSError, Exception) as exc:  # implementation blew up
         result.violations.append(Violation(
             kind="exception",
             detail=f"{type(exc).__name__}: {exc}", stage="clean",
-            op_index=result.ops_applied + result.ops_skipped))
+            op_index=result.ops_applied + result.ops_skipped,
+            flight=fs.obs.flight.dump(reason="fuzz:exception")))
         return result
 
     if not sweep:
@@ -467,5 +472,6 @@ def run_case(ops: list[TraceOp], cfg: Optional[FuzzConfig] = None,
             except AssertionError as exc:
                 result.violations.append(Violation(
                     kind="invariant", detail=str(exc), stage="sweep",
-                    mode=mode))
+                    mode=mode,
+                    flight=getattr(exc, "flight_dump", None)))
     return result

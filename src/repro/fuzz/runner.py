@@ -12,6 +12,7 @@ and Prometheus text every other subsystem uses.
 
 from __future__ import annotations
 
+import json
 import os
 import time
 from dataclasses import dataclass, field
@@ -156,6 +157,13 @@ class FuzzRunner:
             f"repro-seed{self.cfg.seed}-stream{failure.stream}.trace")
         Trace(ops=list(failure.reduced)).save(path)
         self.log(f"reproducer saved to {path}")
+        if failure.violation.flight is not None:
+            # Flight-recorder history from the detecting run, so the
+            # reproducer ships with the events leading up to the failure.
+            fpath = path[:-len(".trace")] + ".flight.json"
+            with open(fpath, "w") as fh:
+                json.dump(failure.violation.flight, fh, indent=2)
+            self.log(f"flight recording saved to {fpath}")
         return path
 
     # ------------------------------------------------------------ replay

@@ -290,6 +290,8 @@ class NovaFS:
         checkpoint.
         """
         from repro.nova.checkpoint import write_checkpoint
+        self.obs.flight.record("persist", what="checkpoint",
+                               pages=self.geo.ckpt_pages)
         with self.obs.span("recovery.checkpoint_write",
                            pages=self.geo.ckpt_pages):
             write_checkpoint(self)

@@ -78,7 +78,8 @@ def recover(fs, clean: bool) -> RecoveryReport:
     report = RecoveryReport(clean=clean)
     fs.caches = CacheMap(fs)
 
-    with fs.obs.span("recovery.mount", clean=clean,
+    with fs.obs.tracer.use_track("recovery"), \
+         fs.obs.span("recovery.mount", clean=clean,
                      workers=getattr(fs, "recovery_workers", 1)):
         if clean and getattr(fs, "use_checkpoint", True):
             from repro.nova.checkpoint import load_checkpoint

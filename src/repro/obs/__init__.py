@@ -1,13 +1,24 @@
 """Unified observability: metrics registry, span tracing, exporters.
 
+v2 adds causal traces (``trace_id``/``track`` on every span, Chrome
+trace-event and collapsed-stack export), a simulated-time profiler, and
+an SLO watchdog backed by a flight recorder.
+
 See ``docs/OBSERVABILITY.md`` for the naming convention and usage.
 """
 
 from .export import (escape_help, escape_label_value, format_table,
                      merge_snapshots, to_prometheus)
+from .export_trace import (compute_self_ns, span_paths, to_chrome_trace,
+                           to_folded)
+from .profile import (PROFILE_SCHEMA, diff_profiles, format_profile,
+                      load_profile, merge_profiles, profile_from_events,
+                      top_paths)
 from .registry import (DEFAULT_LATENCY_BUCKETS_NS, Counter, CounterView,
                        Gauge, Histogram, MetricsRegistry, RegistryStats,
                        percentiles_from_buckets)
+from .slo import (FlightRecorder, SLORule, SLOWatchdog, evaluate_snapshot,
+                  load_rules)
 from .trace import ObsHub, SpanEvent, Tracer
 
 __all__ = [
@@ -17,4 +28,9 @@ __all__ = [
     "DEFAULT_LATENCY_BUCKETS_NS", "percentiles_from_buckets",
     "to_prometheus", "format_table", "merge_snapshots",
     "escape_help", "escape_label_value",
+    "to_chrome_trace", "to_folded", "compute_self_ns", "span_paths",
+    "profile_from_events", "merge_profiles", "diff_profiles", "top_paths",
+    "format_profile", "load_profile", "PROFILE_SCHEMA",
+    "FlightRecorder", "SLORule", "SLOWatchdog", "load_rules",
+    "evaluate_snapshot",
 ]

@@ -270,6 +270,15 @@ class MetricsRegistry:
 
     def histogram(self, name: str, buckets: Sequence[float] = None,
                   help: str = "") -> Histogram:
+        m = self._metrics.get(name)
+        if (isinstance(m, Histogram) and buckets is not None
+                and tuple(sorted(buckets)) != m.bounds):
+            # Get-or-create must not silently keep the first layout — the
+            # caller would believe their buckets took effect (mirrors the
+            # counter/gauge type-mismatch errors).
+            raise ValueError(
+                f"histogram {name!r} already registered with buckets "
+                f"{m.bounds}; pass the same buckets (or none)")
         return self._get_or_create(Histogram, name, buckets=buckets,
                                    help=help)
 

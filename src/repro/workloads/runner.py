@@ -93,6 +93,7 @@ class RunResult:
     workers: int = 1
     steals: int = 0
     stalls: int = 0
+    alerts: list = field(default_factory=list)  # SLO watchdog firings
     dwq_peak: int = 0
     lingering_ns: list = field(default_factory=list)
     space: dict = field(default_factory=dict)
@@ -321,7 +322,8 @@ def run_workload(fs, spec: JobSpec, dd: Optional[DDMode] = None,
                  drain_before: bool = True, workers: int = 1,
                  shards: Optional[int] = None,
                  max_shard_depth: Optional[int] = None,
-                 jitter_seed: Optional[int] = None) -> RunResult:
+                 jitter_seed: Optional[int] = None,
+                 slo=None, slo_interval_ns: float = 1e6) -> RunResult:
     """Execute a job through ConcurrentVFS and return simulated results.
 
     For OVERWRITE/READ modes the file set must exist (pass ``inos`` from
@@ -332,6 +334,12 @@ def run_workload(fs, spec: JobSpec, dd: Optional[DDMode] = None,
     CPU); ``max_shard_depth`` bounds shard depth (writers stall on full
     shards — backpressure); ``jitter_seed`` perturbs the schedule for
     the determinism permuter.
+
+    ``slo`` takes SLO rules (anything :func:`repro.obs.load_rules`
+    accepts); an :class:`~repro.obs.SLOWatchdog` then runs as a DES
+    process evaluating them every ``slo_interval_ns`` of simulated time
+    while the workload executes, and its firings land in
+    ``result.alerts`` (plus the obs flight recorder / alert counter).
     """
     if dd is None:
         dd = DDMode.immediate() if hasattr(fs, "daemon") else DDMode.none()
@@ -370,6 +378,13 @@ def run_workload(fs, spec: JobSpec, dd: Optional[DDMode] = None,
     ]
     worker_procs = cvfs.start_workers(dd) if has_daemon else []
 
+    watchdog = None
+    if slo is not None and hasattr(fs, "obs"):
+        from repro.obs import SLOWatchdog
+        watchdog = SLOWatchdog(fs.obs, slo, interval_ns=slo_interval_ns)
+        cvfs.eng.process(watchdog.run(cvfs.eng, base_ns=cvfs.base_ns),
+                         name="slo-watchdog")
+
     def _coordinator():
         yield cvfs.eng.all_of(writers)
         result.foreground_ns = cvfs.eng.now
@@ -377,6 +392,8 @@ def run_workload(fs, spec: JobSpec, dd: Optional[DDMode] = None,
         if worker_procs:
             yield cvfs.eng.all_of(worker_procs)
         result.total_ns = cvfs.eng.now
+        if watchdog is not None:
+            watchdog.stop = True  # one final check, then the process exits
 
     coord = cvfs.eng.process(_coordinator(), name="coordinator")
     cvfs.eng.run()
@@ -400,6 +417,8 @@ def run_workload(fs, spec: JobSpec, dd: Optional[DDMode] = None,
     if cvfs.sdwq is not None:
         result.steals = cvfs.sdwq.steals
     result.stalls = int(cvfs._c_stalls.value)
+    if watchdog is not None:
+        result.alerts = list(watchdog.alerts)
     if hasattr(fs, "dwq"):
         result.dwq_peak = fs.dwq.peak_length
         result.lingering_ns = list(fs.dwq.lingering_ns)

@@ -1,0 +1,80 @@
+"""benchmarks/compare.py: tolerance-band comparison logic."""
+
+import importlib.util
+import json
+import pathlib
+import sys
+
+import pytest
+
+_COMPARE = (pathlib.Path(__file__).resolve().parents[2]
+            / "benchmarks" / "compare.py")
+spec = importlib.util.spec_from_file_location("bench_compare", _COMPARE)
+bench_compare = importlib.util.module_from_spec(spec)
+sys.modules["bench_compare"] = bench_compare
+spec.loader.exec_module(bench_compare)
+
+compare_docs = bench_compare.compare_docs
+iter_numeric_leaves = bench_compare.iter_numeric_leaves
+quick_baseline_view = bench_compare.quick_baseline_view
+
+
+class TestLeafWalk:
+    def test_walks_nested_dicts_and_lists(self):
+        doc = {"a": {"b": [1, 2.5]}, "c": 3}
+        got = dict(iter_numeric_leaves(doc))
+        assert got == {("a", "b", "0"): 1.0, ("a", "b", "1"): 2.5,
+                       ("c",): 3.0}
+
+    def test_ignores_bools_and_strings(self):
+        got = dict(iter_numeric_leaves({"x": True, "y": "5", "z": 1}))
+        assert got == {("z",): 1.0}
+
+
+class TestCompare:
+    BASE = {"fig": {"mb_s": [100.0, 200.0]}}
+
+    def test_within_band_passes(self):
+        cur = {"fig": {"mb_s": [104.0, 192.0]}}
+        assert compare_docs(cur, self.BASE, tolerance=0.05) == []
+
+    def test_regression_flagged_with_drift(self):
+        cur = {"fig": {"mb_s": [100.0, 150.0]}}
+        v = compare_docs(cur, self.BASE, tolerance=0.05)
+        assert len(v) == 1
+        assert v[0]["path"] == "fig.mb_s.1"
+        assert v[0]["drift"] == pytest.approx(-0.25)
+
+    def test_band_is_symmetric(self):
+        # An unexplained speedup invalidates the baseline too.
+        cur = {"fig": {"mb_s": [100.0, 260.0]}}
+        assert len(compare_docs(cur, self.BASE, tolerance=0.05)) == 1
+
+    def test_missing_current_leaves_skipped(self):
+        cur = {"fig": {"mb_s": [100.0]}}
+        assert compare_docs(cur, self.BASE, tolerance=0.05) == []
+
+    def test_zero_baseline(self):
+        assert compare_docs({"x": 0}, {"x": 0}, 0.01) == []
+        v = compare_docs({"x": 5}, {"x": 0}, 0.01)
+        assert len(v) == 1
+
+
+class TestQuickView:
+    def test_projects_committed_fig9_shape(self):
+        baseline = {"small_file_job": {
+            "threads": [1, 2, 4],
+            "throughput_mb_s": {"nova": [480.0, 700.0, 632.0],
+                                "denova-delayed": [479.0, 699.0, 631.0]},
+        }}
+        view = quick_baseline_view(baseline)
+        assert view["small_file_job"]["nova@T1"] == 480.0
+        assert view["small_file_job"]["nova@T4"] == 632.0
+        assert view["small_file_job"]["denova-delayed@T4"] == 631.0
+
+    def test_committed_baseline_covers_all_quick_points(self):
+        committed = json.loads(
+            (_COMPARE.parent / "results" / "fig9_baseline.json").read_text())
+        view = quick_baseline_view(committed)
+        n = sum(len(v) for v in view.values())
+        assert n == len(bench_compare.QUICK_POINTS)

@@ -1,0 +1,136 @@
+"""ISSUE 6 acceptance criteria, asserted end to end.
+
+1. A fig9-style concurrent run (multiple writer clients, sharded DWQ,
+   dedup worker pool, delayed daemon) exports a Perfetto-loadable
+   Chrome trace in which ``dedup.process_node`` spans carry the
+   ``trace_id`` of the client write that enqueued the node — causality
+   across the queue handoff.
+2. A seeded SLO violation (DWQ depth bound exceeded mid-run) fires an
+   alert and leaves a flight-recorder dump whose trailing events
+   include the violating enqueues.
+"""
+
+import json
+
+import pytest
+
+from repro.core import Config, Variant, make_fs
+from repro.obs import to_chrome_trace, to_folded
+from repro.workloads import run_workload, small_file_job
+
+pytestmark = pytest.mark.conc
+
+
+def _fig9_run(slo=None, slo_interval_ns=1e6):
+    fs, dd = make_fs(Variant.DELAYED,
+                     Config(device_pages=2048, max_inodes=128, cpus=4,
+                            delayed_interval_ms=0.75, delayed_batch=20000))
+    res = run_workload(
+        fs, small_file_job(nfiles=24, dup_ratio=0.5, threads=4),
+        dd=dd, workers=2, slo=slo, slo_interval_ns=slo_interval_ns)
+    return fs, res
+
+
+class TestCausalTraceAcceptance:
+    def test_process_node_carries_originating_write_trace_id(self):
+        fs, res = _fig9_run()
+        assert res.files_done == 24
+        events = list(fs.obs.tracer.events)
+        writes = [e for e in events if e.name == "fs.write"
+                  and e.track.startswith("writer-")]
+        drains = [e for e in events if e.name == "dedup.process_node"]
+        assert len(writes) == 24 and len(drains) == 24
+        write_tids = {e.trace_id for e in writes}
+        assert 0 not in write_tids
+        for d in drains:
+            assert d.trace_id in write_tids, \
+                f"drain on {d.track} not linked to any client write"
+        # Worker drains really ran on worker tracks, not the writers'.
+        assert {d.track for d in drains} <= {"worker-0", "worker-1"}
+
+    def test_chrome_export_is_perfetto_loadable(self):
+        fs, _ = _fig9_run()
+        events = list(fs.obs.tracer.events)
+        doc = json.loads(json.dumps(to_chrome_trace(events)))
+        assert doc["displayTimeUnit"] == "ns"
+        xs = [e for e in doc["traceEvents"] if e["ph"] == "X"]
+        meta = [e for e in doc["traceEvents"] if e["ph"] == "M"]
+        assert xs and meta
+        # Every complete event is well-formed and lands on a named lane.
+        lanes = {e["tid"]: e["args"]["name"] for e in meta
+                 if e["name"] == "thread_name"}
+        for e in xs:
+            assert {"name", "cat", "ph", "ts", "dur", "pid", "tid",
+                    "args"} <= set(e)
+            assert e["dur"] >= 0 and e["tid"] in lanes
+        names = {lanes[e["tid"]] for e in xs}
+        assert any(n.startswith("writer-") for n in names)
+        assert any(n.startswith("worker-") for n in names)
+        assert any(n.startswith("shard:") for n in names)
+        # The causal link survives export: a process_node X event's
+        # trace_id matches some client write X event's trace_id.
+        write_tids = {e["args"]["trace_id"] for e in xs
+                      if e["name"] == "fs.write"
+                      and lanes[e["tid"]].startswith("writer-")}
+        drain_tids = {e["args"]["trace_id"] for e in xs
+                      if e["name"] == "dedup.process_node"}
+        assert drain_tids and drain_tids <= write_tids
+
+    def test_folded_export_nonempty(self):
+        fs, _ = _fig9_run()
+        text = to_folded(list(fs.obs.tracer.events))
+        assert any(ln.startswith("fs.write") for ln in text.splitlines())
+
+
+class TestSLOViolationAcceptance:
+    RULES = [{"name": "dwq-depth", "kind": "gauge",
+              "metric": "dwq.depth", "max": 4}]
+
+    def test_seeded_violation_fires_alert_with_flight_dump(self):
+        fs, res = _fig9_run(slo=self.RULES, slo_interval_ns=5e4)
+        assert res.alerts, "DWQ depth bound never tripped"
+        alert = res.alerts[0]
+        assert alert["rule"] == "dwq-depth"
+        assert alert["value"] > 4 and alert["bound"] == 4
+        assert fs.obs.registry.get("obs.alerts_total").value >= 1
+
+    def test_flight_dump_trails_with_violating_enqueues(self):
+        from repro.obs import SLOWatchdog  # noqa: F401 (doc pointer)
+        fs, dd = make_fs(Variant.DELAYED,
+                         Config(device_pages=2048, max_inodes=128, cpus=4,
+                                delayed_interval_ms=0.75,
+                                delayed_batch=20000))
+        res = run_workload(
+            fs, small_file_job(nfiles=24, dup_ratio=0.5, threads=4),
+            dd=dd, workers=2, slo=self.RULES, slo_interval_ns=5e4)
+        assert res.alerts
+        # The alert dumped the ring; the events leading up to the alert
+        # include the enqueues that pushed the queue past its bound.
+        dumps = [e for e in fs.obs.flight.events if e["kind"] == "alert"]
+        assert dumps
+        events = list(fs.obs.flight.events)
+        alert_idx = next(i for i, e in enumerate(events)
+                         if e["kind"] == "alert")
+        before = events[:alert_idx]
+        enq = [e for e in before if e["kind"] == "dwq.enqueue"]
+        assert enq, "no enqueue events preceding the alert"
+        assert any(e["depth"] > 4 for e in enq), \
+            "no enqueue recorded a depth beyond the bound"
+        # Enqueues carry the causal id of the write that issued them.
+        assert all("trace_id" in e and e["trace_id"] != 0 for e in enq)
+
+    def test_alert_writes_artifact_when_path_configured(self, tmp_path):
+        fs, dd = make_fs(Variant.DELAYED,
+                         Config(device_pages=2048, max_inodes=128, cpus=4,
+                                delayed_interval_ms=0.75,
+                                delayed_batch=20000))
+        path = str(tmp_path / "img.flight.json")
+        fs.obs.flight.artifact_path = path
+        run_workload(
+            fs, small_file_job(nfiles=24, dup_ratio=0.5, threads=4),
+            dd=dd, workers=2, slo=self.RULES, slo_interval_ns=5e4)
+        doc = json.loads(open(path).read())
+        assert doc["schema"] == "repro.flight/1"
+        assert doc["reason"].startswith("slo:dwq-depth")
+        kinds = {e["kind"] for e in doc["events"]}
+        assert "dwq.enqueue" in kinds

@@ -138,3 +138,164 @@ class TestRegistryLifetime:
         # Callback-backed metrics still read live provider state.
         assert fs.obs.registry.get("alloc.free_pages").value \
             == fs.allocator.free_pages
+
+
+class TestTraceFlags:
+    def test_name_prefix_filter(self, image, capsys):
+        capsys.readouterr()
+        assert main(["trace", image, "--name", "recovery.checkpoint"]) == 0
+        out = capsys.readouterr().out
+        assert "recovery.checkpoint_load" in out
+        assert "recovery.mount" not in out
+
+    def test_summary_line_reports_ring_state(self, image, capsys):
+        capsys.readouterr()
+        main(["trace", image])
+        out = capsys.readouterr().out
+        summary = [ln for ln in out.splitlines()
+                   if ln.startswith("spans_recorded=")]
+        assert len(summary) == 1
+        assert "spans_evicted=" in summary[0]
+        assert "shown=" in summary[0]
+
+    def test_chrome_export_to_file(self, image, tmp_path, capsys):
+        out_path = tmp_path / "trace.json"
+        capsys.readouterr()
+        assert main(["trace", image, "--chrome", "-o", str(out_path)]) == 0
+        doc = json.loads(out_path.read_text())
+        assert doc["displayTimeUnit"] == "ns"
+        names = {e["name"] for e in doc["traceEvents"] if e["ph"] == "X"}
+        assert "recovery.mount" in names
+        args = [e["args"] for e in doc["traceEvents"] if e["ph"] == "X"]
+        assert all("trace_id" in a for a in args)
+
+    def test_chrome_export_to_stdout(self, image, capsys):
+        capsys.readouterr()
+        assert main(["trace", image, "--chrome"]) == 0
+        doc = json.loads(capsys.readouterr().out)
+        assert "traceEvents" in doc
+
+    def test_folded_export(self, image, capsys):
+        capsys.readouterr()
+        assert main(["trace", image, "--folded"]) == 0
+        out = capsys.readouterr().out
+        lines = [ln for ln in out.splitlines() if ln]
+        assert lines
+        for ln in lines:
+            path, ns = ln.rsplit(" ", 1)
+            assert path and int(ns) >= 0
+        assert any(ln.startswith("recovery.mount;") or
+                   ln.startswith("recovery.mount ") for ln in lines)
+
+
+class TestProfileCommand:
+    def test_table_output(self, image, tmp_path, capsys):
+        deduped_image(image, tmp_path)
+        capsys.readouterr()
+        assert main(["profile", image]) == 0
+        out = capsys.readouterr().out
+        assert "unit: charged simulated ns" in out
+        assert "recovery.mount" in out
+        assert "top 15 by self_ns:" in out
+
+    def test_json_output_is_profile_doc(self, image, capsys):
+        capsys.readouterr()
+        assert main(["profile", image, "--json"]) == 0
+        doc = json.loads(capsys.readouterr().out)
+        assert doc["schema"] == "repro.profile/1"
+        assert doc["unit"] == "charged_ns"
+        assert any(k.startswith("recovery.mount") for k in doc["stacks"])
+
+    def test_sidecar_accumulates_across_invocations(self, image, tmp_path,
+                                                    capsys):
+        import os
+        sidecar = image + ".profile.json"
+        f = tmp_path / "f"
+        f.write_bytes(b"\xcd" * 4096)
+        main(["put", image, "/a", str(f)])
+        assert os.path.exists(sidecar)
+        first = json.loads(open(sidecar).read())
+        assert first["schema"] == "repro.profile/1"
+        main(["put", image, "/b", str(f)])
+        second = json.loads(open(sidecar).read())
+        assert second["spans"] > first["spans"]
+        write_keys = [k for k in second["stacks"] if "fs.write" in k]
+        assert write_keys
+
+    def test_diff_mode(self, image, tmp_path, capsys):
+        capsys.readouterr()
+        main(["profile", image, "--json"])
+        baseline = tmp_path / "base.profile.json"
+        baseline.write_text(capsys.readouterr().out)
+        f = tmp_path / "f"
+        f.write_bytes(b"\xee" * 4096)
+        main(["put", image, "/x", str(f)])
+        capsys.readouterr()
+        assert main(["profile", image, "--diff", str(baseline),
+                     "--json"]) == 0
+        doc = json.loads(capsys.readouterr().out)
+        # The delta contains the extra put's write, and little else that
+        # grew by more spans than it.
+        assert any("fs.write" in k for k in doc["stacks"])
+
+
+class TestSLOCommand:
+    def _rules(self, tmp_path, rules):
+        p = tmp_path / "rules.json"
+        p.write_text(json.dumps({"schema": "repro.slo/1", "rules": rules}))
+        return str(p)
+
+    def test_ok_exits_zero(self, image, tmp_path, capsys):
+        rules = self._rules(tmp_path, [
+            {"name": "mount-p99", "kind": "latency",
+             "metric": "recovery.mount", "max_ns": 1e12}])
+        capsys.readouterr()
+        assert main(["slo", image, "--rules", rules]) == 0
+        assert "SLO OK" in capsys.readouterr().out
+
+    def test_violation_exits_one(self, image, tmp_path, capsys):
+        deduped_image(image, tmp_path)
+        rules = self._rules(tmp_path, [
+            {"name": "writes-floor", "kind": "gauge",
+             "metric": "fs.writes_total", "min": 1e9}])
+        capsys.readouterr()
+        assert main(["slo", image, "--rules", rules]) == 1
+        out = capsys.readouterr().out
+        assert "VIOLATED writes-floor" in out
+        assert "fs.writes_total" in out
+
+    def test_rate_rules_reported_skipped(self, image, tmp_path, capsys):
+        rules = self._rules(tmp_path, [
+            {"name": "burn", "kind": "rate", "metric": "fs.writes_total",
+             "max_per_s": 1}])
+        capsys.readouterr()
+        assert main(["slo", image, "--rules", rules]) == 0
+        out = capsys.readouterr().out
+        assert "skipped (need live watchdog): burn" in out
+
+    def test_json_report(self, image, tmp_path, capsys):
+        deduped_image(image, tmp_path)
+        rules = self._rules(tmp_path, [
+            {"name": "writes-floor", "kind": "gauge",
+             "metric": "fs.writes_total", "min": 1e9}])
+        capsys.readouterr()
+        assert main(["slo", image, "--rules", rules, "--json"]) == 1
+        doc = json.loads(capsys.readouterr().out)
+        assert doc["schema"] == "repro.slo.report/1"
+        assert doc["alerts"][0]["rule"] == "writes-floor"
+
+
+class TestWorkloadTraceOut:
+    def test_workload_exports_concurrent_chrome_trace(self, image,
+                                                      tmp_path, capsys):
+        out = tmp_path / "run-trace.json"
+        capsys.readouterr()
+        assert main(["workload", image, "--files", "12", "--threads", "2",
+                     "--workers", "2", "--trace-out", str(out)]) == 0
+        doc = json.loads(out.read_text())
+        lanes = {e["args"]["name"] for e in doc["traceEvents"]
+                 if e["ph"] == "M" and e["name"] == "thread_name"}
+        assert any(n.startswith("writer-") for n in lanes)
+        assert any(n.startswith("worker-") for n in lanes)
+        xs = [e for e in doc["traceEvents"] if e["ph"] == "X"]
+        assert any(e["name"] == "dedup.process_node" for e in xs)

@@ -1,0 +1,119 @@
+"""repro.profile/1: aggregation, merge, diff, formatting, loading."""
+
+import json
+
+import pytest
+
+from repro.obs import (ObsHub, PROFILE_SCHEMA, diff_profiles, format_profile,
+                       load_profile, merge_profiles, profile_from_events,
+                       top_paths)
+from repro.pm.clock import SimClock
+
+
+def _events(*specs):
+    """specs: (name, advance_ns, children...) nested tuples."""
+    clock = SimClock()
+    hub = ObsHub(clock=clock)
+
+    def run(spec):
+        name, ns, *kids = spec
+        with hub.span(name):
+            clock.advance(ns)
+            for k in kids:
+                run(k)
+
+    for spec in specs:
+        run(spec)
+    return list(hub.tracer.events)
+
+
+class TestProfileFromEvents:
+    def test_aggregates_by_path(self):
+        evs = _events(("fs.write", 100, ("dedup.fp", 40)),
+                      ("fs.write", 100, ("dedup.fp", 60)))
+        prof = profile_from_events(evs)
+        assert prof["schema"] == PROFILE_SCHEMA
+        assert prof["unit"] == "charged_ns"
+        assert prof["spans"] == 4
+        w = prof["stacks"]["fs.write"]
+        assert w == {"count": 2, "total_ns": 300.0, "self_ns": 200.0}
+        fp = prof["stacks"]["fs.write;dedup.fp"]
+        assert fp == {"count": 2, "total_ns": 100.0, "self_ns": 100.0}
+
+    def test_empty_ring(self):
+        prof = profile_from_events([])
+        assert prof["spans"] == 0 and prof["stacks"] == {}
+
+
+class TestMergeDiff:
+    def test_merge_sums_per_path(self):
+        a = profile_from_events(_events(("fs.write", 100)))
+        b = profile_from_events(_events(("fs.write", 50), ("fs.read", 10)))
+        m = merge_profiles(a, b)
+        assert m["spans"] == 3
+        assert m["stacks"]["fs.write"]["total_ns"] == 150.0
+        assert m["stacks"]["fs.write"]["count"] == 2
+        assert m["stacks"]["fs.read"]["count"] == 1
+
+    def test_merge_skips_none(self):
+        a = profile_from_events(_events(("fs.write", 100)))
+        m = merge_profiles(None, a, None)
+        assert m["stacks"] == a["stacks"]
+
+    def test_diff_keeps_negative_deltas(self):
+        old = profile_from_events(_events(("fs.write", 100)))
+        new = profile_from_events(_events(("fs.write", 60)))
+        d = diff_profiles(new, old)
+        assert d["stacks"]["fs.write"]["total_ns"] == -40.0
+        assert d["stacks"]["fs.write"]["count"] == 0
+
+    def test_diff_drops_exact_cancellation(self):
+        p = profile_from_events(_events(("fs.write", 100)))
+        d = diff_profiles(p, json.loads(json.dumps(p)))
+        assert d["stacks"] == {}
+
+    def test_diff_path_only_in_old(self):
+        old = profile_from_events(_events(("fs.read", 30)))
+        new = profile_from_events(_events(("fs.write", 10)))
+        d = diff_profiles(new, old)
+        assert d["stacks"]["fs.read"]["self_ns"] == -30.0
+        assert d["stacks"]["fs.write"]["self_ns"] == 10.0
+
+
+class TestTopPaths:
+    def test_ranked_by_abs_value(self):
+        prof = {"stacks": {
+            "a": {"count": 1, "total_ns": 5.0, "self_ns": 5.0},
+            "b": {"count": 1, "total_ns": -50.0, "self_ns": -50.0},
+            "c": {"count": 1, "total_ns": 20.0, "self_ns": 20.0},
+        }}
+        got = [k for k, _ in top_paths(prof, 2, key="self_ns")]
+        assert got == ["b", "c"]
+
+    def test_top_by_count(self):
+        prof = profile_from_events(
+            _events(("fs.write", 1), ("fs.write", 1), ("fs.read", 9)))
+        got = [k for k, _ in top_paths(prof, 1, key="count")]
+        assert got == ["fs.write"]
+
+
+class TestFormatAndLoad:
+    def test_format_contains_tree_and_table(self):
+        prof = profile_from_events(
+            _events(("fs.write", 1000, ("dedup.fp", 400))))
+        text = format_profile(prof, top=5)
+        assert "2 unique stacks" in text
+        assert "fs.write" in text and "dedup.fp" in text
+        assert "top 5 by self_ns:" in text
+
+    def test_load_roundtrip(self, tmp_path):
+        prof = profile_from_events(_events(("fs.write", 100)))
+        p = tmp_path / "x.profile.json"
+        p.write_text(json.dumps(prof))
+        assert load_profile(str(p)) == prof
+
+    def test_load_rejects_wrong_schema(self, tmp_path):
+        p = tmp_path / "bad.json"
+        p.write_text(json.dumps({"schema": "repro.metrics/1"}))
+        with pytest.raises(ValueError, match="repro.profile/1"):
+            load_profile(str(p))

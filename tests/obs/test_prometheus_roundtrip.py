@@ -1,0 +1,187 @@
+"""Prometheus exposition round-trip: a minimal line parser over a real
+filesystem's metrics asserts the text format is internally consistent —
+escaping, ``+Inf``/``NaN`` handling, cumulative ``_bucket`` monotonicity
+and ``_bucket``/``_sum``/``_count`` agreement for every histogram."""
+
+import math
+import re
+
+import pytest
+
+from repro.dedup import DeNovaFS
+from repro.nova import PAGE_SIZE
+from repro.obs import ObsHub, to_prometheus
+from repro.pm import DRAM, PMDevice, SimClock
+
+_SAMPLE = re.compile(
+    r'^(?P<name>[a-zA-Z_:][a-zA-Z0-9_:]*)'
+    r'(?:\{(?P<labels>[^}]*)\})?'
+    r' (?P<value>\S+)$')
+_LABEL = re.compile(r'(\w+)="((?:[^"\\]|\\.)*)"')
+
+
+def _parse_value(s):
+    if s == "+Inf":
+        return math.inf
+    if s == "-Inf":
+        return -math.inf
+    if s == "NaN":
+        return math.nan
+    return float(s)
+
+
+def parse_exposition(text):
+    """Parse the text format into {name: {"type", "help", "samples"}}.
+
+    ``samples`` is a list of (name, labels-dict, value) including the
+    ``_bucket``/``_sum``/``_count`` series of histograms, attached to
+    the family whose ``# TYPE`` introduced them.
+    """
+    families = {}
+    current = None
+    for lineno, line in enumerate(text.splitlines(), 1):
+        if not line:
+            continue
+        if line.startswith("# HELP "):
+            _, _, rest = line.partition("# HELP ")
+            name, _, help_text = rest.partition(" ")
+            families.setdefault(name, {"samples": []})["help"] = help_text
+            continue
+        if line.startswith("# TYPE "):
+            _, _, rest = line.partition("# TYPE ")
+            name, _, kind = rest.partition(" ")
+            assert kind in ("counter", "gauge", "histogram"), \
+                f"line {lineno}: bad type {kind!r}"
+            current = families.setdefault(name, {"samples": []})
+            current["type"] = kind
+            current["name"] = name
+            continue
+        assert not line.startswith("#"), f"line {lineno}: stray comment"
+        m = _SAMPLE.match(line)
+        assert m, f"line {lineno}: unparseable sample {line!r}"
+        labels = {}
+        if m.group("labels"):
+            for lm in _LABEL.finditer(m.group("labels")):
+                labels[lm.group(1)] = (
+                    lm.group(2).replace('\\"', '"')
+                    .replace("\\n", "\n").replace("\\\\", "\\"))
+        assert current is not None, f"line {lineno}: sample before TYPE"
+        sname = m.group("name")
+        assert sname == current["name"] or \
+            sname.startswith(current["name"] + "_"), \
+            f"line {lineno}: {sname} outside family {current['name']}"
+        current["samples"].append(
+            (sname, labels, _parse_value(m.group("value"))))
+    return families
+
+
+def _check_consistency(families):
+    for name, fam in families.items():
+        assert "type" in fam, f"{name}: TYPE line missing"
+        assert "help" in fam, f"{name}: HELP line missing"
+        if fam["type"] in ("counter", "gauge"):
+            assert len(fam["samples"]) == 1
+            sname, labels, value = fam["samples"][0]
+            assert sname == name and labels == {}
+            if fam["type"] == "counter":
+                assert value >= 0
+            continue
+        # histogram
+        buckets = [(labels["le"], v) for sname, labels, v in fam["samples"]
+                   if sname == f"{name}_bucket"]
+        sums = [v for sname, _, v in fam["samples"]
+                if sname == f"{name}_sum"]
+        counts = [v for sname, _, v in fam["samples"]
+                  if sname == f"{name}_count"]
+        assert buckets, f"{name}: no _bucket series"
+        assert len(sums) == 1 and len(counts) == 1
+        les = [_parse_value(le) for le, _ in buckets]
+        assert les == sorted(les), f"{name}: le bounds not ascending"
+        assert les[-1] == math.inf, f"{name}: missing le=\"+Inf\" bucket"
+        cum = [v for _, v in buckets]
+        assert cum == sorted(cum), f"{name}: buckets not cumulative"
+        assert cum[-1] == counts[0], \
+            f"{name}: +Inf bucket {cum[-1]} != _count {counts[0]}"
+        if counts[0]:
+            assert not math.isnan(sums[0])
+
+
+class TestRoundTripLive:
+    def test_real_image_exposition_is_consistent(self):
+        dev = PMDevice(1024 * PAGE_SIZE, model=DRAM, clock=SimClock())
+        fs = DeNovaFS.mkfs(dev, max_inodes=32)
+        ino = fs.create("/a.txt")
+        fs.write(ino, 0, b"x" * PAGE_SIZE * 3)
+        fs.read(ino, 0, PAGE_SIZE)
+        fs.daemon.drain()
+        text = to_prometheus(fs.obs.snapshot())
+        fams = parse_exposition(text)
+        _check_consistency(fams)
+        # The traced ops' auto-histograms all made it through.
+        assert fams["repro_fs_write_latency_ns"]["type"] == "histogram"
+        # HELP carries the original dotted metric name.
+        assert fams["repro_fs_write_latency_ns"]["help"] \
+            .startswith("fs.write_latency_ns")
+        # Dots become underscores, every family carries the prefix.
+        assert all(f.startswith("repro_") for f in fams)
+        assert not any("." in f for f in fams)
+
+
+class TestRoundTripEdgeValues:
+    def test_inf_nan_and_escaping_survive(self):
+        hub = ObsHub(clock=SimClock())
+        hub.gauge("edge.inf").set(math.inf)
+        hub.gauge("edge.neg_inf").set(-math.inf)
+        hub.gauge("edge.nan").set(math.nan)
+        hub.gauge("edge.float").set(2.5)
+        hub.counter("edge.big_total").inc(3)
+        text = to_prometheus(hub.snapshot())
+        fams = parse_exposition(text)
+        _check_consistency(fams)
+        val = {n: f["samples"][0][2] for n, f in fams.items()}
+        assert val["repro_edge_inf"] == math.inf
+        assert val["repro_edge_neg_inf"] == -math.inf
+        assert math.isnan(val["repro_edge_nan"])
+        assert val["repro_edge_float"] == 2.5
+        assert val["repro_edge_big_total"] == 3
+        # Raw tokens, not Python reprs.
+        assert "repro_edge_inf +Inf" in text
+        assert "repro_edge_nan NaN" in text
+
+    def test_empty_histogram_still_consistent(self):
+        hub = ObsHub(clock=SimClock())
+        hub.histogram("quiet.lat_ns", buckets=(10, 100))
+        fams = parse_exposition(to_prometheus(hub.snapshot()))
+        _check_consistency(fams)
+        fam = fams["repro_quiet_lat_ns"]
+        count = [v for n, _, v in fam["samples"]
+                 if n == "repro_quiet_lat_ns_count"][0]
+        assert count == 0
+
+    def test_every_observation_lands_in_exactly_one_bucket(self):
+        clock = SimClock()
+        hub = ObsHub(clock=clock)
+        h = hub.histogram("lat.ns", buckets=(10, 100, 1000))
+        for v in (5, 50, 500, 5000, 50000):
+            h.observe(v)
+        fams = parse_exposition(to_prometheus(hub.snapshot()))
+        _check_consistency(fams)
+        fam = fams["repro_lat_ns"]
+        cum = [v for n, labels, v in fam["samples"]
+               if n == "repro_lat_ns_bucket"]
+        assert cum == [1, 2, 3, 5]  # 5000 and 50000 overflow to +Inf
+
+
+class TestHelpEscaping:
+    def test_backslash_and_newline_escaped(self):
+        from repro.obs import escape_help
+        snap = {"counters": {"odd.name_total": 1}, "gauges": {},
+                "histograms": {}}
+        text = to_prometheus(snap)
+        assert "# HELP repro_odd_name_total odd.name_total" in text
+        assert escape_help("a\\b\nc") == "a\\\\b\\nc"
+
+    def test_label_value_escaping(self):
+        from repro.obs import escape_label_value
+        assert escape_label_value('he said "hi"\\n') == \
+            'he said \\"hi\\"\\\\n'
