@@ -36,6 +36,7 @@ QUICK_POINTS = [
     ("small_file_job", "nova", 4),
     ("small_file_job", "denova-delayed", 1),
     ("small_file_job", "denova-delayed", 4),
+    ("small_file_job", "denova-hybrid", 4),
 ]
 QUICK_NFILES = {"small_file_job": 192, "large_file_job": 48}
 
@@ -61,6 +62,11 @@ def compare_docs(current: dict, baseline: dict,
     violations = []
     for path, base in iter_numeric_leaves(baseline):
         if path not in cur:
+            # A baselined metric the fresh run no longer produces is a
+            # regression in its own right (a silently dropped series
+            # would otherwise pass every remaining band forever).
+            violations.append({"path": ".".join(path), "baseline": base,
+                               "current": None, "drift": float("inf")})
             continue
         now = cur[path]
         if base == 0:
@@ -120,8 +126,12 @@ def report(violations: list[dict]) -> int:
         return 0
     print(f"REGRESSION: {len(violations)} point(s) outside the band")
     for v in sorted(violations, key=lambda v: -abs(v["drift"])):
-        print(f"  {v['path']}: baseline={v['baseline']:.6g} "
-              f"current={v['current']:.6g} drift={v['drift']:+.1%}")
+        if v["current"] is None:
+            print(f"  {v['path']}: baseline={v['baseline']:.6g} "
+                  f"MISSING from the fresh run")
+        else:
+            print(f"  {v['path']}: baseline={v['baseline']:.6g} "
+                  f"current={v['current']:.6g} drift={v['drift']:+.1%}")
     return 1
 
 

@@ -27,7 +27,8 @@ import sys
 
 from repro.analysis import InlineModel, render_table
 from repro.core import Config, Variant
-from repro.dedup import DeNovaFS
+from repro.dedup import DeNovaFS, HybridDeNovaFS
+from repro.dedup.hybrid import MODE_NAMES
 from repro.nova import NovaFS
 from repro.nova.layout import Superblock
 from repro.obs import (PROFILE_SCHEMA, diff_profiles, evaluate_snapshot,
@@ -40,11 +41,19 @@ from repro.pm.latency import PROFILES
 __all__ = ["main"]
 
 
+def _image_fs_class(dev):
+    """Mount class for an existing image, from its superblock alone."""
+    sb = Superblock(dev)
+    if not sb.load_geometry().fact_page:
+        return NovaFS
+    if sb.hybrid_conf & 1:
+        return HybridDeNovaFS
+    return DeNovaFS
+
+
 def _open_fs(image: str, **mount_kw):
     dev = PMDevice.load_image(image, clock=SimClock())
-    geo = Superblock(dev).load_geometry()
-    cls = DeNovaFS if geo.fact_page else NovaFS
-    fs = cls.mount(dev, **mount_kw)
+    fs = _image_fs_class(dev).mount(dev, **mount_kw)
     # SLO alerts / invariant trips during this invocation dump the
     # flight recorder next to the image automatically.
     fs.obs.flight.artifact_path = image + ".flight.json"
@@ -116,7 +125,12 @@ def cmd_mkfs(args) -> int:
     variant = Variant(args.variant)
     model = PROFILES[args.profile]
     dev = PMDevice(args.pages * 4096, model=model, clock=SimClock())
-    cls = DeNovaFS if variant.has_dedup else NovaFS
+    if variant is Variant.HYBRID:
+        cls = HybridDeNovaFS
+    elif variant.has_dedup:
+        cls = DeNovaFS
+    else:
+        cls = NovaFS
     fs = cls.mkfs(dev, max_inodes=args.inodes)
     fs.unmount()
     dev.save_image(args.image)
@@ -241,6 +255,19 @@ def cmd_stats(args) -> int:
                  ["FACT entries", space["fact"]["entries"]],
                  ["FACT DAA/IAA", f"{space['fact']['daa_used']}"
                                   f"/{space['fact']['iaa_used']}"]]
+        hy = space.get("hybrid")
+        if hy:
+            rows += [["hybrid shard modes",
+                      " ".join(f"{s}={m}"
+                               for s, m in hy["shard_modes"].items())],
+                     ["hybrid weak hits/misses",
+                      f"{hy['weak_hits']}/{hy['weak_misses']}"],
+                     ["hybrid false positives", hy["false_positives"]],
+                     ["hybrid confirmed dups", hy["confirmed_dups"]],
+                     ["hybrid inline completions", hy["inline_completions"]],
+                     ["hybrid off-mode writes", hy["off_writes"]],
+                     ["hybrid mode transitions", hy["transitions"]],
+                     ["hybrid weak index size", hy["weak_registered"]]]
     _close(fs, args.image)
     metrics = _load_metrics(args.image)  # history incl. this mount
 
@@ -438,9 +465,7 @@ def cmd_scrub(args) -> int:
 
 def cmd_crash(args) -> int:
     dev = PMDevice.load_image(args.image, clock=SimClock())
-    fs_cls = (DeNovaFS if Superblock(dev).load_geometry().fact_page
-              else NovaFS)
-    fs = fs_cls.mount(dev)
+    fs = _image_fs_class(dev).mount(dev)
     # Leave some work in flight so the crash is interesting, then pull
     # the plug without unmounting.
     dev.crash()
@@ -451,10 +476,29 @@ def cmd_crash(args) -> int:
     return 0
 
 
+#: ``workload --dedup-mode`` values.  ``auto`` keeps whatever the image
+#: was formatted with (adaptive controller on hybrid images); ``hybrid``
+#: requires a hybrid image and keeps its controller adaptive; the pinned
+#: variants force every policy shard into one mode for A/B comparison.
+DEDUP_MODES = ["auto", "hybrid", "hybrid-inline", "hybrid-delayed",
+               "hybrid-off"]
+
+_FORCED_MODE = {name: mode for mode, name in MODE_NAMES.items()}
+
+
 def cmd_workload(args) -> int:
     from repro.workloads import DDMode, run_workload, small_file_job
 
     fs = _open_fs(args.image)
+    if args.dedup_mode != "auto":
+        if not hasattr(fs, "force_mode"):
+            print(f"--dedup-mode {args.dedup_mode} needs an image "
+                  f"formatted with --variant denova-hybrid",
+                  file=sys.stderr)
+            return 1
+        pinned = args.dedup_mode.removeprefix("hybrid").lstrip("-")
+        if pinned:  # "hybrid" alone keeps the adaptive controller
+            fs.force_mode(_FORCED_MODE[pinned])
     dd = (DDMode.immediate() if hasattr(fs, "daemon") else DDMode.none())
     spec = small_file_job(nfiles=args.files, dup_ratio=args.dup,
                           threads=args.threads, seed=args.seed)
@@ -468,6 +512,16 @@ def cmd_workload(args) -> int:
             ["dwq steals", res.steals],
             ["writer stalls", res.stalls],
             ["space saving", f"{res.space.get('space_saving', 0):.1%}"]]
+    hy = res.space.get("hybrid")
+    if hy:
+        rows += [["hybrid modes",
+                  " ".join(f"{m}:{n}" for m, n in
+                           hy["mode_counts"].items() if n)],
+                 ["hybrid weak hits/misses",
+                  f"{hy['weak_hits']}/{hy['weak_misses']}"],
+                 ["hybrid confirmed dups", hy["confirmed_dups"]],
+                 ["hybrid false positives", hy["false_positives"]],
+                 ["hybrid mode transitions", hy["transitions"]]]
     for t, lat in enumerate(res.per_thread_latency):
         rows.append([f"t{t} p50/p95/p99 us",
                      "/".join(f"{lat[k] / 1000:.1f}"
@@ -683,7 +737,7 @@ def cmd_fuzz(args) -> int:
                      seq_ops=args.seq_ops, budget=args.budget,
                      pages=args.pages, alpha=args.alpha,
                      corpus=args.corpus, max_failures=args.max_failures,
-                     clients=args.clients)
+                     clients=args.clients, dedup_mode=args.dedup_mode)
     runner = FuzzRunner(cfg, gen_cfg=GenConfig(alpha=args.alpha),
                         shrink_failures=not args.no_shrink,
                         log=lambda msg: print(f"  {msg}", file=sys.stderr))
@@ -870,6 +924,9 @@ def build_parser() -> argparse.ArgumentParser:
     s.add_argument("--workers", type=int, default=1,
                    help="dedup worker pool size (1 = the paper's daemon)")
     s.add_argument("--seed", type=int, default=42)
+    s.add_argument("--dedup-mode", default="auto", choices=DEDUP_MODES,
+                   help="hybrid-image policy: auto keeps the image's "
+                        "adaptive controller, hybrid-* pins every shard")
     s.add_argument("--trace-out", metavar="FILE",
                    help="write the run's Chrome/Perfetto trace "
                         "(per-client and per-worker lanes) to FILE")
@@ -966,6 +1023,11 @@ def build_parser() -> argparse.ArgumentParser:
     s.add_argument("--clients", type=int, default=1,
                    help="concurrent-mode sequences: merge this many "
                         "per-client op streams under /c<i> roots")
+    s.add_argument("--dedup-mode", default="delayed",
+                   choices=["delayed", "hybrid"],
+                   help="dedup pipeline under test: classic delayed "
+                        "DeNova, or the hybrid weak+strong path with "
+                        "its extra persistence events")
     s.add_argument("--backup", action="store_true",
                    help="sweep crashes through backup ingest instead of "
                         "the differential campaign")

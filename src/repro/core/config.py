@@ -24,6 +24,7 @@ from dataclasses import dataclass, field
 from typing import Optional
 
 from repro.dedup.denova import DeNovaFS
+from repro.dedup.hybrid import HybridDeNovaFS
 from repro.dedup.inline import AdaptiveInlineFS, InlineDedupFS
 from repro.nova.fs import NovaFS
 from repro.nova.layout import PAGE_SIZE
@@ -50,6 +51,7 @@ class Variant(enum.Enum):
     INLINE_ADAPTIVE = "denova-inline-adaptive"
     IMMEDIATE = "denova-immediate"
     DELAYED = "denova-delayed"
+    HYBRID = "denova-hybrid"
 
     @property
     def has_dedup(self) -> bool:
@@ -57,7 +59,8 @@ class Variant(enum.Enum):
 
     @property
     def is_offline(self) -> bool:
-        return self in (Variant.IMMEDIATE, Variant.DELAYED)
+        return self in (Variant.IMMEDIATE, Variant.DELAYED,
+                        Variant.HYBRID)
 
 
 _FS_CLASSES = {
@@ -66,6 +69,7 @@ _FS_CLASSES = {
     Variant.INLINE_ADAPTIVE: AdaptiveInlineFS,
     Variant.IMMEDIATE: DeNovaFS,
     Variant.DELAYED: DeNovaFS,
+    Variant.HYBRID: HybridDeNovaFS,
 }
 
 
@@ -114,7 +118,7 @@ def make_fs(variant: Variant, cfg: Config = Config(),
         fs = cls.mkfs(dev, max_inodes=cfg.max_inodes, cpus=cfg.cpus)
     if variant is Variant.IMMEDIATE:
         dd = DDMode.immediate()
-    elif variant is Variant.DELAYED:
+    elif variant in (Variant.DELAYED, Variant.HYBRID):
         dd = DDMode.delayed(cfg.delayed_interval_ms, cfg.delayed_batch)
     else:
         dd = DDMode.none()

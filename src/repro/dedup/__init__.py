@@ -28,6 +28,12 @@ from repro.dedup.fact import FACT, FactEntry
 from repro.dedup.dwq import DWQ, DWQNode
 from repro.dedup.daemon import DedupDaemon
 from repro.dedup.denova import DeNovaFS
+from repro.dedup.hybrid import (
+    HybridController,
+    HybridDedupDaemon,
+    HybridDeNovaFS,
+    HybridPolicy,
+)
 from repro.dedup.inline import InlineDedupFS
 
 __all__ = [
@@ -39,5 +45,9 @@ __all__ = [
     "DWQNode",
     "DedupDaemon",
     "DeNovaFS",
+    "HybridController",
+    "HybridDedupDaemon",
+    "HybridDeNovaFS",
+    "HybridPolicy",
     "InlineDedupFS",
 ]

@@ -59,14 +59,16 @@ _OFF_PREV = 16
 _OFF_NEXT = 24
 _OFF_DELETE = 32
 _OFF_FP = 40
+_OFF_WEAK = 60
 
 _UC_UNIT = 1 << 32
 _RFC_MASK = (1 << 32) - 1
 
 _SCAN_DTYPE = np.dtype({
-    "names": ["counts", "block", "prev", "next", "delete"],
-    "formats": ["<u8"] * 5,
-    "offsets": [_OFF_COUNTS, _OFF_BLOCK, _OFF_PREV, _OFF_NEXT, _OFF_DELETE],
+    "names": ["counts", "block", "prev", "next", "delete", "weak"],
+    "formats": ["<u8"] * 5 + ["<u4"],
+    "offsets": [_OFF_COUNTS, _OFF_BLOCK, _OFF_PREV, _OFF_NEXT, _OFF_DELETE,
+                _OFF_WEAK],
     "itemsize": ENTRY,
 })
 
@@ -178,10 +180,13 @@ class FACT:
 
     def _write_fields(self, idx: int, counts: int, block: int, prev: int,
                       nxt: int, fp: bytes) -> None:
-        """Store everything *except* the delete column, then persist.
+        """Store everything *except* the delete and weak columns, persist.
 
         The whole slot is one cache line, so this is still a single
         clwb + sfence — the §IV-C "fit in a cache line" property.
+        Bytes 60..64 (the weak-fingerprint column of slot ``idx``, which
+        describes *block* ``idx``, not this entry) are left untouched for
+        the same reason the delete column is.
         """
         a = self.addr(idx)
         front = (counts.to_bytes(8, "little")
@@ -189,7 +194,7 @@ class FACT:
                  + (prev + 1).to_bytes(8, "little")
                  + (nxt + 1).to_bytes(8, "little"))
         self.dev.write(a, front)
-        self.dev.write(a + _OFF_FP, fp + bytes(ENTRY - _OFF_FP - len(fp)))
+        self.dev.write(a + _OFF_FP, fp + bytes(_OFF_WEAK - _OFF_FP - len(fp)))
         self.dev.persist(a, ENTRY)
 
     def _write_u64(self, idx: int, off: int, value: int) -> None:
@@ -370,6 +375,46 @@ class FACT:
         if not ent.valid or ent.block != block:
             return None
         return ent
+
+    # ------------------------------------------------------------ weak column
+
+    def set_block_weak(self, block: int, weak: int) -> None:
+        """Record block ``block``'s weak fingerprint in slot ``block``.
+
+        Bytes 60..64 of slot *B* hold the CRC32-style weak fingerprint of
+        *block B*'s content (0 = unregistered — callers remap a genuine
+        CRC of 0 to 1).  Like the delete column, the field is indexed by
+        block address and independent of the slot's own entry.  It is a
+        crash-safe *hint*: a stale or torn value only costs an extra
+        strong-fingerprint comparison, never a wrong dedup — the strong
+        confirmation validates content before any page is shared.
+        """
+        a = self.addr(block) + _OFF_WEAK
+        self.dev.write(a, int(weak).to_bytes(4, "little"))
+        self.dev.persist(a, 4)
+
+    def clear_block_weak(self, block: int) -> None:
+        a = self.addr(block) + _OFF_WEAK
+        self.dev.write(a, bytes(4))
+        self.dev.persist(a, 4)
+
+    def block_weak(self, block: int) -> int:
+        """The recorded weak fingerprint of block ``block`` (0 = none)."""
+        return int.from_bytes(
+            self.dev.read_silent(self.addr(block) + _OFF_WEAK, 4), "little")
+
+    def weak_column(self) -> dict[int, int]:
+        """All registered (block -> weak) pairs, one silent bulk scan.
+
+        Mount-time rebuild of the DRAM weak index: the caller intersects
+        this with the radix-derived set of *live* data blocks, which is
+        what makes stale registrations (freed blocks) harmless.
+        """
+        arr = np.frombuffer(self.dev.read_silent(self.base,
+                                                 self.total * ENTRY),
+                            dtype=_SCAN_DTYPE)
+        weak = arr["weak"]
+        return {int(b): int(weak[b]) for b in np.nonzero(weak)[0]}
 
     # ------------------------------------------------------------ removal
 

@@ -31,6 +31,7 @@ from typing import Optional
 
 from repro.dedup.denova import DeNovaFS
 from repro.dedup.fact import FactFull
+from repro.dedup.hybrid import HybridDeNovaFS
 from repro.failure.injector import count_persist_events, sweep_crash_points
 from repro.failure.invariants import InvariantViolation, check_fs_invariants
 from repro.fuzz.gen import apply_to_model, model_after
@@ -74,6 +75,8 @@ class FuzzConfig:
     max_failures: int = 3        # stop the campaign after this many
     clients: int = 1             # >1: concurrent-mode sequences (merged
     #                              per-client streams under /c<i> roots)
+    dedup_mode: str = "delayed"  # "delayed" (classic DeNova) or "hybrid"
+    #                              (weak+strong pipeline, adaptive policy)
 
 
 @dataclass
@@ -110,9 +113,25 @@ class CaseResult:
         return not self.violations
 
 
+def _fs_cls(cfg: FuzzConfig):
+    return HybridDeNovaFS if cfg.dedup_mode == "hybrid" else DeNovaFS
+
+
 def make_fs(cfg: FuzzConfig) -> DeNovaFS:
     dev = PMDevice(cfg.pages * PAGE_SIZE, model=DRAM, clock=SimClock())
-    return DeNovaFS.mkfs(dev, max_inodes=cfg.inodes, cpus=cfg.cpus)
+    return _fs_cls(cfg).mkfs(dev, max_inodes=cfg.inodes, cpus=cfg.cpus)
+
+
+def _settle(fs) -> None:
+    """Materialize any weak-only blocks so the RFC lower bound applies.
+
+    The hybrid pipeline legally leaves never-duplicated blocks without a
+    FACT entry (weak fingerprint only); ``full_equivalence_check``
+    demands an entry per live page image, so hybrid cases settle first.
+    A no-op on the classic pipeline.
+    """
+    if hasattr(fs, "settle_weak"):
+        fs.settle_weak()
 
 
 # ---------------------------------------------------------------- per-op
@@ -393,6 +412,7 @@ def run_case(ops: list[TraceOp], cfg: Optional[FuzzConfig] = None,
             else:
                 result.ops_skipped += 1
         fs.daemon.drain()
+        _settle(fs)
         full_equivalence_check(fs, model)
     except (OracleDivergence, InvariantViolation, AssertionError) as exc:
         result.violations.append(Violation(
@@ -450,10 +470,11 @@ def run_case(ops: list[TraceOp], cfg: Optional[FuzzConfig] = None,
     def check(dev, point, phase):
         result.crash_points += 1
         k = dev._fuzz_state["progress"]
-        rec = DeNovaFS.mount(dev, cpus=cfg.cpus)
+        rec = _fs_cls(cfg).mount(dev, cpus=cfg.cpus)
         check_fs_invariants(rec)
         prefix_equivalence_check(rec, model_at(k), model_at(k + 1))
         rec.daemon.drain()
+        _settle(rec)  # hybrid: exercise lazy FACT insert post-recovery
         check_fs_invariants(rec)
         if not flags_converged(rec):
             raise InvariantViolation(

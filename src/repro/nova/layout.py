@@ -44,7 +44,14 @@ _OFF_DWQ_SAVED_COUNT = 88
 _OFF_EPOCH = 96
 _OFF_CKPT_PAGE = 104
 _OFF_CKPT_PAGES = 112
-_SB_BYTES = 120
+# Hybrid-dedup policy state (zero on images formatted without it):
+# one word of static config (bit 0 = hybrid marker, bits 8..15 = policy
+# shard count) and one word of per-shard mode nibbles — a policy
+# transition is a single atomic persisted store, so a crash can only
+# observe the old or the new mode, never a torn mixture.
+_OFF_HYBRID_CONF = 120
+_OFF_HYBRID_MODES = 128
+_SB_BYTES = 136
 
 VERSION = 1
 
@@ -221,3 +228,23 @@ class Superblock:
     def set_dwq_saved_count(self, count: int) -> None:
         self.dev.write_atomic64(_OFF_DWQ_SAVED_COUNT, count)
         self.dev.persist(_OFF_DWQ_SAVED_COUNT, 8)
+
+    # -- hybrid-dedup policy words ------------------------------------------------
+
+    @property
+    def hybrid_conf(self) -> int:
+        """0 = not a hybrid image (also the value on pre-hybrid images)."""
+        return self.dev.read_u64(_OFF_HYBRID_CONF)
+
+    def set_hybrid_conf(self, conf: int) -> None:
+        self.dev.write_atomic64(_OFF_HYBRID_CONF, conf)
+        self.dev.persist(_OFF_HYBRID_CONF, 8)
+
+    @property
+    def hybrid_modes(self) -> int:
+        """Packed 4-bit per-shard policy modes (up to 16 shards)."""
+        return self.dev.read_u64(_OFF_HYBRID_MODES)
+
+    def set_hybrid_modes(self, modes: int) -> None:
+        self.dev.write_atomic64(_OFF_HYBRID_MODES, modes)
+        self.dev.persist(_OFF_HYBRID_MODES, 8)

@@ -50,9 +50,21 @@ class TestCompare:
         cur = {"fig": {"mb_s": [100.0, 260.0]}}
         assert len(compare_docs(cur, self.BASE, tolerance=0.05)) == 1
 
-    def test_missing_current_leaves_skipped(self):
+    def test_missing_current_leaf_is_a_hard_failure(self):
+        # A baselined metric the fresh run no longer produces must fail
+        # the band check — dropping a series is itself a regression.
         cur = {"fig": {"mb_s": [100.0]}}
-        assert compare_docs(cur, self.BASE, tolerance=0.05) == []
+        v = compare_docs(cur, self.BASE, tolerance=0.05)
+        assert len(v) == 1
+        assert v[0]["path"] == "fig.mb_s.1"
+        assert v[0]["current"] is None
+        assert v[0]["drift"] == float("inf")
+
+    def test_missing_leaf_report_exits_nonzero(self, capsys):
+        cur = {"fig": {"mb_s": [100.0]}}
+        v = compare_docs(cur, self.BASE, tolerance=0.05)
+        assert bench_compare.report(v) == 1
+        assert "MISSING" in capsys.readouterr().out
 
     def test_zero_baseline(self):
         assert compare_docs({"x": 0}, {"x": 0}, 0.01) == []

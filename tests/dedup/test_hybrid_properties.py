@@ -1,0 +1,216 @@
+"""Adversarial weak-fingerprint properties of the hybrid pipeline.
+
+The hybrid path trusts CRC32 only as a *pre-filter*: a weak hit merely
+nominates candidates whose bytes are then SHA-1-confirmed on the DWQ
+path.  These properties attack exactly that trust boundary with forged
+CRC32 collisions (solved over GF(2), not found by luck):
+
+* a weak hit whose strong confirmation fails must NEVER alias pages —
+  the colliding write always stands as its own physical page;
+* with collisions planted among genuine duplicates, the final FACT
+  state (fingerprint -> refcount) must be identical to what the pure
+  delayed pipeline produces for the same writes, for every seed.
+"""
+
+import random
+import zlib
+
+import pytest
+
+from repro.core import Config, Variant, make_fs
+from repro.dedup.hybrid import MODE_INLINE
+from repro.failure import check_fs_invariants
+from repro.nova.layout import PAGE_SIZE
+
+pytestmark = pytest.mark.hybrid
+
+CFG = Config(device_pages=1024, max_inodes=64, cpus=2)
+
+
+# ------------------------------------------------------------ the forger
+
+
+def forge_tail(body: bytes, target: int) -> bytes:
+    """A 4-byte tail ``t`` with ``crc32(body + t) == target``.
+
+    CRC32 is affine in the appended tail over GF(2):
+    ``crc(body+t) = crc(body+0) XOR L(t)`` with ``L`` linear and (for a
+    4-byte tail) invertible, so any target is reachable.  Solve
+    ``L(t) = target XOR crc(body+0)`` by Gaussian elimination over the
+    32 single-bit basis columns.
+    """
+    base = zlib.crc32(body + bytes(4)) & 0xFFFFFFFF
+    vecs = [((zlib.crc32(body + (1 << i).to_bytes(4, "little")) ^ base)
+             & 0xFFFFFFFF, 1 << i)
+            for i in range(32)]
+    want = (target ^ base) & 0xFFFFFFFF
+    acc = tags = 0
+    for pos in range(31, -1, -1):
+        piv = next((v for v in vecs if v[0] >> pos & 1), None)
+        if piv is None:
+            continue
+        vecs = [(v ^ piv[0], t ^ piv[1]) if v >> pos & 1 else (v, t)
+                for v, t in vecs if (v, t) != piv]
+        if (acc ^ want) >> pos & 1:
+            acc ^= piv[0]
+            tags ^= piv[1]
+    assert acc == want, "CRC32 4-byte tail map should be invertible"
+    return tags.to_bytes(4, "little")
+
+
+def forge_collision(rng: random.Random, target: bytes) -> bytes:
+    """A page != ``target`` with the same CRC32 (and hence weak fp)."""
+    while True:
+        body = rng.randbytes(PAGE_SIZE - 4)
+        page = body + forge_tail(body, zlib.crc32(target) & 0xFFFFFFFF)
+        if page != target:
+            return page
+
+
+def _hybrid_fs():
+    fs, _ = make_fs(Variant.HYBRID, CFG)
+    fs.force_mode(MODE_INLINE)  # always classify inline, confirm on DWQ
+    return fs
+
+
+def _fact_map(fs) -> dict[bytes, int]:
+    return {e.fp: e.refcount for e in fs.fact.live_entries().values()
+            if e.delete == -1}
+
+
+class TestForger:
+    def test_forged_pages_collide_weak_not_strong(self):
+        rng = random.Random(0)
+        for _ in range(16):
+            target = rng.randbytes(PAGE_SIZE)
+            forged = forge_collision(rng, target)
+            assert forged != target
+            assert zlib.crc32(forged) == zlib.crc32(target)
+
+    def test_nonzero_weak_targets(self):
+        # The pipeline remaps genuine CRC 0 to 1 (0 = unregistered
+        # sentinel); forged targets in these tests must not land there.
+        rng = random.Random(1)
+        for _ in range(16):
+            assert zlib.crc32(rng.randbytes(PAGE_SIZE)) != 0
+
+
+class TestNoAliasing:
+    """Weak hit + strong miss => the colliding write always stands."""
+
+    @pytest.mark.parametrize("seed", range(8))
+    def test_collision_never_aliases(self, seed):
+        rng = random.Random(seed)
+        fs = _hybrid_fs()
+        page_a = rng.randbytes(PAGE_SIZE)
+        page_b = forge_collision(rng, page_a)
+        ia = fs.create("/a")
+        fs.write(ia, 0, page_a)
+        ib = fs.create("/b")
+        fs.write(ib, 0, page_b)
+        fs.daemon.drain()
+
+        # Both contents intact: the false positive fell back to a real
+        # write, nothing was aliased onto the weak-hit candidate.
+        assert fs.read(ia, 0, PAGE_SIZE) == page_a
+        assert fs.read(ib, 0, PAGE_SIZE) == page_b
+        st = fs.hybrid_stats()
+        assert st["false_positives"] >= 1
+        assert st["confirmed_dups"] == 0
+        assert fs.space_stats()["physical_pages"] == 2
+        check_fs_invariants(fs)
+
+    @pytest.mark.parametrize("seed", range(4))
+    def test_collision_among_genuine_duplicates(self, seed):
+        """A forged collider and a true duplicate share one weak value:
+        the duplicate dedups, the collider never does."""
+        rng = random.Random(100 + seed)
+        fs = _hybrid_fs()
+        page = rng.randbytes(PAGE_SIZE)
+        forged = forge_collision(rng, page)
+        inos = {}
+        for name, data in (("/orig", page), ("/forged", forged),
+                           ("/dup", page)):
+            ino = fs.create(name)
+            fs.write(ino, 0, data)
+            inos[name] = ino
+        fs.daemon.drain()
+
+        assert fs.read(inos["/forged"], 0, PAGE_SIZE) == forged
+        assert fs.read(inos["/dup"], 0, PAGE_SIZE) == page
+        st = fs.hybrid_stats()
+        assert st["false_positives"] >= 1
+        assert st["confirmed_dups"] >= 1
+        space = fs.space_stats()
+        assert space["logical_pages"] == 3
+        assert space["physical_pages"] == 2  # page shared, forged not
+        fp = fs.fingerprinter.strong(page)
+        assert fs.fact.lookup(fp).found.refcount == 2
+        check_fs_invariants(fs)
+
+    @pytest.mark.parametrize("seed", range(3))
+    def test_many_way_collision_chain(self, seed):
+        """N distinct pages all sharing one weak value: every candidate
+        is strong-checked and rejected; N physical pages survive."""
+        rng = random.Random(200 + seed)
+        fs = _hybrid_fs()
+        target = rng.randbytes(PAGE_SIZE)
+        pages = [target] + [forge_collision(rng, target) for _ in range(4)]
+        assert len({bytes(p) for p in pages}) == len(pages)
+        inos = []
+        for i, data in enumerate(pages):
+            ino = fs.create(f"/f{i}")
+            fs.write(ino, 0, data)
+            inos.append(ino)
+        fs.daemon.drain()
+        for ino, data in zip(inos, pages):
+            assert fs.read(ino, 0, PAGE_SIZE) == data
+        assert fs.space_stats()["physical_pages"] == len(pages)
+        assert fs.hybrid_stats()["confirmed_dups"] == 0
+        check_fs_invariants(fs)
+
+
+class TestDelayedEquivalence:
+    """Same writes => same FACT state as the pure delayed pipeline."""
+
+    def _workload(self, seed: int):
+        """(path, bytes) writes mixing uniques, duplicates, collisions."""
+        rng = random.Random(seed)
+        uniques = [rng.randbytes(PAGE_SIZE) for _ in range(6)]
+        ops = []
+        for i in range(18):
+            kind = rng.random()
+            if kind < 0.4:
+                data = rng.randbytes(PAGE_SIZE)        # fresh unique
+            elif kind < 0.75:
+                data = rng.choice(uniques)             # genuine duplicate
+            else:
+                data = forge_collision(rng, rng.choice(uniques))
+            nblocks = 1 if rng.random() < 0.7 else 2
+            ops.append((f"/f{i}", data * nblocks))
+        return ops
+
+    @pytest.mark.parametrize("seed", range(6))
+    def test_fact_state_identical_to_pure_delayed(self, seed):
+        ops = self._workload(seed)
+
+        hyb = _hybrid_fs()
+        for path, data in ops:
+            hyb.write(hyb.create(path), 0, data)
+        hyb.daemon.drain()
+        hyb.settle_weak()      # materialize weak-only (single-ref) blocks
+
+        ref, _ = make_fs(Variant.DELAYED, CFG)
+        for path, data in ops:
+            ref.write(ref.create(path), 0, data)
+        ref.daemon.drain()
+
+        assert _fact_map(hyb) == _fact_map(ref)
+        hs, rs = hyb.space_stats(), ref.space_stats()
+        for key in ("logical_pages", "physical_pages", "rfc_sum",
+                    "unfingerprinted_pages"):
+            assert hs[key] == rs[key], key
+        for path, data in ops:
+            assert hyb.read(hyb.lookup(path), 0, len(data)) == data
+        check_fs_invariants(hyb)
+        check_fs_invariants(ref)
