@@ -104,6 +104,29 @@ def measure_quick_points():
     return current
 
 
+# Numeric leaves of tenant_baseline.json checked by --tenants.  The
+# per-point dicts carry wall-clock-ish totals; the isolation claim
+# lives in these p99s and ratios, so only they get a band.
+TENANT_KEYS = ["unloaded_p99_ns", "noqos_p99_ns", "qos_p99_ns",
+               "noqos_ratio", "qos_ratio"]
+
+
+def measure_tenant_points() -> dict:
+    """Re-run the three bench_tenants isolation points in-process."""
+    import bench_tenants
+
+    doc = bench_tenants.measure()
+    current = {k: doc[k] for k in TENANT_KEYS}
+    for k in TENANT_KEYS:
+        print(f"measured {k}: {doc[k]:.6g}")
+    return current
+
+
+def tenant_baseline_view(baseline: dict) -> dict:
+    """Project tenant_baseline.json onto the TENANT_KEYS shape."""
+    return {k: baseline[k] for k in TENANT_KEYS if k in baseline}
+
+
 def quick_baseline_view(baseline: dict) -> dict:
     """Project fig9_baseline.json onto the QUICK_POINTS key shape."""
     view: dict = {}
@@ -148,8 +171,13 @@ def main(argv=None) -> int:
                     help="relative band per numeric leaf (default 5%%)")
     ap.add_argument("--quick", action="store_true",
                     help="re-measure the quick fig9 points in-process")
+    ap.add_argument("--tenants", action="store_true",
+                    help="re-measure the tenant isolation points against "
+                         "tenant_baseline.json")
     args = ap.parse_args(argv)
 
+    if args.tenants and args.baseline == "fig9_baseline.json":
+        args.baseline = "tenant_baseline.json"
     base_path = pathlib.Path(args.baseline)
     if not base_path.exists():
         base_path = RESULTS / args.baseline
@@ -160,6 +188,13 @@ def main(argv=None) -> int:
 
     if args.current:
         current = json.loads(pathlib.Path(args.current).read_text())
+    elif args.tenants:
+        current = measure_tenant_points()
+        baseline = tenant_baseline_view(baseline)
+        if not baseline:
+            print("error: baseline has none of the tenant points",
+                  file=sys.stderr)
+            return 2
     elif args.quick:
         current = measure_quick_points()
         baseline = quick_baseline_view(baseline)
@@ -168,7 +203,7 @@ def main(argv=None) -> int:
                   file=sys.stderr)
             return 2
     else:
-        ap.error("need --current FILE or --quick")
+        ap.error("need --current FILE, --quick, or --tenants")
 
     return report(compare_docs(current, baseline, args.tolerance))
 

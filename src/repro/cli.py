@@ -268,6 +268,9 @@ def cmd_stats(args) -> int:
                      ["hybrid off-mode writes", hy["off_writes"]],
                      ["hybrid mode transitions", hy["transitions"]],
                      ["hybrid weak index size", hy["weak_registered"]]]
+    tenants = (fs.tenant_stats()
+               if getattr(fs, "tenants", None) is not None
+               and fs.tenants.enabled else {})
     _close(fs, args.image)
     metrics = _load_metrics(args.image)  # history incl. this mount
 
@@ -277,6 +280,7 @@ def cmd_stats(args) -> int:
             "image": args.image,
             "statfs": s,
             "space": space,
+            "tenants": tenants,
             "metrics": metrics,
         }
         print(json.dumps(out, indent=2))
@@ -284,6 +288,15 @@ def cmd_stats(args) -> int:
 
     print(render_table(["metric", "value"], rows,
                        title=f"{args.image}"))
+    if tenants:
+        trows = [[name, t["tid"], t["weight"],
+                  f"{t['used_pages']}/{t['quota_pages'] or '∞'}",
+                  f"{t['used_inodes']}/{t['quota_inodes'] or '∞'}"]
+                 for name, t in sorted(tenants.items())]
+        print(render_table(
+            ["tenant", "tid", "weight", "pages used/quota",
+             "inodes used/quota"], trows,
+            title=f"{args.image} tenants"))
     # Consolidated component report: daemon / FACT / allocator counters
     # plus histogram percentiles, from the per-image metrics history.
     print(format_table(metrics, title=f"{args.image} metrics (cumulative)"))
@@ -463,6 +476,61 @@ def cmd_scrub(args) -> int:
     return code
 
 
+def cmd_tenant(args) -> int:
+    """Tenant lifecycle: create, list, adjust quotas/weight."""
+    fs = _open_fs(args.image)
+    if getattr(fs, "tenants", None) is None or fs.tenants.registry is None:
+        print("image has no tenant registry region (too small at mkfs "
+              "time)", file=sys.stderr)
+        return 1
+    if args.taction == "create":
+        try:
+            info = fs.tenant_create(args.name,
+                                    quota_pages=args.quota_pages,
+                                    quota_inodes=args.quota_inodes,
+                                    weight=args.weight)
+        except ValueError as exc:
+            print(f"tenant create failed: {exc}", file=sys.stderr)
+            return 1
+        _close(fs, args.image)
+        print(f"created tenant {info.name!r} (tid={info.tid}, "
+              f"root=/t/{info.name}, "
+              f"quota_pages={info.quota_pages or 'unlimited'}, "
+              f"quota_inodes={info.quota_inodes or 'unlimited'}, "
+              f"weight={info.weight})")
+        return 0
+    if args.taction == "quota":
+        try:
+            info = fs.tenant_set_quota(args.name,
+                                       quota_pages=args.quota_pages,
+                                       quota_inodes=args.quota_inodes,
+                                       weight=args.weight)
+        except (KeyError, ValueError) as exc:
+            print(f"tenant quota failed: {exc}", file=sys.stderr)
+            return 1
+        _close(fs, args.image)
+        print(f"tenant {info.name!r}: quota_pages="
+              f"{info.quota_pages or 'unlimited'}, quota_inodes="
+              f"{info.quota_inodes or 'unlimited'}, weight={info.weight}")
+        return 0
+    # list
+    stats = fs.tenant_stats()
+    _close(fs, args.image)
+    if args.json:
+        print(json.dumps({"schema": "repro.tenants/1",
+                          "image": args.image, "tenants": stats},
+                         indent=2))
+        return 0
+    rows = [[name, t["tid"], t["weight"],
+             f"{t['used_pages']}/{t['quota_pages'] or '∞'}",
+             f"{t['used_inodes']}/{t['quota_inodes'] or '∞'}"]
+            for name, t in sorted(stats.items())]
+    print(render_table(
+        ["tenant", "tid", "weight", "pages used/quota",
+         "inodes used/quota"], rows, title=f"tenants on {args.image}"))
+    return 0
+
+
 def cmd_crash(args) -> int:
     dev = PMDevice.load_image(args.image, clock=SimClock())
     fs = _image_fs_class(dev).mount(dev)
@@ -490,6 +558,8 @@ def cmd_workload(args) -> int:
     from repro.workloads import DDMode, run_workload, small_file_job
 
     fs = _open_fs(args.image)
+    if args.tenants:
+        return _run_fleet_workload(fs, args)
     if args.dedup_mode != "auto":
         if not hasattr(fs, "force_mode"):
             print(f"--dedup-mode {args.dedup_mode} needs an image "
@@ -535,6 +605,35 @@ def cmd_workload(args) -> int:
             json.dump(to_chrome_trace(list(fs.obs.tracer.events)), fh,
                       indent=1)
         print(f"chrome trace written to {args.trace_out}")
+    _close(fs, args.image)
+    return 0
+
+
+def _run_fleet_workload(fs, args) -> int:
+    """``workload --tenants N``: the multi-tenant fleet scenario."""
+    from repro.workloads import DDMode
+    from repro.workloads.fleet import FleetSpec, run_fleet
+
+    dd = (DDMode.immediate() if hasattr(fs, "daemon") else DDMode.none())
+    spec = FleetSpec(tenants=args.tenants, base_files=args.files,
+                     dup_ratio=args.dup, seed=args.seed,
+                     noisy_tenant=args.noisy,
+                     noisy_burst_files=(args.files if args.noisy is not None
+                                        else 0))
+    res = run_fleet(fs, spec, dd=dd, workers=args.workers,
+                    max_shard_depth=8, qos=args.qos)
+    rows = []
+    for name, st in sorted(res.per_tenant.items()):
+        rows.append([name, st["files"], st["bytes"],
+                     "/".join(f"{st[k] / 1000:.1f}"
+                              for k in ("p50_ns", "p95_ns", "p99_ns")),
+                     res.quota_failures.get(name, 0)])
+    print(render_table(
+        ["tenant", "files", "bytes", "p50/p95/p99 us", "quota fails"],
+        rows,
+        title=f"fleet on {args.image} "
+              f"(qos={'on' if args.qos else 'off'}, "
+              f"stalls={res.stalls})"))
     _close(fs, args.image)
     return 0
 
@@ -737,7 +836,8 @@ def cmd_fuzz(args) -> int:
                      seq_ops=args.seq_ops, budget=args.budget,
                      pages=args.pages, alpha=args.alpha,
                      corpus=args.corpus, max_failures=args.max_failures,
-                     clients=args.clients, dedup_mode=args.dedup_mode)
+                     clients=args.clients, tenants=args.tenants,
+                     dedup_mode=args.dedup_mode)
     runner = FuzzRunner(cfg, gen_cfg=GenConfig(alpha=args.alpha),
                         shrink_failures=not args.no_shrink,
                         log=lambda msg: print(f"  {msg}", file=sys.stderr))
@@ -930,7 +1030,43 @@ def build_parser() -> argparse.ArgumentParser:
     s.add_argument("--trace-out", metavar="FILE",
                    help="write the run's Chrome/Perfetto trace "
                         "(per-client and per-worker lanes) to FILE")
+    s.add_argument("--tenants", type=int, default=0,
+                   help="run the multi-tenant fleet scenario with this "
+                        "many tenants instead of the flat workload")
+    s.add_argument("--qos", action=argparse.BooleanOptionalAction,
+                   default=True,
+                   help="weighted-fair admission + DWQ shares "
+                        "(--tenants mode; --no-qos records the "
+                        "unisolated baseline)")
+    s.add_argument("--noisy", type=int, default=None,
+                   help="index of a noisy-neighbor tenant that bursts "
+                        "without think time (--tenants mode)")
     s.set_defaults(fn=cmd_workload)
+
+    s = sub.add_parser("tenant", help="multi-tenant namespaces, quotas, "
+                                      "QoS weights")
+    tsub = s.add_subparsers(dest="taction", required=True)
+    t = tsub.add_parser("create", help="create a tenant and its /t root")
+    t.add_argument("image")
+    t.add_argument("name")
+    t.add_argument("--quota-pages", type=int, default=0,
+                   help="data-page quota (0 = unlimited)")
+    t.add_argument("--quota-inodes", type=int, default=0,
+                   help="inode quota (0 = unlimited)")
+    t.add_argument("--weight", type=int, default=1,
+                   help="QoS scheduling weight")
+    t.set_defaults(fn=cmd_tenant)
+    t = tsub.add_parser("list", help="tenants with usage vs. quota")
+    t.add_argument("image")
+    t.add_argument("--json", action="store_true")
+    t.set_defaults(fn=cmd_tenant)
+    t = tsub.add_parser("quota", help="adjust quotas / QoS weight")
+    t.add_argument("image")
+    t.add_argument("name")
+    t.add_argument("--quota-pages", type=int, default=None)
+    t.add_argument("--quota-inodes", type=int, default=None)
+    t.add_argument("--weight", type=int, default=None)
+    t.set_defaults(fn=cmd_tenant)
 
     s = sub.add_parser("tree", help="print the directory tree")
     s.add_argument("image")
@@ -1023,6 +1159,10 @@ def build_parser() -> argparse.ArgumentParser:
     s.add_argument("--clients", type=int, default=1,
                    help="concurrent-mode sequences: merge this many "
                         "per-client op streams under /c<i> roots")
+    s.add_argument("--tenants", type=int, default=1,
+                   help="multi-tenant sequences: per-tenant op streams "
+                        "under /t/tn<i> roots, covering the tenant "
+                        "registry's persistence crash points")
     s.add_argument("--dedup-mode", default="delayed",
                    choices=["delayed", "hybrid"],
                    help="dedup pipeline under test: classic delayed "
@@ -1043,8 +1183,16 @@ def build_parser() -> argparse.ArgumentParser:
 
 
 def main(argv=None) -> int:
+    from repro.tenant import QuotaExceeded
+
     args = build_parser().parse_args(argv)
-    return args.fn(args)
+    try:
+        return args.fn(args)
+    except QuotaExceeded as exc:
+        # ENOSPC-style UX: one structured line on stderr, non-zero exit,
+        # never a traceback.
+        print(f"quota exceeded: {exc}", file=sys.stderr)
+        return 1
 
 
 if __name__ == "__main__":

@@ -69,7 +69,10 @@ class ConcurrentVFS:
                  max_shard_depth: Optional[int] = None,
                  validate_lock_order: bool = True,
                  jitter_seed: Optional[int] = None,
-                 jitter_ns: float = 2000.0):
+                 jitter_ns: float = 2000.0,
+                 qos: bool = False,
+                 qos_op_rate_per_s: Optional[float] = None,
+                 qos_burst: Optional[float] = None):
         if workers < 1:
             raise ValueError("workers must be >= 1")
         self.fs = fs
@@ -118,6 +121,19 @@ class ConcurrentVFS:
                 Lock(self.eng, contention_penalty_ns=lock_penalty_ns)
                 for _ in range(nshards)]
             self._space_waiters = [[] for _ in range(nshards)]
+
+        # ---- tenant QoS (weighted-fair admission) ----
+        self.qos = None
+        if qos:
+            from repro.tenant.qos import TenantQoS
+            dwq_cap = None
+            if self.sdwq is not None and self.sdwq.max_depth is not None:
+                dwq_cap = self.sdwq.nshards * self.sdwq.max_depth
+            self.qos = TenantQoS(self.eng, getattr(fs, "tenants", None),
+                                 bw_slots=bw_slots,
+                                 dwq_capacity=dwq_cap,
+                                 op_rate_per_s=qos_op_rate_per_s,
+                                 burst=qos_burst)
 
         # ---- contention metrics ----
         obs = getattr(fs, "obs", None)
@@ -184,7 +200,7 @@ class ConcurrentVFS:
            ino: Optional[int] = None, ino_mode: str = "w",
            shard: Optional[int] = None, bucket: Optional[int] = None,
            use_bw: bool = True, extra_ns=0.0,
-           record=None):
+           record=None, tenant: Optional[int] = None):
         """Run one filesystem call as a simulated-time operation.
 
         Locks are taken in hierarchy order (ns → ino → shard → bucket),
@@ -202,6 +218,10 @@ class ConcurrentVFS:
             # op perturbs the interleaving without changing any op.
             yield eng.timeout(self._jitter.uniform(0.0, self._jitter_ns))
         t_op = eng.now
+        if self.qos is not None and tenant is not None:
+            # Op-rate throttle first (token bucket, queued backpressure);
+            # the delay counts toward the recorded client latency.
+            yield from self.qos.throttle(tenant)
         plan: list[tuple[str, object, Optional[str]]] = []
         if ns_mode is not None:
             plan.append(("ns", self.ns_lock, ns_mode))
@@ -227,7 +247,15 @@ class ConcurrentVFS:
                                             holder=holder,
                                             wait_ns=eng.now - t0)
             penalty = 0.0
+            gated = False
             if use_bw:
+                if self.qos is not None and tenant is not None:
+                    # Weighted-fair gate in front of the slots: capacity
+                    # matches bw_slots, so a gated op never also queues
+                    # on the Resource below — the DRR grant order *is*
+                    # the bandwidth admission order.
+                    yield from self.qos.gate.acquire(tenant)
+                    gated = True
                 waiting = self.bw.in_use >= self.bw.capacity
                 queued_behind = len(self.bw._waiters)
                 yield self.bw.request()
@@ -257,6 +285,8 @@ class ConcurrentVFS:
             finally:
                 if use_bw:
                     self.bw.release()
+                    if gated:
+                        self.qos.gate.release()
         finally:
             for name, lk, mode in reversed(held):
                 if mode is None:
@@ -270,15 +300,29 @@ class ConcurrentVFS:
 
     # ----------------------------------------------------- admission control
 
-    def admit(self, ino: int, holder: str):
+    def admit(self, ino: int, holder: str, tenant: Optional[int] = None):
         """Backpressure gate: stall while the target DWQ shard is full.
 
         A no-op when the queue is unbounded (``max_shard_depth=None``,
-        the paper's semantics) or the filesystem has no DWQ.
+        the paper's semantics) or the filesystem has no DWQ.  With QoS
+        active and a tenant attached, the write additionally stalls
+        while *its own tenant* is over its weight-proportional share of
+        the total DWQ capacity — a noisy neighbor blocks itself long
+        before it can fill every shard, which is what keeps well-behaved
+        tenants admitting freely (see docs/TENANCY.md).
         """
         sdwq = self.sdwq
         if sdwq is None or sdwq.max_depth is None:
             return
+        qos = self.qos
+        if qos is not None and tenant is not None:
+            while qos.over_share(tenant):
+                self._c_stalls.inc()
+                t0 = self.eng.now
+                ev = qos.wait_turn(tenant)
+                self.kick_workers()
+                yield ev
+                self._h_stall.observe(self.eng.now - t0)
         s = sdwq.shard_of(ino)
         while sdwq.is_full(s):
             self._c_stalls.inc()
@@ -288,6 +332,11 @@ class ConcurrentVFS:
             self.kick_workers()  # a stalled writer needs a drain to run
             yield ev
             self._h_stall.observe(self.eng.now - t0)
+        if qos is not None and tenant is not None:
+            # Count the node this write is about to enqueue against the
+            # tenant's share.  A write that fails after admit must undo
+            # this via qos.note_cancelled.
+            qos.note_enqueued(tenant)
 
     def _signal_space(self, s: int) -> None:
         if self._space_waiters:
@@ -344,8 +393,31 @@ class ConcurrentVFS:
                 ev.succeed()
 
     def _pick_shard(self, own: list[int]) -> tuple[Optional[int], bool]:
-        """(shard, is_steal): oldest-head own shard, else longest other."""
+        """(shard, is_steal): oldest-head own shard, else longest other.
+
+        With QoS active, the own-shard pick is weighted-fair instead of
+        oldest-first: among nonempty own shards, take the one whose head
+        node belongs to the tenant with the lowest service/weight ratio
+        (ties broken by node age) — per-tenant processor share tracks
+        the configured weights even when one tenant dominates the queue.
+        """
         sdwq = self.sdwq
+        if self.qos is not None:
+            tenants = getattr(self.fs, "tenants", None)
+            best = None
+            best_key = None
+            for s in own:
+                shard = sdwq._shards[s]
+                if not shard:
+                    continue
+                node = shard[0]
+                tid = (tenants.tenant_of(node.ino)
+                       if tenants is not None else None)
+                key = (self.qos.service_ratio(tid), node._seq)
+                if best_key is None or key < best_key:
+                    best, best_key = s, key
+            if best is not None:
+                return best, False
         best = None
         best_seq = None
         for s in own:
@@ -398,6 +470,11 @@ class ConcurrentVFS:
                 self.worker_busy_ns += busy
                 self.worker_nodes += 1
                 processed += 1
+                if self.qos is not None:
+                    tenants = getattr(self.fs, "tenants", None)
+                    self.qos.note_node_done(
+                        tenants.tenant_of(node.ino)
+                        if tenants is not None else None)
             if dd.kind == "delayed" and self._stop and len(sdwq) == 0:
                 break
 

@@ -109,6 +109,11 @@ class InlineDedupFS(DeNovaFS):
         pg_last = (offset + len(data) - 1) // PAGE_SIZE
         npages = pg_last - pg_first + 1
 
+        # Tenant quota: logical pages, so the gross check covers the
+        # whole write even when every page deduplicates — dedup savings
+        # accrue to the operator, never to the tenant's quota.
+        self.tenants.check_pages(ino, npages)
+
         # Assemble final page contents (head/tail merge), then classify
         # each page before anything is stored — the inline property.
         buf = bytearray(npages * PAGE_SIZE)
@@ -192,12 +197,15 @@ class InlineDedupFS(DeNovaFS):
             self.set_dedupe_flag(addr, DEDUPE_COMPLETE)
 
         # Radix update + RFC-checked reclaim of displaced pages.
+        net_mapped = 0
         for addr, we in appended:
             displaced = cache.index.install(addr, we)
+            net_mapped += we.num_pages - displaced.total_pages
             if displaced.total_pages:
                 self.counters["overwrite_pages"] += displaced.total_pages
             self._note_dead_entries(cache, displaced)
             self.reclaim_extents(displaced.extents, cpu)
+        self.tenants.account_pages(ino, net_mapped)
         return len(data)
 
 

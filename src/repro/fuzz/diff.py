@@ -75,6 +75,10 @@ class FuzzConfig:
     max_failures: int = 3        # stop the campaign after this many
     clients: int = 1             # >1: concurrent-mode sequences (merged
     #                              per-client streams under /c<i> roots)
+    tenants: int = 1             # >1: multi-tenant sequences (streams
+    #                              under /t/tn<i> roots created via
+    #                              tenant_create — covers the tenant
+    #                              registry's persistence crash points)
     dedup_mode: str = "delayed"  # "delayed" (classic DeNova) or "hybrid"
     #                              (weak+strong pipeline, adaptive policy)
 

@@ -33,7 +33,7 @@ from repro.workloads.datagen import DataGenerator
 from repro.workloads.trace import TraceOp
 
 __all__ = ["GenConfig", "SequenceGenerator", "generate_sequence",
-           "generate_concurrent_sequence"]
+           "generate_concurrent_sequence", "generate_tenant_sequence"]
 
 
 @dataclass
@@ -343,6 +343,22 @@ def apply_to_model(model: ModelFS, op: TraceOp):
         model.truncate(op.path, op.length)
     elif kind == "read":
         return model.read(op.path, op.offset, op.length)
+    elif kind == "tenant_create":
+        # Mirrors TenantManager.tenant_create: a duplicate name is an
+        # error, pre-existing directories are adopted.  The registry
+        # record itself has no namespace footprint, so the model only
+        # needs the name set plus the (idempotent) directories.
+        tenants = getattr(model, "tenants", None)
+        if tenants is None:
+            tenants = model.tenants = set()
+        if op.path in tenants:
+            raise ModelError(f"tenant {op.path!r} already exists")
+        if not model.exists("/t"):
+            model.mkdir("/t")
+        root = f"/t/{op.path}"
+        if not model.exists(root):
+            model.mkdir(root)
+        tenants.add(op.path)
     elif kind in ("dedup", "remount", "crash"):
         return None
     else:
@@ -453,12 +469,58 @@ def generate_concurrent_sequence(seed: int, stream: int, nops: int,
                for op in gen.generate(counts[c])]
         queues.append(ops)
     rng = random.Random(f"repro.fuzz.conc:{seed}:{stream}:{clients}")
-    cursors = [0] * clients
+    return merged + _seeded_merge(queues, rng)
+
+
+def _seeded_merge(queues: list[list[TraceOp]],
+                  rng: random.Random) -> list[TraceOp]:
+    """Merge per-stream op queues preserving each stream's order."""
+    merged: list[TraceOp] = []
+    cursors = [0] * len(queues)
     while True:
-        live = [c for c in range(clients) if cursors[c] < len(queues[c])]
+        live = [c for c in range(len(queues))
+                if cursors[c] < len(queues[c])]
         if not live:
             break
         c = rng.choice(live)
         merged.append(queues[c][cursors[c]])
         cursors[c] += 1
     return merged
+
+
+def generate_tenant_sequence(seed: int, stream: int, nops: int,
+                             tenants: int = 2,
+                             cfg: Optional[GenConfig] = None,
+                             ) -> list[TraceOp]:
+    """A multi-tenant trace: per-tenant streams under ``/t/tn<i>`` roots.
+
+    Structurally the concurrent mode, but each stream's private root is
+    a *tenant* root created by a leading ``tenant_create`` op — so every
+    merged trace exercises the registry's A/B-slot save at a seeded
+    position, and the crash sweep (which breaks at every persist event)
+    covers the tenant-table persistence points alongside the usual log
+    and checkpoint ones.  Quotas are left unlimited: the model oracle
+    has no space accounting, and ``QuotaExceeded`` would merely stop
+    sequences early via the resource-exhaustion rule.
+    """
+    if tenants < 1:
+        raise ValueError("tenants must be >= 1")
+    from dataclasses import replace as _dc_replace
+
+    base = cfg or GenConfig()
+    tcfg = _client_cfg(base, tenants)
+    share = nops // tenants
+    counts = [share + (1 if c < nops % tenants else 0)
+              for c in range(tenants)]
+    queues: list[list[TraceOp]] = []
+    for c in range(tenants):
+        name = f"tn{c}"
+        prefix = f"/t/{name}"
+        gen = SequenceGenerator(seed, stream * tenants + c, tcfg)
+        ops = [_dc_replace(op,
+                           path=_prefix_path(op.path, prefix),
+                           path2=_prefix_path(op.path2, prefix))
+               for op in gen.generate(counts[c])]
+        queues.append([TraceOp(op="tenant_create", path=name)] + ops)
+    rng = random.Random(f"repro.fuzz.tenant:{seed}:{stream}:{tenants}")
+    return _seeded_merge(queues, rng)

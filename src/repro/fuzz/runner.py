@@ -20,7 +20,8 @@ from typing import Optional
 
 from repro.fuzz.diff import FuzzConfig, Violation, run_case
 from repro.fuzz.gen import (GenConfig, SequenceGenerator,
-                            generate_concurrent_sequence)
+                            generate_concurrent_sequence,
+                            generate_tenant_sequence)
 from repro.fuzz.shrink import shrink
 from repro.obs import MetricsRegistry
 from repro.workloads.trace import Trace, TraceOp
@@ -97,7 +98,11 @@ class FuzzRunner:
                 self.log(f"stopping after {len(result.failures)} failures")
                 break
             nops = min(cfg.seq_ops, cfg.total_ops - result.ops_generated)
-            if cfg.clients > 1:
+            if cfg.tenants > 1:
+                ops = generate_tenant_sequence(
+                    seed=cfg.seed, stream=stream, nops=nops,
+                    tenants=cfg.tenants, cfg=self.gen_cfg)
+            elif cfg.clients > 1:
                 ops = generate_concurrent_sequence(
                     seed=cfg.seed, stream=stream, nops=nops,
                     clients=cfg.clients, cfg=self.gen_cfg)

@@ -213,6 +213,12 @@ class NovaFS:
                             help="inode logs replayed on demand after a "
                                  "checkpoint mount")
         self.allocator.attach_registry(self.obs.registry)
+        # Tenant layer: quota enforcement + ownership.  Present whenever
+        # the image carved a registry region (old/small images get None
+        # semantics through an empty manager — every check is a no-op
+        # until a tenant exists).
+        from repro.tenant.manager import TenantManager
+        self.tenants = TenantManager(self)
 
     # ------------------------------------------------------------------ lifecycle
 
@@ -236,6 +242,7 @@ class NovaFS:
         fs.sb.set_clean(False)
         fs.mounted = True
         fs._post_mkfs()
+        fs.tenants.rebuild()
         return fs
 
     def _post_mkfs(self) -> None:
@@ -263,6 +270,7 @@ class NovaFS:
         fs.sb.set_clean(False)
         fs.mounted = True
         fs._post_mount()
+        fs.tenants.rebuild()
         return fs
 
     def unmount(self) -> None:
@@ -380,7 +388,7 @@ class NovaFS:
         if name in parent.dentries:
             raise FileExists(linkpath)
         cpu = ino_cpu(pino, self.cpus)
-        ino = self._new_inode(ITYPE_SYMLINK, cpu)
+        ino = self._new_inode(ITYPE_SYMLINK, cpu, parent=pino)
         cache = self.caches[ino]
         entry = SymlinkEntry(target=target, ino=ino,
                              mtime=int(self.clock.now_ns))
@@ -441,7 +449,12 @@ class NovaFS:
         cache.entry_count += 1
         return addr
 
-    def _new_inode(self, itype: int, cpu: int) -> int:
+    def _new_inode(self, itype: int, cpu: int,
+                   parent: Optional[int] = None) -> int:
+        # Quota check before the inode-table slot is taken; ownership is
+        # inherited from the parent directory after it is.
+        if parent is not None:
+            self.tenants.check_inode(parent)
         try:
             ino = self.itable.alloc()
         except RuntimeError as exc:
@@ -452,6 +465,8 @@ class NovaFS:
         self.itable.write(ino, inode)
         self.caches[ino] = InodeCache(
             inode=inode, index=FileIndex(self.cpu_model, self.clock))
+        if parent is not None:
+            self.tenants.note_inode(ino, parent)
         return ino
 
     def create(self, path: str) -> int:
@@ -463,7 +478,8 @@ class NovaFS:
             raise FileExists(path)
         # Order: valid inode first, then the dentry that publishes it.  A
         # crash in between leaves an orphan inode that recovery collects.
-        ino = self._new_inode(ITYPE_FILE, cpu=ino_cpu(pino, self.cpus))
+        ino = self._new_inode(ITYPE_FILE, cpu=ino_cpu(pino, self.cpus),
+                              parent=pino)
         self._append_dentry(pino, name, ino, valid=1,
                             cpu=ino_cpu(pino, self.cpus))
         return ino
@@ -474,7 +490,8 @@ class NovaFS:
         pino, name, parent = self._namei(path)
         if name in parent.dentries:
             raise FileExists(path)
-        ino = self._new_inode(ITYPE_DIR, cpu=ino_cpu(pino, self.cpus))
+        ino = self._new_inode(ITYPE_DIR, cpu=ino_cpu(pino, self.cpus),
+                              parent=pino)
         self._append_dentry(pino, name, ino, valid=1,
                             cpu=ino_cpu(pino, self.cpus))
         return ino
@@ -617,6 +634,8 @@ class NovaFS:
 
     def _drop_file_body(self, ino: int, cache: InodeCache, cpu: int) -> None:
         displaced = cache.index.clear()
+        self.tenants.account_pages(ino, -displaced.total_pages)
+        self.tenants.note_inode_freed(ino)
         self.reclaim_extents(displaced.extents, cpu)
         for page in list(self.log.iter_pages(cache.inode.log_head)):
             self.allocator.free(page, 1, cpu)
@@ -637,6 +656,7 @@ class NovaFS:
             raise DirectoryNotEmpty(path)
         cpu = ino_cpu(ino, self.cpus)
         self._append_dentry(pino, name, ino, valid=0, cpu=cpu)
+        self.tenants.note_inode_freed(ino)
         for page in list(self.log.iter_pages(cache.inode.log_head)):
             self.allocator.free(page, 1, cpu)
         self.itable.release(ino)
@@ -671,7 +691,12 @@ class NovaFS:
         pg_last = (offset + len(data) - 1) // PAGE_SIZE
         npages = pg_last - pg_first + 1
 
-        # Step 1: allocate new pages; assemble their content.
+        # Step 1: allocate new pages; assemble their content.  The quota
+        # check precedes the allocation (check, act, then account — a
+        # failed alloc must not leak a tenant charge) and is gross: CoW
+        # needs the full allocation to exist before the displaced pages
+        # are known.
+        self.tenants.check_pages(ino, npages)
         try:
             block = self.allocator.alloc(npages, cpu)
         except AllocError as exc:
@@ -711,6 +736,7 @@ class NovaFS:
 
         # Step 4: radix tree update.
         displaced = cache.index.install(addr, entry)
+        self.tenants.account_pages(ino, npages - displaced.total_pages)
         if displaced.total_pages:
             self.counters["overwrite_pages"] += displaced.total_pages
         self._note_dead_entries(cache, displaced)
@@ -767,6 +793,7 @@ class NovaFS:
         if shrunk:
             keep = (size + PAGE_SIZE - 1) // PAGE_SIZE
             displaced = cache.index.truncate_pages(keep)
+            self.tenants.account_pages(ino, -displaced.total_pages)
             self._note_dead_entries(cache, displaced)
             self.reclaim_extents(displaced.extents, cpu)
         cache.inode.size = size
@@ -868,6 +895,28 @@ class NovaFS:
                 "shared_pages": shared,
                 "physical_bytes": unique * PAGE_SIZE,
                 "saved_bytes": (logical_pages - unique) * PAGE_SIZE}
+
+    # ------------------------------------------------------------------ tenants
+
+    def tenant_create(self, name: str, quota_pages: int = 0,
+                      quota_inodes: int = 0, weight: int = 1):
+        """Create a tenant rooted at ``/t/<name>`` (see repro.tenant)."""
+        self._check_mounted()
+        return self.tenants.tenant_create(name, quota_pages=quota_pages,
+                                          quota_inodes=quota_inodes,
+                                          weight=weight)
+
+    def tenant_set_quota(self, name: str, quota_pages: int | None = None,
+                         quota_inodes: int | None = None,
+                         weight: int | None = None):
+        self._check_mounted()
+        return self.tenants.set_quota(name, quota_pages=quota_pages,
+                                      quota_inodes=quota_inodes,
+                                      weight=weight)
+
+    def tenant_stats(self) -> dict:
+        self._check_mounted()
+        return self.tenants.stats()
 
     # ------------------------------------------------------------------ helpers
 

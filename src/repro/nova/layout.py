@@ -51,7 +51,11 @@ _OFF_CKPT_PAGES = 112
 # observe the old or the new mode, never a torn mixture.
 _OFF_HYBRID_CONF = 120
 _OFF_HYBRID_MODES = 128
-_SB_BYTES = 136
+# Tenant registry region (two one-page A/B slots; zero on images
+# formatted before multi-tenancy or too small to carve the region).
+_OFF_TENANT_PAGE = 136
+_OFF_TENANT_PAGES = 144
+_SB_BYTES = 152
 
 VERSION = 1
 
@@ -71,6 +75,8 @@ class Geometry:
     data_start_page: int
     ckpt_page: int = 0      # 0 when the device is too small for a checkpoint
     ckpt_pages: int = 0
+    tenant_page: int = 0    # 0 when the device has no tenant registry
+    tenant_pages: int = 0
 
     @property
     def data_pages(self) -> int:
@@ -137,6 +143,16 @@ class Geometry:
             ckpt_page = data_start
             ckpt_pages = want
             data_start += want
+        # Tenant registry: two one-page A/B slots, written alternately so
+        # a torn save leaves the previous table intact.  Skipped on
+        # devices too small to give up two pages (tenant support is then
+        # simply absent, matching pre-tenant images that read zero here).
+        tenant_page = 0
+        tenant_pages = 0
+        if data_start + 2 < total_pages - max(2, total_pages // 8):
+            tenant_page = data_start
+            tenant_pages = 2
+            data_start += 2
         return Geometry(
             total_pages=total_pages,
             inode_table_page=inode_table_page,
@@ -149,6 +165,8 @@ class Geometry:
             data_start_page=data_start,
             ckpt_page=ckpt_page,
             ckpt_pages=ckpt_pages,
+            tenant_page=tenant_page,
+            tenant_pages=tenant_pages,
         )
 
 
@@ -176,9 +194,18 @@ class Superblock:
         dev.write_atomic64(_OFF_EPOCH, 0)
         dev.write_atomic64(_OFF_CKPT_PAGE, geo.ckpt_page)
         dev.write_atomic64(_OFF_CKPT_PAGES, geo.ckpt_pages)
+        dev.write_atomic64(_OFF_TENANT_PAGE, geo.tenant_page)
+        dev.write_atomic64(_OFF_TENANT_PAGES, geo.tenant_pages)
         dev.write_u32(_OFF_VERSION, VERSION)
         dev.write_u32(_OFF_CLEAN, 1)
         dev.persist(0, _SB_BYTES)
+        if geo.tenant_pages:
+            # Re-mkfs over an old tenant-bearing image must not resurrect
+            # its stale registry slots.
+            dev.zero_range(geo.tenant_page * PAGE_SIZE,
+                           geo.tenant_pages * PAGE_SIZE)
+            dev.persist(geo.tenant_page * PAGE_SIZE,
+                        geo.tenant_pages * PAGE_SIZE)
         # Magic last: a crash mid-mkfs leaves no valid filesystem.
         dev.write_atomic64(_OFF_MAGIC, MAGIC)
         dev.persist(_OFF_MAGIC, 8)
@@ -199,6 +226,8 @@ class Superblock:
             data_start_page=dev.read_u64(_OFF_DATA_START_PAGE),
             ckpt_page=dev.read_u64(_OFF_CKPT_PAGE),
             ckpt_pages=dev.read_u64(_OFF_CKPT_PAGES),
+            tenant_page=dev.read_u64(_OFF_TENANT_PAGE),
+            tenant_pages=dev.read_u64(_OFF_TENANT_PAGES),
         )
 
     # -- runtime flags --------------------------------------------------------------

@@ -16,7 +16,7 @@ from .profile import (PROFILE_SCHEMA, diff_profiles, format_profile,
                       top_paths)
 from .registry import (DEFAULT_LATENCY_BUCKETS_NS, Counter, CounterView,
                        Gauge, Histogram, MetricsRegistry, RegistryStats,
-                       percentiles_from_buckets)
+                       percentiles_from_buckets, series_key, split_series)
 from .slo import (FlightRecorder, SLORule, SLOWatchdog, evaluate_snapshot,
                   load_rules)
 from .trace import ObsHub, SpanEvent, Tracer
@@ -27,7 +27,7 @@ __all__ = [
     "CounterView", "RegistryStats",
     "DEFAULT_LATENCY_BUCKETS_NS", "percentiles_from_buckets",
     "to_prometheus", "format_table", "merge_snapshots",
-    "escape_help", "escape_label_value",
+    "escape_help", "escape_label_value", "series_key", "split_series",
     "to_chrome_trace", "to_folded", "compute_self_ns", "span_paths",
     "profile_from_events", "merge_profiles", "diff_profiles", "top_paths",
     "format_profile", "load_profile", "PROFILE_SCHEMA",

@@ -17,7 +17,8 @@ from __future__ import annotations
 import math
 from typing import Optional
 
-from .registry import percentiles_from_buckets
+from .registry import (escape_label_value, percentiles_from_buckets,
+                       split_series)
 
 __all__ = ["to_prometheus", "format_table", "merge_snapshots",
            "escape_help", "escape_label_value"]
@@ -28,13 +29,22 @@ def escape_help(s: str) -> str:
     return s.replace("\\", "\\\\").replace("\n", "\\n")
 
 
-def escape_label_value(s: str) -> str:
-    return (s.replace("\\", "\\\\").replace("\n", "\\n")
-            .replace('"', '\\"'))
-
-
 def _prom_name(name: str, prefix: str) -> str:
     return f"{prefix}_{name.replace('.', '_')}"
+
+
+def _families(section: dict) -> list[tuple[str, list[tuple[str, object]]]]:
+    """Group a snapshot section's series by base metric name.
+
+    Returns ``[(base, [(label_suffix, value), ...]), ...]`` sorted by
+    base name, suffixes sorted within a family — one HELP/TYPE header
+    per family regardless of how many labeled series it carries.
+    """
+    fams: dict[str, list[tuple[str, object]]] = {}
+    for key, value in section.items():
+        base, suffix = split_series(key)
+        fams.setdefault(base, []).append((suffix, value))
+    return [(base, sorted(fams[base])) for base in sorted(fams)]
 
 
 def _fmt(v: float) -> str:
@@ -53,29 +63,36 @@ def to_prometheus(snapshot: dict, prefix: str = "repro") -> str:
     """Render a snapshot in the Prometheus text exposition format."""
     lines: list[str] = []
 
-    for name, value in sorted(snapshot.get("counters", {}).items()):
+    for name, series in _families(snapshot.get("counters", {})):
         pname = _prom_name(name, prefix)
         lines.append(f"# HELP {pname} {escape_help(name)}")
         lines.append(f"# TYPE {pname} counter")
-        lines.append(f"{pname} {_fmt(value)}")
+        for suffix, value in series:
+            lines.append(f"{pname}{suffix} {_fmt(value)}")
 
-    for name, value in sorted(snapshot.get("gauges", {}).items()):
+    for name, series in _families(snapshot.get("gauges", {})):
         pname = _prom_name(name, prefix)
         lines.append(f"# HELP {pname} {escape_help(name)}")
         lines.append(f"# TYPE {pname} gauge")
-        lines.append(f"{pname} {_fmt(value)}")
+        for suffix, value in series:
+            lines.append(f"{pname}{suffix} {_fmt(value)}")
 
-    for name, h in sorted(snapshot.get("histograms", {}).items()):
+    for name, series in _families(snapshot.get("histograms", {})):
         pname = _prom_name(name, prefix)
         lines.append(f"# HELP {pname} {escape_help(name)}")
         lines.append(f"# TYPE {pname} histogram")
-        cum = 0
-        for bound, c in h["buckets"]:
-            cum += c
-            le = "+Inf" if bound is None else _fmt(bound)
-            lines.append(f'{pname}_bucket{{le="{le}"}} {cum}')
-        lines.append(f"{pname}_sum {_fmt(h['sum'])}")
-        lines.append(f"{pname}_count {h['count']}")
+        for suffix, h in series:
+            cum = 0
+            for bound, c in h["buckets"]:
+                cum += c
+                le = "+Inf" if bound is None else _fmt(bound)
+                if suffix:
+                    blabels = f'{suffix[:-1]},le="{le}"}}'
+                else:
+                    blabels = f'{{le="{le}"}}'
+                lines.append(f"{pname}_bucket{blabels} {cum}")
+            lines.append(f"{pname}_sum{suffix} {_fmt(h['sum'])}")
+            lines.append(f"{pname}_count{suffix} {h['count']}")
 
     return "\n".join(lines) + "\n"
 

@@ -43,9 +43,13 @@ __all__ = [
     "RegistryStats",
     "DEFAULT_LATENCY_BUCKETS_NS",
     "percentiles_from_buckets",
+    "series_key",
+    "split_series",
+    "escape_label_value",
 ]
 
 _NAME_RE = re.compile(r"^[a-z][a-z0-9_]*(\.[a-z][a-z0-9_]*)+$")
+_LABEL_NAME_RE = re.compile(r"^[a-zA-Z_][a-zA-Z0-9_]*$")
 
 #: Geometric latency buckets, 100 ns .. 10 s of simulated time — wide
 #: enough for a single DRAM touch and for a delayed(750 ms, m) DWQ wait.
@@ -58,11 +62,50 @@ DEFAULT_LATENCY_BUCKETS_NS: tuple[float, ...] = (
 
 
 def _check_name(name: str) -> str:
-    if not _NAME_RE.match(name):
+    base = name.split("{", 1)[0]
+    if not _NAME_RE.match(base):
         raise ValueError(
-            f"metric name {name!r} violates the <component>.<name>_<unit> "
+            f"metric name {base!r} violates the <component>.<name>_<unit> "
             "convention (lowercase, dotted, e.g. 'fs.writes_total')")
     return name
+
+
+def escape_label_value(s: str) -> str:
+    """Escape a label value per the Prometheus text exposition format."""
+    return (s.replace("\\", "\\\\").replace("\n", "\\n")
+            .replace('"', '\\"'))
+
+
+def series_key(name: str, labels: Optional[dict] = None) -> str:
+    """Canonical storage key for one labeled series.
+
+    ``series_key("fs.writes_total", {"tenant": "a"})`` is
+    ``fs.writes_total{tenant="a"}`` — label keys sorted, values escaped
+    exactly as the Prometheus text format requires, so the snapshot key
+    doubles as the sample's label suffix at export time.  With no labels
+    the key is the bare name, keeping every pre-label snapshot stable.
+    """
+    if not labels:
+        return name
+    for k in labels:
+        if not _LABEL_NAME_RE.match(k):
+            raise ValueError(f"label name {k!r} is not a valid "
+                             "Prometheus label name")
+    body = ",".join(f'{k}="{escape_label_value(str(labels[k]))}"'
+                    for k in sorted(labels))
+    return f"{name}{{{body}}}"
+
+
+def split_series(key: str) -> tuple[str, str]:
+    """Split a series key into ``(base_name, label_suffix)``.
+
+    The suffix includes the braces (``'{tenant="a"}'``) or is ``""`` for
+    an unlabeled series, so exporters can append it verbatim.
+    """
+    i = key.find("{")
+    if i < 0:
+        return key, ""
+    return key[:i], key[i:]
 
 
 class Counter:
@@ -72,9 +115,10 @@ class Counter:
 
     def __init__(self, name: str, help: str = "",
                  fn: Optional[Callable[[], float]] = None):
-        if not name.rsplit(".", 1)[-1].endswith("_total"):
+        base = name.split("{", 1)[0]
+        if not base.rsplit(".", 1)[-1].endswith("_total"):
             raise ValueError(
-                f"counter {name!r} must end in '_total' "
+                f"counter {base!r} must end in '_total' "
                 "(see docs/OBSERVABILITY.md)")
         self.name = name
         self.help = help
@@ -262,56 +306,66 @@ class MetricsRegistry:
         self._metrics[name] = m
         return m
 
-    def counter(self, name: str, help: str = "") -> Counter:
-        return self._get_or_create(Counter, name, help=help)
+    def counter(self, name: str, help: str = "",
+                labels: Optional[dict] = None) -> Counter:
+        return self._get_or_create(Counter, series_key(name, labels),
+                                   help=help)
 
-    def gauge(self, name: str, help: str = "") -> Gauge:
-        return self._get_or_create(Gauge, name, help=help)
+    def gauge(self, name: str, help: str = "",
+              labels: Optional[dict] = None) -> Gauge:
+        return self._get_or_create(Gauge, series_key(name, labels),
+                                   help=help)
 
     def histogram(self, name: str, buckets: Sequence[float] = None,
-                  help: str = "") -> Histogram:
-        m = self._metrics.get(name)
+                  help: str = "",
+                  labels: Optional[dict] = None) -> Histogram:
+        key = series_key(name, labels)
+        m = self._metrics.get(key)
         if (isinstance(m, Histogram) and buckets is not None
                 and tuple(sorted(buckets)) != m.bounds):
             # Get-or-create must not silently keep the first layout — the
             # caller would believe their buckets took effect (mirrors the
             # counter/gauge type-mismatch errors).
             raise ValueError(
-                f"histogram {name!r} already registered with buckets "
+                f"histogram {key!r} already registered with buckets "
                 f"{m.bounds}; pass the same buckets (or none)")
-        return self._get_or_create(Histogram, name, buckets=buckets,
+        return self._get_or_create(Histogram, key, buckets=buckets,
                                    help=help)
 
     def counter_fn(self, name: str, fn: Callable[[], float],
-                   help: str = "") -> Counter:
+                   help: str = "",
+                   labels: Optional[dict] = None) -> Counter:
         """Register (or re-point) a callback-backed counter.
 
         Re-pointing matters for structures that are *rebuilt* during
         recovery (the page allocator): the metric survives, the closure
         is swapped to read the new instance.
         """
-        m = self._metrics.get(name)
+        key = series_key(name, labels)
+        m = self._metrics.get(key)
         if m is not None:
             if not isinstance(m, Counter) or m._fn is None:
-                raise ValueError(f"{name!r} exists and is not a callback "
+                raise ValueError(f"{key!r} exists and is not a callback "
                                  "counter")
             m._fn = fn
             return m
-        m = Counter(_check_name(name), help=help, fn=fn)
-        self._metrics[name] = m
+        m = Counter(_check_name(key), help=help, fn=fn)
+        self._metrics[key] = m
         return m
 
     def gauge_fn(self, name: str, fn: Callable[[], float],
-                 help: str = "") -> Gauge:
-        m = self._metrics.get(name)
+                 help: str = "",
+                 labels: Optional[dict] = None) -> Gauge:
+        key = series_key(name, labels)
+        m = self._metrics.get(key)
         if m is not None:
             if not isinstance(m, Gauge) or m._fn is None:
-                raise ValueError(f"{name!r} exists and is not a callback "
+                raise ValueError(f"{key!r} exists and is not a callback "
                                  "gauge")
             m._fn = fn
             return m
-        m = Gauge(_check_name(name), help=help, fn=fn)
-        self._metrics[name] = m
+        m = Gauge(_check_name(key), help=help, fn=fn)
+        self._metrics[key] = m
         return m
 
     # ------------------------------------------------------------ queries

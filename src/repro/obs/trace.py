@@ -290,21 +290,22 @@ class ObsHub:
 
     # ------------------------------------------------------ registry sugar
 
-    def counter(self, name: str, help: str = ""):
-        return self.registry.counter(name, help=help)
+    def counter(self, name: str, help: str = "", labels=None):
+        return self.registry.counter(name, help=help, labels=labels)
 
-    def gauge(self, name: str, help: str = ""):
-        return self.registry.gauge(name, help=help)
+    def gauge(self, name: str, help: str = "", labels=None):
+        return self.registry.gauge(name, help=help, labels=labels)
 
     def histogram(self, name: str, buckets: Sequence[float] = None,
-                  help: str = ""):
-        return self.registry.histogram(name, buckets=buckets, help=help)
+                  help: str = "", labels=None):
+        return self.registry.histogram(name, buckets=buckets, help=help,
+                                       labels=labels)
 
-    def counter_fn(self, name: str, fn, help: str = ""):
-        return self.registry.counter_fn(name, fn, help=help)
+    def counter_fn(self, name: str, fn, help: str = "", labels=None):
+        return self.registry.counter_fn(name, fn, help=help, labels=labels)
 
-    def gauge_fn(self, name: str, fn, help: str = ""):
-        return self.registry.gauge_fn(name, fn, help=help)
+    def gauge_fn(self, name: str, fn, help: str = "", labels=None):
+        return self.registry.gauge_fn(name, fn, help=help, labels=labels)
 
     # ------------------------------------------------------------ export
 

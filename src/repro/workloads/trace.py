@@ -153,6 +153,15 @@ class TracedFS:
         self.trace.append(TraceOp(op="dedup"))
         return n
 
+    def tenant_create(self, name: str, quota_pages: int = 0,
+                      quota_inodes: int = 0, weight: int = 1):
+        info = self.fs.tenant_create(name, quota_pages=quota_pages,
+                                     quota_inodes=quota_inodes,
+                                     weight=weight)
+        self.trace.append(TraceOp(op="tenant_create", path=name,
+                                  offset=quota_pages, length=quota_inodes))
+        return info
+
     def lookup(self, path: str) -> int:
         ino = self.fs.lookup(path)
         self._path_of[ino] = path
@@ -231,6 +240,10 @@ def apply_trace_op(fs, op: TraceOp, i: int = 0, verify: bool = True,
         fs.delete_snapshot(op.path)
     elif op.op == "dedup":
         fs.daemon.drain()
+    elif op.op == "tenant_create":
+        # offset/length carry the page/inode quotas (0 = unlimited).
+        fs.tenant_create(op.path, quota_pages=op.offset,
+                         quota_inodes=op.length)
     elif op.op == "remount":
         fs.unmount()
         fs = type(fs).mount(fs.dev, cpus=fs.cpus)

@@ -13,11 +13,30 @@ from repro.nova import PAGE_SIZE
 from repro.obs import ObsHub, to_prometheus
 from repro.pm import DRAM, PMDevice, SimClock
 
+# Labels matched greedily up to the last "}": a "}" inside a quoted
+# label value is legal exposition and must not end the label block.
 _SAMPLE = re.compile(
     r'^(?P<name>[a-zA-Z_:][a-zA-Z0-9_:]*)'
-    r'(?:\{(?P<labels>[^}]*)\})?'
+    r'(?:\{(?P<labels>.*)\})?'
     r' (?P<value>\S+)$')
 _LABEL = re.compile(r'(\w+)="((?:[^"\\]|\\.)*)"')
+
+
+def _unescape_label(s):
+    """Invert exposition label-value escaping with a left-to-right scan
+    (naive chained .replace() corrupts values like a literal
+    backslash-n, whose escaped form is backslash-backslash-n)."""
+    out = []
+    i = 0
+    while i < len(s):
+        if s[i] == "\\" and i + 1 < len(s):
+            out.append({"n": "\n", '"': '"', "\\": "\\"}.get(
+                s[i + 1], "\\" + s[i + 1]))
+            i += 2
+        else:
+            out.append(s[i])
+            i += 1
+    return "".join(out)
 
 
 def _parse_value(s):
@@ -62,9 +81,7 @@ def parse_exposition(text):
         labels = {}
         if m.group("labels"):
             for lm in _LABEL.finditer(m.group("labels")):
-                labels[lm.group(1)] = (
-                    lm.group(2).replace('\\"', '"')
-                    .replace("\\n", "\n").replace("\\\\", "\\"))
+                labels[lm.group(1)] = _unescape_label(lm.group(2))
         assert current is not None, f"line {lineno}: sample before TYPE"
         sname = m.group("name")
         assert sname == current["name"] or \
@@ -76,34 +93,59 @@ def parse_exposition(text):
 
 
 def _check_consistency(families):
+    """Internal consistency of a parsed exposition.
+
+    A family may carry any number of labeled series (one per distinct
+    label set — e.g. ``tenant.ops_total{tenant="tn0"}`` next to
+    ``{tenant="tn1"}``); within a family each label set must be unique,
+    and each histogram series must satisfy the cumulative-bucket
+    contract independently.
+    """
     for name, fam in families.items():
         assert "type" in fam, f"{name}: TYPE line missing"
         assert "help" in fam, f"{name}: HELP line missing"
         if fam["type"] in ("counter", "gauge"):
-            assert len(fam["samples"]) == 1
-            sname, labels, value = fam["samples"][0]
-            assert sname == name and labels == {}
-            if fam["type"] == "counter":
-                assert value >= 0
+            assert fam["samples"], f"{name}: family with no samples"
+            seen = set()
+            for sname, labels, value in fam["samples"]:
+                assert sname == name
+                key = tuple(sorted(labels.items()))
+                assert key not in seen, f"{name}: duplicate series {labels}"
+                seen.add(key)
+                if fam["type"] == "counter":
+                    assert value >= 0
             continue
-        # histogram
-        buckets = [(labels["le"], v) for sname, labels, v in fam["samples"]
-                   if sname == f"{name}_bucket"]
-        sums = [v for sname, _, v in fam["samples"]
-                if sname == f"{name}_sum"]
-        counts = [v for sname, _, v in fam["samples"]
-                  if sname == f"{name}_count"]
-        assert buckets, f"{name}: no _bucket series"
-        assert len(sums) == 1 and len(counts) == 1
-        les = [_parse_value(le) for le, _ in buckets]
-        assert les == sorted(les), f"{name}: le bounds not ascending"
-        assert les[-1] == math.inf, f"{name}: missing le=\"+Inf\" bucket"
-        cum = [v for _, v in buckets]
-        assert cum == sorted(cum), f"{name}: buckets not cumulative"
-        assert cum[-1] == counts[0], \
-            f"{name}: +Inf bucket {cum[-1]} != _count {counts[0]}"
-        if counts[0]:
-            assert not math.isnan(sums[0])
+        # histogram: one bucket/sum/count triple per label set.
+        series = {}
+        for sname, labels, v in fam["samples"]:
+            key = tuple(sorted((k, lv) for k, lv in labels.items()
+                               if k != "le"))
+            s = series.setdefault(key, {"buckets": [], "sums": [],
+                                        "counts": []})
+            if sname == f"{name}_bucket":
+                s["buckets"].append((labels["le"], v))
+            elif sname == f"{name}_sum":
+                s["sums"].append(v)
+            elif sname == f"{name}_count":
+                s["counts"].append(v)
+            else:
+                raise AssertionError(f"{name}: stray sample {sname}")
+        assert series, f"{name}: no histogram series"
+        for key, s in series.items():
+            where = f"{name}{dict(key) or ''}"
+            assert s["buckets"], f"{where}: no _bucket series"
+            assert len(s["sums"]) == 1 and len(s["counts"]) == 1, \
+                f"{where}: want exactly one _sum and _count"
+            les = [_parse_value(le) for le, _ in s["buckets"]]
+            assert les == sorted(les), f"{where}: le bounds not ascending"
+            assert les[-1] == math.inf, \
+                f"{where}: missing le=\"+Inf\" bucket"
+            cum = [v for _, v in s["buckets"]]
+            assert cum == sorted(cum), f"{where}: buckets not cumulative"
+            assert cum[-1] == s["counts"][0], \
+                f"{where}: +Inf bucket {cum[-1]} != _count {s['counts'][0]}"
+            if s["counts"][0]:
+                assert not math.isnan(s["sums"][0])
 
 
 class TestRoundTripLive:
@@ -170,6 +212,87 @@ class TestRoundTripEdgeValues:
         cum = [v for n, labels, v in fam["samples"]
                if n == "repro_lat_ns_bucket"]
         assert cum == [1, 2, 3, 5]  # 5000 and 50000 overflow to +Inf
+
+
+class TestLabeledRoundTrip:
+    def test_labeled_counter_series_group_into_one_family(self):
+        hub = ObsHub(clock=SimClock())
+        for tn, n in (("tn0", 3), ("tn1", 7), ("tn2", 1)):
+            hub.counter("tenant.ops_total",
+                        labels={"tenant": tn}).inc(n)
+        hub.counter("tenant.ops_total").inc(11)   # unlabeled sibling
+        text = to_prometheus(hub.snapshot())
+        fams = parse_exposition(text)
+        _check_consistency(fams)
+        fam = fams["repro_tenant_ops_total"]
+        assert fam["type"] == "counter"
+        by_labels = {tuple(sorted(l.items())): v
+                     for _, l, v in fam["samples"]}
+        assert by_labels[(("tenant", "tn0"),)] == 3
+        assert by_labels[(("tenant", "tn1"),)] == 7
+        assert by_labels[(("tenant", "tn2"),)] == 1
+        assert by_labels[()] == 11
+        # One TYPE line for the whole family, not one per series.
+        assert text.count("# TYPE repro_tenant_ops_total counter") == 1
+
+    def test_labeled_histogram_series_independent(self):
+        hub = ObsHub(clock=SimClock())
+        a = hub.histogram("t.lat_ns", buckets=(10, 100),
+                          labels={"tenant": "a"})
+        b = hub.histogram("t.lat_ns", buckets=(10, 100),
+                          labels={"tenant": "b"})
+        for v in (5, 50, 500):
+            a.observe(v)
+        b.observe(7)
+        fams = parse_exposition(to_prometheus(hub.snapshot()))
+        _check_consistency(fams)
+        fam = fams["repro_t_lat_ns"]
+        counts = {l["tenant"]: v for n, l, v in fam["samples"]
+                  if n == "repro_t_lat_ns_count"}
+        assert counts == {"a": 3, "b": 1}
+
+    def test_multi_label_sort_order_canonical(self):
+        """Two insertion orders of the same label set are one series."""
+        hub = ObsHub(clock=SimClock())
+        hub.counter("x.ops_total", labels={"b": "2", "a": "1"}).inc()
+        hub.counter("x.ops_total", labels={"a": "1", "b": "2"}).inc()
+        fams = parse_exposition(to_prometheus(hub.snapshot()))
+        _check_consistency(fams)
+        (sample,) = fams["repro_x_ops_total"]["samples"]
+        assert sample[1] == {"a": "1", "b": "2"}
+        assert sample[2] == 2
+
+    @pytest.mark.parametrize("value", [
+        'plain', 'back\\slash', 'quo"te', 'line\nbreak',
+        'all\\three\n"at once"', 'close}brace', 'comma,eq=uals',
+        '\\n literal backslash-n', ''])
+    def test_label_value_escaping_round_trips(self, value):
+        """Every escaping edge case must survive export -> parse."""
+        hub = ObsHub(clock=SimClock())
+        hub.counter("esc.ops_total", labels={"k": value}).inc(5)
+        text = to_prometheus(hub.snapshot())
+        assert "\n\n" not in text         # escaped, not raw, newlines
+        fams = parse_exposition(text)
+        _check_consistency(fams)
+        (sample,) = fams["repro_esc_ops_total"]["samples"]
+        assert sample[1] == {"k": value}
+        assert sample[2] == 5
+
+    def test_fleet_metrics_exposition_consistent(self):
+        """A real multi-tenant filesystem's labeled metering exports a
+        parseable, internally consistent exposition."""
+        dev = PMDevice(1024 * PAGE_SIZE, model=DRAM, clock=SimClock())
+        fs = DeNovaFS.mkfs(dev, max_inodes=64)
+        for tn in ("tn0", "tn1"):
+            fs.tenant_create(tn, quota_pages=64)
+            ino = fs.create(f"/t/{tn}/f")
+            fs.write(ino, 0, b"\xcd" * PAGE_SIZE)
+        fs.daemon.drain()
+        fams = parse_exposition(to_prometheus(fs.obs.snapshot()))
+        _check_consistency(fams)
+        used = {l["tenant"]: v
+                for n, l, v in fams["repro_tenant_used_pages"]["samples"]}
+        assert used == {"tn0": 1.0, "tn1": 1.0}
 
 
 class TestHelpEscaping:

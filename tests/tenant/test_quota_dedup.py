@@ -1,0 +1,153 @@
+"""Quota accounting under deduplication.
+
+The core invariant: accounting is *logical* per tenant and *physical*
+once globally.  N tenants writing the same page are each charged one
+logical page while the allocator holds one physical block — dedup
+savings accrue to the operator, not to whichever tenant happened to
+write the block second.  Checked across the delayed, inline, and
+hybrid dedup variants, and again after crash-recovery replay (usage is
+rebuilt from the namespace, so recovery must reproduce the same
+numbers).
+"""
+
+import pytest
+
+from repro.core import Config, Variant, make_fs
+from repro.nova import PAGE_SIZE
+from repro.tenant import QuotaExceeded
+
+pytestmark = pytest.mark.tenant
+
+DEDUP_VARIANTS = [Variant.DELAYED, Variant.INLINE, Variant.HYBRID]
+
+DUP = b"\xd7" * PAGE_SIZE
+
+
+def build_fs(variant):
+    fs, _dd = make_fs(variant, Config(device_pages=1024, max_inodes=64))
+    return fs
+
+
+def settle(fs):
+    """Run whatever offline dedup machinery the variant has."""
+    if hasattr(fs, "daemon"):
+        fs.daemon.drain()
+
+
+def write_dup_page(fs, tenant, n=1):
+    for k in range(n):
+        ino = fs.create(f"/t/{tenant}/dup{k}")
+        fs.write(ino, 0, DUP)
+
+
+class TestLogicalVsPhysical:
+    @pytest.mark.parametrize("variant", DEDUP_VARIANTS,
+                             ids=lambda v: v.value)
+    def test_n_tenants_one_physical_page(self, variant):
+        """Three tenants write the same page: logical 1 each, physical 1."""
+        fs = build_fs(variant)
+        names = ["tn0", "tn1", "tn2"]
+        for name in names:
+            fs.tenant_create(name)
+        for name in names:
+            write_dup_page(fs, name)
+        settle(fs)
+        stats = fs.tenant_stats()
+        for name in names:
+            assert stats[name]["used_pages"] == 1, \
+                f"{name} charged {stats[name]['used_pages']} logical pages"
+        dd = fs.space_stats()
+        assert dd["physical_pages"] == 1
+        assert dd["logical_pages"] == len(names)
+
+    @pytest.mark.parametrize("variant", DEDUP_VARIANTS,
+                             ids=lambda v: v.value)
+    def test_accounting_survives_crash_recovery(self, variant):
+        """Crash + remount replays to the same logical/physical split."""
+        fs = build_fs(variant)
+        names = ["tn0", "tn1", "tn2"]
+        for name in names:
+            fs.tenant_create(name)
+        for name in names:
+            write_dup_page(fs, name, n=2)
+        settle(fs)
+        before = fs.tenant_stats()
+        fs.dev.crash()
+        fs.dev.recover_view()
+        fs2 = type(fs).mount(fs.dev)
+        after = fs2.tenant_stats()
+        for name in names:
+            assert after[name]["used_pages"] == \
+                before[name]["used_pages"] == 2
+            assert after[name]["used_inodes"] == \
+                before[name]["used_inodes"]
+        settle(fs2)
+        assert fs2.space_stats()["physical_pages"] == 1
+
+    def test_unlink_refunds_logical_only(self):
+        """A tenant dropping its reference gets its logical charge back;
+        the block stays physical while other tenants still map it."""
+        fs = build_fs(Variant.DELAYED)
+        for name in ("tn0", "tn1"):
+            fs.tenant_create(name)
+            write_dup_page(fs, name)
+        settle(fs)
+        fs.unlink("/t/tn0/dup0")
+        stats = fs.tenant_stats()
+        assert stats["tn0"]["used_pages"] == 0
+        assert stats["tn1"]["used_pages"] == 1
+        assert fs.du("/t/tn1")["unique_pages"] == 1
+
+
+class TestQuotaEnforcementUnderDedup:
+    def test_dedupable_write_still_charged_against_quota(self):
+        """Quota is checked on the logical charge: a tenant at its page
+        quota cannot write even a page that would deduplicate to zero
+        new physical blocks."""
+        fs = build_fs(Variant.DELAYED)
+        fs.tenant_create("landlord")          # unlimited; owns the block
+        write_dup_page(fs, "landlord")
+        settle(fs)
+        fs.tenant_create("tight", quota_pages=1)
+        write_dup_page(fs, "tight")           # 1 page: exactly at quota
+        with pytest.raises(QuotaExceeded):
+            ino = fs.create("/t/tight/over")
+            fs.write(ino, 0, DUP)
+        assert fs.tenant_stats()["tight"]["used_pages"] == 1
+
+    def test_failed_write_leaks_no_charge(self):
+        """A quota-rejected write must not move the usage counter."""
+        fs = build_fs(Variant.DELAYED)
+        fs.tenant_create("tight", quota_pages=2)
+        ino = fs.create("/t/tight/f")
+        fs.write(ino, 0, DUP * 2)             # at quota
+        used = fs.tenant_stats()["tight"]["used_pages"]
+        with pytest.raises(QuotaExceeded):
+            fs.write(ino, 2 * PAGE_SIZE, DUP)
+        assert fs.tenant_stats()["tight"]["used_pages"] == used == 2
+
+    def test_overwrite_charges_net_delta(self):
+        """CoW overwrite charges the net mapping delta (zero here), even
+        though the quota *check* is gross: the CoW headroom must exist,
+        but the displaced page is refunded once the write commits."""
+        fs = build_fs(Variant.DELAYED)
+        fs.tenant_create("tn", quota_pages=3)
+        ino = fs.create("/t/tn/f")
+        fs.write(ino, 0, DUP * 2)
+        fs.write(ino, 0, b"\x11" * PAGE_SIZE)  # CoW page 0
+        assert fs.tenant_stats()["tn"]["used_pages"] == 2
+        # At-quota overwrite: the gross check needs 1 page of headroom.
+        fs.write(ino, 2 * PAGE_SIZE, DUP)      # now used == quota == 3
+        with pytest.raises(QuotaExceeded):
+            fs.write(ino, 0, b"\x22" * PAGE_SIZE)
+        assert fs.tenant_stats()["tn"]["used_pages"] == 3
+
+    def test_inode_quota_enforced_at_create(self):
+        fs = build_fs(Variant.DELAYED)
+        # Quota 2 = the root dir + one file.
+        fs.tenant_create("tiny", quota_inodes=2)
+        fs.create("/t/tiny/a")
+        with pytest.raises(QuotaExceeded):
+            fs.create("/t/tiny/b")
+        fs.unlink("/t/tiny/a")
+        fs.create("/t/tiny/b")               # freed inode reusable
