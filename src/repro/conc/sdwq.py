@@ -151,6 +151,8 @@ class ShardedDWQ(DWQ):
         lingering times stay honest) and the cumulative counters carry
         over so ``dwq.*_total`` metrics never move backwards.
         """
+        if self.tenant_resolver is None:
+            self.tenant_resolver = old.tenant_resolver
         self.enqueued = old.enqueued
         self.dequeued = old.dequeued
         self.peak_length = max(self.peak_length, old.peak_length)

@@ -39,6 +39,7 @@ from typing import Callable, Optional
 from repro.conc.lockorder import LockOrderValidator
 from repro.conc.sdwq import ShardedDWQ
 from repro.sim import Engine, Lock, Process, Resource, RWLock
+from repro.tenant.qos import UNTENANTED
 
 __all__ = ["ConcurrentVFS", "OP_LATENCY_BUCKETS_NS"]
 
@@ -249,12 +250,17 @@ class ConcurrentVFS:
             penalty = 0.0
             gated = False
             if use_bw:
-                if self.qos is not None and tenant is not None:
+                if self.qos is not None:
                     # Weighted-fair gate in front of the slots: capacity
                     # matches bw_slots, so a gated op never also queues
                     # on the Resource below — the DRR grant order *is*
-                    # the bandwidth admission order.
-                    yield from self.qos.gate.acquire(tenant)
+                    # the bandwidth admission order.  Tenant-less ops go
+                    # through too (sentinel id, weight 1): an ungated op
+                    # holding a slot would put gate-granted tenant ops
+                    # back into an unweighted queue and void the
+                    # invariant whenever traffic mixes.
+                    yield from self.qos.gate.acquire(
+                        tenant if tenant is not None else UNTENANTED)
                     gated = True
                 waiting = self.bw.in_use >= self.bw.capacity
                 queued_behind = len(self.bw._waiters)
@@ -315,23 +321,33 @@ class ConcurrentVFS:
         if sdwq is None or sdwq.max_depth is None:
             return
         qos = self.qos
-        if qos is not None and tenant is not None:
-            while qos.over_share(tenant):
+        s = sdwq.shard_of(ino)
+        # Both conditions re-checked together after every wait: a writer
+        # woken by shard space must not slip past over_share() it never
+        # re-tested (N waiters of one tenant would otherwise each admit
+        # and overshoot the share by N).  The loop exits only when both
+        # hold at once, and note_enqueued runs with no yield in between,
+        # so the share reservation is atomic in simulated time.
+        while True:
+            if qos is not None and tenant is not None \
+                    and qos.over_share(tenant):
                 self._c_stalls.inc()
                 t0 = self.eng.now
                 ev = qos.wait_turn(tenant)
                 self.kick_workers()
                 yield ev
                 self._h_stall.observe(self.eng.now - t0)
-        s = sdwq.shard_of(ino)
-        while sdwq.is_full(s):
-            self._c_stalls.inc()
-            t0 = self.eng.now
-            ev = self.eng.event(f"admit:{holder}")
-            self._space_waiters[s].append(ev)
-            self.kick_workers()  # a stalled writer needs a drain to run
-            yield ev
-            self._h_stall.observe(self.eng.now - t0)
+                continue
+            if sdwq.is_full(s):
+                self._c_stalls.inc()
+                t0 = self.eng.now
+                ev = self.eng.event(f"admit:{holder}")
+                self._space_waiters[s].append(ev)
+                self.kick_workers()  # a stalled writer needs a drain
+                yield ev
+                self._h_stall.observe(self.eng.now - t0)
+                continue
+            break
         if qos is not None and tenant is not None:
             # Count the node this write is about to enqueue against the
             # tenant's share.  A write that fails after admit must undo
@@ -403,7 +419,6 @@ class ConcurrentVFS:
         """
         sdwq = self.sdwq
         if self.qos is not None:
-            tenants = getattr(self.fs, "tenants", None)
             best = None
             best_key = None
             for s in own:
@@ -411,9 +426,7 @@ class ConcurrentVFS:
                 if not shard:
                     continue
                 node = shard[0]
-                tid = (tenants.tenant_of(node.ino)
-                       if tenants is not None else None)
-                key = (self.qos.service_ratio(tid), node._seq)
+                key = (self.qos.service_ratio(node.tid), node._seq)
                 if best_key is None or key < best_key:
                     best, best_key = s, key
             if best is not None:
@@ -471,10 +484,11 @@ class ConcurrentVFS:
                 self.worker_nodes += 1
                 processed += 1
                 if self.qos is not None:
-                    tenants = getattr(self.fs, "tenants", None)
-                    self.qos.note_node_done(
-                        tenants.tenant_of(node.ino)
-                        if tenants is not None else None)
+                    # The tid stamped at enqueue, NOT tenant_of(node.ino):
+                    # the inode may have been unlinked while the node
+                    # waited (churn), and a None here would leak the
+                    # outstanding charge taken in admit() forever.
+                    self.qos.note_node_done(node.tid)
             if dd.kind == "delayed" and self._stop and len(sdwq) == 0:
                 break
 

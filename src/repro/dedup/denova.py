@@ -45,6 +45,10 @@ class DeNovaFS(NovaFS):
         self.fact = FACT(dev, geo, registry=self.obs.registry)
         self.fingerprinter = Fingerprinter(self.cpu_model, self.clock)
         self.dwq = DWQ(self.cpu_model, self.clock, obs=self.obs)
+        # Nodes record their owning tenant at enqueue time, while the
+        # inode is still alive — the id QoS completion accounting needs
+        # after a churn unlink races the queue (see DWQNode.tid).
+        self.dwq.tenant_resolver = self.tenants.tenant_of
         self.daemon = DedupDaemon(self)
         self._pending_pages: Counter[int] = Counter()  # log page -> entries
         # Resumable maintenance cursors (budgeted scrub / deep_verify).

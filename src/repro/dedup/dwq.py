@@ -23,7 +23,7 @@ from __future__ import annotations
 import struct
 from collections import deque
 from dataclasses import dataclass
-from typing import Optional
+from typing import Callable, Optional
 
 from repro.nova.layout import PAGE_SIZE, Geometry, Superblock
 from repro.obs import MetricsRegistry, ObsHub
@@ -53,12 +53,22 @@ class DWQNode:
     the on-PM save format stays 16 bytes/node, and nodes restored on a
     later mount start fresh traces (their originating write's trace died
     with the previous process).
+
+    ``tid`` is the owning tenant, captured at enqueue time while the
+    inode is guaranteed alive.  QoS completion accounting must read this
+    stored id, never re-resolve ownership from the inode: an unlink can
+    land between enqueue and the worker's dequeue (fleet churn does
+    exactly that), after which ``tenant_of(ino)`` is None and the
+    tenant's outstanding-node charge would leak forever.  DRAM-only like
+    ``trace_id``; nodes restored/rebuilt at mount carry None and were
+    never charged, so the accounting stays symmetric.
     """
 
     ino: int
     entry_addr: int
     enqueue_time_ns: float = 0.0
     trace_id: int = 0
+    tid: Optional[int] = None
 
 
 class DWQ:
@@ -75,6 +85,11 @@ class DWQ:
                  obs: Optional[ObsHub] = None):
         self._cpu = cpu
         self._clock = clock
+        #: ino -> tenant id (or None), consulted at enqueue time to
+        #: stamp :attr:`DWQNode.tid`.  Set by the owning filesystem
+        #: (``TenantManager.tenant_of``); carried across the
+        #: ``ShardedDWQ.adopt`` swap.
+        self.tenant_resolver: Optional[Callable[[int], Optional[int]]] = None
         self._q: deque[DWQNode] = deque()
         self.enqueued = 0
         self.dequeued = 0
@@ -117,6 +132,8 @@ class DWQ:
         node.enqueue_time_ns = self._clock.now_ns
         if node.trace_id == 0 and self._obs is not None:
             node.trace_id = self._obs.tracer.current_trace_id
+        if node.tid is None and self.tenant_resolver is not None:
+            node.tid = self.tenant_resolver(node.ino)
         self._append(node)
         self.enqueued += 1
         self._g_depth.set(len(self))

@@ -527,7 +527,16 @@ class NovaFS:
         self._drop_file_body(ino, cache, cpu)
 
     def link(self, existing: str, newpath: str) -> None:
-        """Create a hard link (files only, as in POSIX/NOVA)."""
+        """Create a hard link (files only, as in POSIX/NOVA).
+
+        Links may not cross a tenant boundary (tenant↔tenant or
+        tenant↔outside): the inode keeps one owner for quota charging,
+        and a link reachable from two subtrees would make the mount-time
+        ownership rebuild disagree with the live assignment — EXDEV-like
+        semantics, as if each tenant root were its own filesystem.
+        Within one tenant a link adds no inode and no pages, so no quota
+        check applies.
+        """
         self._check_mounted()
         self.clock.advance(self.cpu_model.syscall_ns)
         ino = self.lookup(existing)
@@ -537,6 +546,12 @@ class NovaFS:
         pino, name, parent = self._namei(newpath)
         if name in parent.dentries:
             raise FileExists(newpath)
+        src_tid = self.tenants.tenant_of(ino)
+        dst_tid = self.tenants.tenant_of(pino)
+        if src_tid != dst_tid:
+            raise FSError(
+                f"cross-tenant hard link: {existing!r} -> {newpath!r} "
+                f"(links may not cross a tenant root)")
         self._append_dentry(pino, name, ino, valid=1,
                             cpu=ino_cpu(pino, self.cpus))
         cache.inode.links += 1

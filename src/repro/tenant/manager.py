@@ -133,6 +133,16 @@ class TenantManager:
         pages = 0
         while stack:
             ino = stack.pop()
+            if ino in self.owner:
+                # Already adopted this walk: a second dentry to the same
+                # inode (hard link).  Counting it again would charge the
+                # file once per link while live accounting charges it
+                # once per inode — rebuilt usage would exceed live usage
+                # and raise spurious QuotaExceeded after a remount; it
+                # also terminates the walk on any dentry cycle.  rebuild
+                # clears ``owner`` first, so the first traversal (stable
+                # registry iteration order) owns the inode.
+                continue
             cache = self.fs.caches.get(ino)
             if cache is None:
                 continue

@@ -25,7 +25,15 @@ from __future__ import annotations
 from collections import deque
 from typing import Callable, Optional
 
-__all__ = ["TokenBucket", "DRRGate", "TenantQoS"]
+__all__ = ["TokenBucket", "DRRGate", "TenantQoS", "UNTENANTED"]
+
+#: Sentinel tenant id for ops with no tenant attached.  They still pass
+#: the DRR gate (at weight 1) so the invariant "gate capacity == bw
+#: slots, hence the DRR grant order is the bandwidth admission order"
+#: holds even when tenant and non-tenant traffic mix — an ungated op
+#: could otherwise occupy a slot a gate-granted tenant op then queues
+#: behind.  Negative so it can never collide with a registry tid.
+UNTENANTED = -1
 
 
 class TokenBucket:

@@ -130,8 +130,22 @@ def _tenant_writer(cvfs: ConcurrentVFS, fs, spec: FleetSpec, i: int,
         ops.inc()
         file_io += cost
 
+        # admit() reserves one DWQ-share slot; the slot is consumed by
+        # the node fs.write enqueues and released when a worker finishes
+        # it.  A write that enqueues nothing (hybrid inline completion,
+        # or a quota failure) must release the reservation itself or the
+        # tenant's outstanding count leaks until over_share() wedges it.
+        # fs.write runs atomically in simulated time (no engine yields
+        # inside fn), so the enqueued-counter delta is exact.
+        has_dwq = hasattr(fs, "dwq")
+        enq = {"n": 1}
+
         def _write(ino=ino, data=data):
-            return fs.write(ino, 0, data, cpu=cpu)
+            before = fs.dwq.enqueued if has_dwq else 0
+            r = fs.write(ino, 0, data, cpu=cpu)
+            if has_dwq:
+                enq["n"] = fs.dwq.enqueued - before
+            return r
 
         # The client-perceived write latency includes the DWQ admission
         # stall — that stall is exactly what a noisy neighbor inflates,
@@ -148,6 +162,8 @@ def _tenant_writer(cvfs: ConcurrentVFS, fs, spec: FleetSpec, i: int,
             result.quota_failures[name] = \
                 result.quota_failures.get(name, 0) + 1
             return None
+        if cvfs.qos is not None and enq["n"] == 0:
+            cvfs.qos.note_cancelled(tid)  # inline-completed: no node
         lat.observe(eng.now - t_adm)
         ops.inc()
         written.inc(len(data))

@@ -1,0 +1,93 @@
+"""Hard links vs tenant ownership and quota accounting.
+
+Live accounting charges an inode (and its pages) once at creation and
+refunds once at the last unlink, so the mount-time rebuild must also
+count each inode exactly once regardless of how many dentries reach it
+— and a link reachable from two tenant subtrees must be impossible,
+or live and rebuilt ownership would disagree (EXDEV-like semantics:
+each tenant root behaves like its own filesystem).
+"""
+
+import pytest
+
+from repro.core import Config, Variant, make_fs
+from repro.nova import PAGE_SIZE
+from repro.nova.fs import FSError
+
+pytestmark = pytest.mark.tenant
+
+
+def build_fs():
+    fs, _ = make_fs(Variant.DELAYED,
+                    Config(device_pages=1024, max_inodes=64))
+    return fs
+
+
+class TestRebuildCountsLinksOnce:
+    def test_hardlinked_file_counted_once_after_remount(self):
+        fs = build_fs()
+        fs.tenant_create("tn0")
+        ino = fs.create("/t/tn0/a")
+        fs.write(ino, 0, b"\x5c" * (2 * PAGE_SIZE))
+        fs.link("/t/tn0/a", "/t/tn0/b")
+        before = fs.tenant_stats()["tn0"]
+        assert before["used_pages"] == 2      # charged per inode, not
+        assert before["used_inodes"] == 2     # per dentry (root + file)
+        fs.unmount()
+        fs2 = type(fs).mount(fs.dev)
+        after = fs2.tenant_stats()["tn0"]
+        assert after["used_pages"] == before["used_pages"]
+        assert after["used_inodes"] == before["used_inodes"]
+
+    def test_no_spurious_quota_hit_after_remount(self):
+        """Rebuilt usage == live usage, so a write that fit before the
+        remount still fits after it."""
+        fs = build_fs()
+        fs.tenant_create("tn0", quota_pages=4)
+        ino = fs.create("/t/tn0/a")
+        fs.write(ino, 0, b"\x11" * (2 * PAGE_SIZE))
+        fs.link("/t/tn0/a", "/t/tn0/b")
+        fs.unmount()
+        fs2 = type(fs).mount(fs.dev)
+        assert fs2.tenant_stats()["tn0"]["used_pages"] == 2
+        ino2 = fs2.create("/t/tn0/c")
+        fs2.write(ino2, 0, b"\x22" * (2 * PAGE_SIZE))  # 4 <= quota: fits
+        assert fs2.tenant_stats()["tn0"]["used_pages"] == 4
+
+
+class TestCrossTenantLinksRejected:
+    def test_link_between_tenants_fails(self):
+        fs = build_fs()
+        fs.tenant_create("tn0")
+        fs.tenant_create("tn1")
+        ino = fs.create("/t/tn0/a")
+        fs.write(ino, 0, b"\x33" * PAGE_SIZE)
+        with pytest.raises(FSError):
+            fs.link("/t/tn0/a", "/t/tn1/stolen")
+        assert fs.tenant_stats()["tn1"]["used_pages"] == 0
+
+    def test_link_across_tenant_boundary_fails_both_ways(self):
+        fs = build_fs()
+        fs.tenant_create("tn0")
+        fs.create("/t/tn0/a")
+        fs.create("/plain")
+        with pytest.raises(FSError):
+            fs.link("/t/tn0/a", "/escapee")      # tenant -> outside
+        with pytest.raises(FSError):
+            fs.link("/plain", "/t/tn0/adopted")  # outside -> tenant
+
+    def test_same_tenant_link_allowed_and_uncharged(self):
+        fs = build_fs()
+        fs.tenant_create("tn0")
+        ino = fs.create("/t/tn0/a")
+        fs.write(ino, 0, b"\x44" * PAGE_SIZE)
+        used = fs.tenant_stats()["tn0"]
+        fs.link("/t/tn0/a", "/t/tn0/b")
+        assert fs.tenant_stats()["tn0"] == used  # no inode, no pages
+        assert fs.lookup("/t/tn0/b") == ino
+
+    def test_links_outside_tenant_roots_unaffected(self):
+        fs = build_fs()
+        fs.create("/a")
+        fs.link("/a", "/b")                      # both untenanted: fine
+        assert fs.lookup("/b") == fs.lookup("/a")

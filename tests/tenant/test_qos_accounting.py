@@ -1,0 +1,186 @@
+"""QoS outstanding-node accounting: the charge taken in admit() must be
+released exactly once no matter what happens to the write afterwards.
+
+Three regression scenarios, all of which used to wedge a tenant by
+leaking ``TenantQoS.outstanding`` until ``over_share()`` was permanently
+true and every later ``admit()`` waited on an event nobody fires:
+
+* the file is **unlinked while its node is still queued** (fleet churn)
+  — completion must use the tenant id stamped on the node at enqueue
+  time, because ``tenant_of(ino)`` is already None;
+* the write **enqueues no node at all** (hybrid inline completion) —
+  the writer must hand the reservation back;
+* several writers of one tenant pass the share check **concurrently**
+  — admit must re-check after every wait so the share is never
+  overshot (each overshoot is a slot the workers never give back to
+  the right waiter ordering).
+"""
+
+import pytest
+
+from repro.conc.vfs import ConcurrentVFS
+from repro.core import Config, Variant, make_fs
+from repro.nova import PAGE_SIZE
+from repro.tenant.qos import UNTENANTED
+from repro.workloads.datagen import DataGenerator
+from repro.workloads.fleet import FleetSpec, run_fleet
+from repro.workloads.runner import DDMode
+
+pytestmark = pytest.mark.tenant
+
+
+def build_fs(variant=Variant.DELAYED, cpus=2):
+    fs, _ = make_fs(variant,
+                    Config(device_pages=4096, max_inodes=256, cpus=cpus))
+    return fs
+
+
+class TestUnlinkedNodeAccounting:
+    def test_unlink_before_drain_releases_outstanding(self):
+        """A node whose inode dies while queued still credits its tenant."""
+        fs = build_fs()
+        tid = fs.tenant_create("tn0").tid
+        cvfs = ConcurrentVFS(fs, bw_slots=2, workers=1, qos=True,
+                             max_shard_depth=8)
+        data = b"\xae" * PAGE_SIZE
+        state = {}
+
+        def client():
+            holder = "c0"
+            ino, _ = yield from cvfs.op(
+                lambda: fs.create("/t/tn0/f"), holder, ns_mode="w",
+                tenant=tid)
+            yield from cvfs.admit(ino, holder, tenant=tid)
+            yield from cvfs.op(lambda: fs.write(ino, 0, data, cpu=0),
+                               holder, ino=ino, tenant=tid)
+            yield from cvfs.op(lambda: fs.unlink("/t/tn0/f"), holder,
+                               ns_mode="w", ino=ino, tenant=tid)
+            state["ino"] = ino
+
+        p = cvfs.client(client(), name="c0")
+
+        def coord():
+            yield cvfs.eng.all_of([p])
+            # Client done: the write's node is queued, the inode is gone.
+            assert cvfs.qos.outstanding.get(tid) == 1
+            nodes = fs.dwq.snapshot()
+            assert len(nodes) == 1
+            # The regression scenario: live ownership is already popped,
+            # only the enqueue-time stamp still knows the tenant.
+            assert fs.tenants.tenant_of(state["ino"]) is None
+            assert nodes[0].tid == tid
+            wp = cvfs.start_workers(DDMode.immediate())
+            cvfs.stop_workers()
+            yield cvfs.eng.all_of(wp)
+
+        c = cvfs.eng.process(coord(), name="coord")
+        cvfs.eng.run()
+        assert c.triggered
+        assert cvfs.qos.outstanding.get(tid, 0) == 0
+        assert not cvfs.qos.over_share(tid)
+        assert not cvfs.qos.dwq_waiters
+
+
+class TestInlineCompletionAccounting:
+    def test_hybrid_inline_fleet_does_not_leak_reservations(self):
+        """Inline-completed writes (no node) hand their reservation back."""
+        fs = build_fs(Variant.HYBRID, cpus=4)
+        if hasattr(fs, "force_mode"):
+            from repro.dedup.hybrid import MODE_INLINE
+            fs.force_mode(MODE_INLINE)
+        spec = FleetSpec(tenants=2, base_files=6, file_size=8192,
+                         dup_ratio=0.0, seed=11)
+        res = run_fleet(fs, spec, dd=DDMode.immediate(), workers=1,
+                        shards=2, max_shard_depth=2, qos=True)
+        assert res.per_tenant["tn0"]["files"] == 6
+        assert res.per_tenant["tn1"]["files"] == 3
+
+
+class TestShareNeverOvershot:
+    def test_concurrent_writers_respect_share(self):
+        """N writers of one tenant never exceed its DWQ share."""
+        fs = build_fs(cpus=4)
+        busy = fs.tenant_create("busy").tid
+        fs.tenant_create("calm")           # splits the capacity in half
+        cvfs = ConcurrentVFS(fs, bw_slots=2, workers=1, qos=True,
+                             shards=1, max_shard_depth=4)
+        share = cvfs.qos.share_of(busy)
+        assert share == 2
+        peak = {"v": 0}
+        orig = cvfs.qos.note_enqueued
+
+        def watched(tid):
+            orig(tid)
+            peak["v"] = max(peak["v"], cvfs.qos.outstanding.get(busy, 0))
+
+        cvfs.qos.note_enqueued = watched
+
+        def client(i):
+            holder = f"b{i}"
+            gen = DataGenerator(0.0, seed=5, stream=i)
+
+            def body():
+                for k in range(4):
+                    data = gen.file_data(PAGE_SIZE)
+                    ino, _ = yield from cvfs.op(
+                        lambda p=f"/t/busy/f{i}_{k}": fs.create(p),
+                        holder, ns_mode="w", tenant=busy)
+                    yield from cvfs.admit(ino, holder, tenant=busy)
+                    yield from cvfs.op(
+                        lambda ino=ino, d=data: fs.write(ino, 0, d, cpu=i),
+                        holder, ino=ino, tenant=busy)
+                    cvfs.kick_workers()
+
+            return body()
+
+        procs = [cvfs.client(client(i), name=f"b{i}") for i in range(4)]
+        wp = cvfs.start_workers(DDMode.immediate())
+
+        def coord():
+            yield cvfs.eng.all_of(procs)
+            cvfs.stop_workers()
+            yield cvfs.eng.all_of(wp)
+
+        c = cvfs.eng.process(coord(), name="coord")
+        cvfs.eng.run()
+        assert c.triggered, "run deadlocked"
+        assert peak["v"] <= share, \
+            f"tenant exceeded its DWQ share: {peak['v']} > {share}"
+        assert cvfs.qos.outstanding.get(busy, 0) == 0
+
+
+class TestGateCoversUntenanted:
+    def test_tenantless_ops_pass_the_gate(self):
+        """With QoS on, ops without a tenant still occupy gate capacity
+        (sentinel id, weight 1) so gated tenants never queue behind
+        ungated slot holders."""
+        fs = build_fs()
+        tid = fs.tenant_create("tn0").tid
+        cvfs = ConcurrentVFS(fs, bw_slots=1, workers=1, qos=True,
+                             max_shard_depth=8)
+
+        def tenant_client():
+            for k in range(3):
+                yield from cvfs.op(
+                    lambda p=f"/t/tn0/f{k}": fs.create(p), "t0",
+                    ns_mode="w", tenant=tid)
+
+        def plain_client():
+            for k in range(3):
+                yield from cvfs.op(
+                    lambda p=f"/x{k}": fs.create(p), "plain",
+                    ns_mode="w")   # no tenant attached
+
+        procs = [cvfs.client(tenant_client(), name="t0"),
+                 cvfs.client(plain_client(), name="plain")]
+
+        def coord():
+            yield cvfs.eng.all_of(procs)
+
+        c = cvfs.eng.process(coord(), name="coord")
+        cvfs.eng.run()
+        assert c.triggered
+        log = cvfs.qos.gate.admission_log
+        assert log.count(UNTENANTED) == 3
+        assert log.count(tid) == 3
+        assert cvfs.qos.gate.in_flight == 0
