@@ -105,3 +105,68 @@ def test_fig9(benchmark, jobf, nfiles, name, peak_at_most):
 
     # Small files must peak earlier than large files — checked across the
     # two parametrized runs via the peak_at_most bounds.
+
+
+def run_staged(threads, staging):
+    """One small-file point with the front-tier staging log on or off."""
+    cfg = Config(device_pages=8192, max_inodes=192 + 64, cpus=8,
+                 delayed_interval_ms=0.75, delayed_batch=20000,
+                 staging=staging, staging_pages=512)
+    fs, dd = make_fs(Variant.DELAYED, cfg)
+    spec = small_file_job(nfiles=192, dup_ratio=0.5, threads=threads)
+    res = run_workload(fs, spec, dd=dd, destage_workers=1)
+    stats = fs.staging.stats() if fs.staging is not None else {}
+    return res, stats
+
+
+def test_fig9_staging(benchmark):
+    """Fig. 9 small-file sweep with the staging log absorbing the 4 KB
+    sync writes (and their creates): one NT-store + one fence in the
+    foreground instead of the full Fig. 1 discipline.
+
+    The committed curve lives in ``fig9_staging.json`` next to
+    ``fig9_baseline.json``; ``compare.py --staging`` diffs the T=16
+    point so the absorption win cannot silently regress.
+    """
+    def sweep_staged():
+        return {label: [run_staged(t, staging) for t in THREADS]
+                for label, staging in (("staged", True), ("direct", False))}
+
+    table = benchmark.pedantic(sweep_staged, rounds=1, iterations=1)
+    curves = {label: [res.throughput_mb_s for res, _ in runs]
+              for label, runs in table.items()}
+    rows = [[label] + [round(v, 1) for v in curve]
+            for label, curve in curves.items()]
+    emit("fig9_staging", render_table(
+        ["mode"] + [f"T={t}" for t in THREADS], rows,
+        title="Fig. 9 (small 4KB files, delayed dedup): staging log "
+              "on vs off, MB/s vs threads (duplicate ratio 50%)",
+    ))
+    path = RESULTS / "fig9_staging.json"
+    path.write_text(json.dumps({
+        "job": "small_file_job",
+        "variant": Variant.DELAYED.value,
+        "threads": THREADS,
+        "throughput_mb_s": {label: [round(v, 3) for v in curve]
+                            for label, curve in curves.items()},
+    }, indent=2, sort_keys=True) + "\n")
+
+    i16 = THREADS.index(16)
+    staged16 = curves["staged"][i16]
+    direct16 = curves["direct"][i16]
+    # The ISSUE's acceptance bar: >= 3x the 72 MB/s fig9 small-file
+    # baseline figure with staging on — and >= 3x the same-run direct
+    # T=16 point, which is the stronger (measured, not pinned) claim.
+    assert staged16 >= 3 * 72.0, f"staged T=16 = {staged16:.0f} MB/s"
+    assert staged16 >= 3 * direct16, \
+        f"staged {staged16:.0f} vs direct {direct16:.0f} MB/s at T=16"
+    # Every staged point must beat its direct twin: absorption never
+    # makes a thread count slower.
+    for i, t in enumerate(THREADS):
+        assert curves["staged"][i] > curves["direct"][i], f"T={t}"
+    # The pool kept up: nothing left staged, every record destaged.
+    for res, stats in table["staged"]:
+        assert stats["pending_records"] == 0
+        assert stats["absorbed"] + stats["absorbed_creates"] \
+            == stats["destaged"]
+        assert res.destage_records == stats["destaged"]

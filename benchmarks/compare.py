@@ -104,6 +104,50 @@ def measure_quick_points():
     return current
 
 
+# Thread counts re-measured by --staging: the scaling knee and the
+# fig. 9 small-write point the ISSUE's acceptance bar pins (T=16).
+STAGING_THREADS = [4, 16]
+
+
+def measure_staging_points() -> dict:
+    """Re-run the staged/direct small-file points (bench_fig9_threads
+    ``run_staged`` configuration) in-process."""
+    from repro.core import Config, Variant, make_fs
+    from repro.workloads import run_workload, small_file_job
+
+    current: dict = {}
+    for label, staging in (("staged", True), ("direct", False)):
+        for threads in STAGING_THREADS:
+            cfg = Config(device_pages=8192, max_inodes=192 + 64, cpus=8,
+                         delayed_interval_ms=0.75, delayed_batch=20000,
+                         staging=staging, staging_pages=512)
+            fs, dd = make_fs(Variant.DELAYED, cfg)
+            spec = small_file_job(nfiles=192, dup_ratio=0.5,
+                                  threads=threads)
+            mb_s = run_workload(fs, spec, dd=dd,
+                                destage_workers=1).throughput_mb_s
+            current.setdefault(label, {})[f"T{threads}"] = round(mb_s, 3)
+            print(f"measured small_file_job {label} T={threads}: "
+                  f"{mb_s:.1f} MB/s")
+    return current
+
+
+def staging_baseline_view(baseline: dict) -> dict:
+    """Project fig9_staging.json onto the STAGING_THREADS key shape."""
+    view: dict = {}
+    for label in ("staged", "direct"):
+        curve = baseline.get("throughput_mb_s", {}).get(label)
+        if not curve:
+            continue
+        for threads in STAGING_THREADS:
+            try:
+                idx = baseline["threads"].index(threads)
+            except (KeyError, ValueError):
+                continue
+            view.setdefault(label, {})[f"T{threads}"] = curve[idx]
+    return view
+
+
 # Numeric leaves of tenant_baseline.json checked by --tenants.  The
 # per-point dicts carry wall-clock-ish totals; the isolation claim
 # lives in these p99s and ratios, so only they get a band.
@@ -174,20 +218,50 @@ def main(argv=None) -> int:
     ap.add_argument("--tenants", action="store_true",
                     help="re-measure the tenant isolation points against "
                          "tenant_baseline.json")
+    ap.add_argument("--staging", action="store_true",
+                    help="re-measure the staged/direct fig9 small-write "
+                         "points against fig9_staging.json (clean skip "
+                         "when that baseline was never generated)")
     args = ap.parse_args(argv)
 
     if args.tenants and args.baseline == "fig9_baseline.json":
         args.baseline = "tenant_baseline.json"
+    if args.staging and args.baseline == "fig9_baseline.json":
+        args.baseline = "fig9_staging.json"
     base_path = pathlib.Path(args.baseline)
     if not base_path.exists():
         base_path = RESULTS / args.baseline
     if not base_path.exists():
+        if args.staging:
+            # The staging curve is produced by bench_fig9_threads; a
+            # checkout that never ran it simply has nothing to gate.
+            print(f"skip: baseline {args.baseline} not present")
+            return 0
         print(f"error: baseline {args.baseline} not found", file=sys.stderr)
         return 2
     baseline = json.loads(base_path.read_text())
 
     if args.current:
         current = json.loads(pathlib.Path(args.current).read_text())
+    elif args.staging:
+        current = measure_staging_points()
+        baseline = staging_baseline_view(baseline)
+        if not baseline:
+            print("error: baseline has none of the staging points",
+                  file=sys.stderr)
+            return 2
+        rc = report(compare_docs(current, baseline, args.tolerance))
+        # The acceptance bar itself, independent of baseline drift: the
+        # staged T=16 point must hold >= 3x its direct twin.
+        staged16 = current["staged"]["T16"]
+        direct16 = current["direct"]["T16"]
+        if staged16 < 3 * direct16:
+            print(f"REGRESSION: staged T=16 {staged16:.1f} MB/s is below "
+                  f"3x direct {direct16:.1f} MB/s")
+            rc = 1
+        else:
+            print(f"staging win at T=16: {staged16 / direct16:.1f}x")
+        return rc
     elif args.tenants:
         current = measure_tenant_points()
         baseline = tenant_baseline_view(baseline)

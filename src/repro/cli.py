@@ -569,6 +569,14 @@ def cmd_workload(args) -> int:
         pinned = args.dedup_mode.removeprefix("hybrid").lstrip("-")
         if pinned:  # "hybrid" alone keeps the adaptive controller
             fs.force_mode(_FORCED_MODE[pinned])
+    if args.staging:
+        from repro.nova.fs import FSError
+        try:
+            fs.enable_staging()
+        except FSError as exc:
+            print(f"--staging: {exc} (reformat with a staging region)",
+                  file=sys.stderr)
+            return 1
     dd = (DDMode.immediate() if hasattr(fs, "daemon") else DDMode.none())
     spec = small_file_job(nfiles=args.files, dup_ratio=args.dup,
                           threads=args.threads, seed=args.seed)
@@ -582,6 +590,14 @@ def cmd_workload(args) -> int:
             ["dwq steals", res.steals],
             ["writer stalls", res.stalls],
             ["space saving", f"{res.space.get('space_saving', 0):.1%}"]]
+    if args.staging and fs.staging is not None:
+        st = fs.staging.stats()
+        rows += [["staging absorbed",
+                  f"{st['absorbed']} writes + {st['absorbed_creates']} "
+                  f"creates ({st['absorbed_bytes']} B)"],
+                 ["staging destaged/fallbacks",
+                  f"{st['destaged']}/{st['fallbacks']}"],
+                 ["staging destage records", res.destage_records]]
     hy = res.space.get("hybrid")
     if hy:
         rows += [["hybrid modes",
@@ -837,7 +853,7 @@ def cmd_fuzz(args) -> int:
                      pages=args.pages, alpha=args.alpha,
                      corpus=args.corpus, max_failures=args.max_failures,
                      clients=args.clients, tenants=args.tenants,
-                     dedup_mode=args.dedup_mode)
+                     dedup_mode=args.dedup_mode, staging=args.staging)
     runner = FuzzRunner(cfg, gen_cfg=GenConfig(alpha=args.alpha),
                         shrink_failures=not args.no_shrink,
                         log=lambda msg: print(f"  {msg}", file=sys.stderr))
@@ -1041,6 +1057,11 @@ def build_parser() -> argparse.ArgumentParser:
     s.add_argument("--noisy", type=int, default=None,
                    help="index of a noisy-neighbor tenant that bursts "
                         "without think time (--tenants mode)")
+    s.add_argument("--staging", action=argparse.BooleanOptionalAction,
+                   default=False,
+                   help="absorb small sync writes (and their creates) "
+                        "through the front-tier staging log; destage "
+                        "runs in background workers")
     s.set_defaults(fn=cmd_workload)
 
     s = sub.add_parser("tenant", help="multi-tenant namespaces, quotas, "
@@ -1168,6 +1189,10 @@ def build_parser() -> argparse.ArgumentParser:
                    help="dedup pipeline under test: classic delayed "
                         "DeNova, or the hybrid weak+strong path with "
                         "its extra persistence events")
+    s.add_argument("--staging", action="store_true",
+                   help="absorb small writes and creates through the "
+                        "front-tier staging log, sweeping crashes "
+                        "through its record/watermark persists too")
     s.add_argument("--backup", action="store_true",
                    help="sweep crashes through backup ingest instead of "
                         "the differential campaign")

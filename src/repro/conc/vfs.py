@@ -102,6 +102,18 @@ class ConcurrentVFS:
         self.worker_busy_ns = 0.0
         self._worker_wakes: list = []
         self._stop = False
+        # Staging destage pool (started on demand; see
+        # start_destage_workers).  Workers are DES-clock driven: each
+        # polls its share of pending inodes every destage_poll_ns of
+        # simulated time, so destage lag is bounded and deterministic.
+        self.destage_poll_ns = 200_000.0
+        #: Slab-occupancy fraction above which a destage worker drains
+        #: an inode before being told to stop (lazy, pressure-driven).
+        self.destage_high_water = 0.5
+        self.destage_records = 0
+        self.destage_busy_ns = 0.0
+        self._stop_destage = False
+        self._destage_pool = 0
         self._jitter = (random.Random(f"repro.conc:{jitter_seed}")
                         if jitter_seed is not None else None)
         self._jitter_ns = jitter_ns
@@ -407,6 +419,79 @@ class ConcurrentVFS:
         for i, ev in enumerate(self._worker_wakes):
             if ev is not None and not ev.triggered:
                 ev.succeed()
+
+    # ------------------------------------------------------------ destage pool
+
+    def start_destage_workers(self, n: int = 1) -> list[Process]:
+        """Launch the staging destage pool (staging-enabled fs only).
+
+        Each worker owns the pending inodes with ``ino % n == wid`` —
+        the same partition the slabs use, so two workers never contend
+        on one inode's record sequence — and replays them through the
+        normal write path under the ordinary ``ino`` lock.  Nodes the
+        destaged writes enqueue flow to the dedup pool exactly like a
+        foreground writer's would (admission control included).
+        """
+        st = getattr(self.fs, "staging", None)
+        if st is None:
+            raise ValueError("filesystem has no staging region")
+        n = max(1, int(n))
+        self._stop_destage = False
+        self._destage_pool = n
+        return [self.eng.process(self._destage_proc(i, n),
+                                 name=f"destage-{i}")
+                for i in range(n)]
+
+    def stop_destage_workers(self) -> None:
+        """Ask the destage pool to drain its backlog and exit."""
+        self._stop_destage = True
+
+    def _destage_proc(self, wid: int, pool: int):
+        eng = self.eng
+        st = self.fs.staging
+        holder = f"destage-{wid}"
+        while True:
+            mine = [i for i in st.pending_inos() if i % pool == wid]
+            if self._stop_destage:
+                # Final drain: everything left, regardless of pressure.
+                inos = mine
+                if not inos:
+                    break
+            else:
+                # Pressure-driven while the workload runs: destaging is
+                # deliberately lazy (NVLog drains on log-full or idle) so
+                # the background pool does not steal namespace-lock and
+                # bandwidth slots from the foreground it exists to
+                # unburden.  The fallback path covers the extreme: a
+                # completely full slab rejects the append and the writer
+                # goes direct.
+                inos = [i for i in mine
+                        if st.slab_fill(i) >= self.destage_high_water]
+                if not inos:
+                    yield eng.timeout(self.destage_poll_ns)
+                    continue
+            for ino in inos:
+                if self.sdwq is not None:
+                    # The destaged writes enqueue DWQ nodes like any
+                    # writer; respect shard backpressure before, not
+                    # after, the burst.
+                    yield from self.admit(ino, holder)
+                # A staged *create* destages a dentry append into the
+                # parent directory: that is namespace work and pays the
+                # same ns-lock + coherence bill a foreground create
+                # would — just off the foreground's critical path.
+                needs_ns = st.has_pending_create(ino)
+                n, cost = yield from self.op(
+                    lambda ino=ino: st.drain_ino(ino,
+                                                 cpu=ino % self.fs.cpus),
+                    holder, ns_mode="w" if needs_ns else None,
+                    ino=ino, use_bw=True,
+                    extra_ns=(self.coherence_tax_ns if needs_ns
+                              else 0.0))
+                self.destage_records += n
+                self.destage_busy_ns += cost
+            if self.sdwq is not None:
+                self.kick_workers()
 
     def _pick_shard(self, own: list[int]) -> tuple[Optional[int], bool]:
         """(shard, is_steal): oldest-head own shard, else longest other.

@@ -85,6 +85,12 @@ class Config:
     delayed_interval_ms: float = 750.0      # the paper's (750, 20000)
     delayed_batch: int = 20000
     track_wear: bool = False
+    # Front-tier staging log (repro.nova.staging).  The region is always
+    # carved (staging_pages > 0 and the device is big enough); absorbing
+    # small sync writes is opt-in so baselines are unchanged.
+    staging: bool = False
+    staging_threshold: int = PAGE_SIZE
+    staging_pages: int = 64
 
     @classmethod
     def with_profile(cls, profile: str, **kw) -> "Config":
@@ -113,9 +119,13 @@ def make_fs(variant: Variant, cfg: Config = Config(),
     cls = _FS_CLASSES[variant]
     if variant.has_dedup:
         fs = cls.mkfs(dev, max_inodes=cfg.max_inodes, cpus=cfg.cpus,
-                      fact_prefix_bits=cfg.fact_prefix_bits)
+                      fact_prefix_bits=cfg.fact_prefix_bits,
+                      staging_pages=cfg.staging_pages)
     else:
-        fs = cls.mkfs(dev, max_inodes=cfg.max_inodes, cpus=cfg.cpus)
+        fs = cls.mkfs(dev, max_inodes=cfg.max_inodes, cpus=cfg.cpus,
+                      staging_pages=cfg.staging_pages)
+    if cfg.staging:
+        fs.enable_staging(cfg.staging_threshold)
     if variant is Variant.IMMEDIATE:
         dd = DDMode.immediate()
     elif variant in (Variant.DELAYED, Variant.HYBRID):

@@ -93,11 +93,13 @@ class DeNovaFS(NovaFS):
     @classmethod
     def mkfs(cls, dev: PMDevice, max_inodes: int = 1024, cpus: int = 1,
              fact_prefix_bits: Optional[int] = None,
-             dwq_save_pages: int = 8, **_ignored) -> "DeNovaFS":
+             dwq_save_pages: int = 8, staging_pages: int = 64,
+             **_ignored) -> "DeNovaFS":
         return super().mkfs(dev, max_inodes=max_inodes, cpus=cpus,
                             with_dedup=True,
                             fact_prefix_bits=fact_prefix_bits,
-                            dwq_save_pages=dwq_save_pages)
+                            dwq_save_pages=dwq_save_pages,
+                            staging_pages=staging_pages)
 
     def _pre_unmount(self) -> None:
         """§IV-B1: on a normal shutdown the DWQ is saved to NVM."""

@@ -96,6 +96,11 @@ class InlineDedupFS(DeNovaFS):
             raise ValueError("negative offset")
         if not data:
             return 0
+        if self._stage_or_drain(ino, offset, data, cpu):
+            # Absorbed: fingerprinting runs when the record destages
+            # through this same path — "inline" relative to the destage,
+            # off the caller's critical path.
+            return len(data)
         with self.obs.span("fs.write", ino=ino):
             return self._inline_write(ino, offset, data, cpu)
 

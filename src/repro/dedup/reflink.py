@@ -46,10 +46,26 @@ def reflink(fs, src: str, dst: str, immutable: bool = False) -> int:
     src_cache = fs.caches[src_ino]
     if src_cache.inode.itype != ITYPE_FILE:
         raise IsADirectory(src)
+    staging = getattr(fs, "staging", None)
+    if staging is not None and staging.has_pending(src_ino):
+        # Reflink reads the source through its radix index; staged but
+        # undestaged records must land there first.
+        staging.drain_ino(src_ino)
     dpino, dname, dparent = fs._namei(dst)
     if dname in dparent.dentries:
         raise FileExists(dst)
     cpu = src_ino % fs.cpus
+
+    # Quota admission up front, before any UC is staged or any slot
+    # taken: quotas are logical per-mapping, so the destination tenant
+    # (the parent directory's owner) is charged one page per shared
+    # mapping, exactly like a CoW write of the same content.  Checking
+    # first makes an over-quota reflink atomic — QuotaExceeded leaves
+    # no staged UC, no orphan inode, no partial clone.
+    n_mappings = len(src_cache.index.mapped_offsets)
+    fs.tenants.check_inode(dpino)
+    if n_mappings:
+        fs.tenants.check_pages(dpino, n_mappings)
 
     # Stage: one UC per shared page; fingerprint-and-insert pages that
     # have no FACT entry yet (pending offline dedup).
@@ -92,7 +108,10 @@ def reflink(fs, src: str, dst: str, immutable: bool = False) -> int:
             runs.append((pgoff, block, 1))
 
     # Unpublished destination inode (orphan until the dentry lands).
-    dst_ino = fs._new_inode(ITYPE_FILE, cpu)
+    # ``parent=dpino`` inherits the destination tenant's ownership, so
+    # the mappings charged below (and uncharged by unlink, e.g. via
+    # delete_snapshot) land on the right quota.
+    dst_ino = fs._new_inode(ITYPE_FILE, cpu, parent=dpino)
     dst_cache = fs.caches[dst_ino]
     if immutable:
         dst_cache.inode.flags |= FLAG_IMMUTABLE
@@ -146,6 +165,10 @@ def reflink(fs, src: str, dst: str, immutable: bool = False) -> int:
         fs.set_dedupe_flag(addr, DEDUPE_COMPLETE)
         fs.note_dedup_done(addr)
         dst_cache.index.install(addr, we)
+    # Net charge after the radix install (check, act, account): a fresh
+    # file displaces nothing, so the net is one page per mapping — the
+    # same figure the mount-time rebuild counts from the index.
+    fs.tenants.account_pages(dst_ino, n_mappings)
 
     # Publish.
     fs._append_dentry(dpino, dname, dst_ino, valid=1, cpu=cpu)

@@ -81,6 +81,10 @@ class FuzzConfig:
     #                              registry's persistence crash points)
     dedup_mode: str = "delayed"  # "delayed" (classic DeNova) or "hybrid"
     #                              (weak+strong pipeline, adaptive policy)
+    staging: bool = False        # absorb small writes + creates through
+    #                              the front-tier staging log: every
+    #                              record append / destage / watermark
+    #                              persist enters the crash sweep
 
 
 @dataclass
@@ -123,7 +127,10 @@ def _fs_cls(cfg: FuzzConfig):
 
 def make_fs(cfg: FuzzConfig) -> DeNovaFS:
     dev = PMDevice(cfg.pages * PAGE_SIZE, model=DRAM, clock=SimClock())
-    return _fs_cls(cfg).mkfs(dev, max_inodes=cfg.inodes, cpus=cfg.cpus)
+    fs = _fs_cls(cfg).mkfs(dev, max_inodes=cfg.inodes, cpus=cfg.cpus)
+    if cfg.staging:
+        fs.enable_staging()
+    return fs
 
 
 def _settle(fs) -> None:
@@ -415,6 +422,10 @@ def run_case(ops: list[TraceOp], cfg: Optional[FuzzConfig] = None,
                 result.ops_applied += 1
             else:
                 result.ops_skipped += 1
+        if fs.staging is not None:
+            # Destage before the daemon drain: the destaged writes are
+            # what enqueue the DWQ nodes the drain must then retire.
+            fs.staging.drain_all()
         fs.daemon.drain()
         _settle(fs)
         full_equivalence_check(fs, model)

@@ -502,6 +502,13 @@ def generate_tenant_sequence(seed: int, stream: int, nops: int,
     and checkpoint ones.  Quotas are left unlimited: the model oracle
     has no space accounting, and ``QuotaExceeded`` would merely stop
     sequences early via the resource-exhaustion rule.
+
+    A trailing phase adds deliberate *cross-tenant* ops: rename and
+    link across tenant roots (both sides must reject, EXDEV-style) and
+    reflink across roots (both sides accept — the clone is owned and
+    quota-charged by the destination tenant), so the differential
+    oracle covers the tenant-boundary paths, not just the happy paths
+    inside each stream.
     """
     if tenants < 1:
         raise ValueError("tenants must be >= 1")
@@ -523,4 +530,30 @@ def generate_tenant_sequence(seed: int, stream: int, nops: int,
                for op in gen.generate(counts[c])]
         queues.append([TraceOp(op="tenant_create", path=name)] + ops)
     rng = random.Random(f"repro.fuzz.tenant:{seed}:{stream}:{tenants}")
-    return _seeded_merge(queues, rng)
+    merged = _seeded_merge(queues, rng)
+    return merged + _cross_tenant_ops(merged, tenants, rng)
+
+
+def _cross_tenant_ops(merged: list[TraceOp], tenants: int,
+                      rng: random.Random) -> list[TraceOp]:
+    """Boundary-crossing ops against the post-merge model state."""
+    if tenants < 2:
+        return []
+    model = model_after(merged)
+    roots = [f"/t/tn{c}" for c in range(tenants)]
+    ops: list[TraceOp] = []
+    for a in range(tenants):
+        b = (a + 1) % tenants
+        files = [p for p in model.file_paths()
+                 if p.startswith(roots[a] + "/")]
+        if not files:
+            continue
+        src = rng.choice(files)
+        leaf = src.rsplit("/", 1)[1]
+        ops.append(TraceOp(op="rename", path=src,
+                           path2=f"{roots[b]}/xrn{a}-{leaf}"))
+        ops.append(TraceOp(op="link", path=src,
+                           path2=f"{roots[b]}/xln{a}-{leaf}"))
+        ops.append(TraceOp(op="reflink", path=src,
+                           path2=f"{roots[b]}/xrf{a}-{leaf}"))
+    return ops

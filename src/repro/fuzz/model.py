@@ -209,6 +209,9 @@ class ModelFS:
         pid, name, parent = self._namei(newpath)
         if name in parent.children:
             raise ModelError(f"exists: {newpath}")
+        if self._tenant_of_id(nid) != self._tenant_of_id(pid):
+            raise ModelError(
+                f"cross-tenant hard link: {existing!r} -> {newpath!r}")
         parent.children[name] = nid
         node.nlink += 1
 
@@ -223,11 +226,51 @@ class ModelFS:
         if self.nodes[nid].kind == "dir":
             if nid == dpid or self._is_ancestor(nid, dpid):
                 raise ModelError(f"cannot move {src!r} into its own subtree")
+        if self._tenant_of_id(nid) != self._tenant_of_id(dpid):
+            raise ModelError(f"cross-tenant rename: {src!r} -> {dst!r}")
         del sparent.children[sname]
         dparent.children[dname] = nid
         if self.nodes[nid].kind == "dir" and spid != dpid:
             sparent.nlink -= 1
             dparent.nlink += 1
+
+    def _tenant_of_id(self, nid: int) -> Optional[str]:
+        """The tenant root subtree containing ``nid``, or None.
+
+        Mirrors ``TenantManager.tenant_of`` (ino -> owner) by subtree
+        membership: ownership is inherited from the parent at creation
+        and rename/link may not cross a tenant root, so the subtree a
+        node sits in *is* its owner.  ``tenants`` is populated by the
+        ``tenant_create`` fuzz op; directories under ``/t`` that are not
+        registered tenants are unowned, as on the real filesystem.
+        """
+        tenants = getattr(self, "tenants", None)
+        if not tenants:
+            return None
+        t_node = None
+        for name, child in self.nodes[ROOT_ID].children.items():
+            if name == "t" and self.nodes[child].kind == "dir":
+                t_node = self.nodes[child]
+                break
+        if t_node is None:
+            return None
+        for name in tenants:
+            rid = t_node.children.get(name)
+            if rid is None:
+                continue
+            stack = [rid]
+            seen: set[int] = set()
+            while stack:
+                cur = stack.pop()
+                if cur == nid:
+                    return name
+                if cur in seen:
+                    continue
+                seen.add(cur)
+                node = self.nodes.get(cur)
+                if node is not None and node.kind == "dir":
+                    stack.extend(node.children.values())
+        return None
 
     def _is_ancestor(self, maybe_ancestor: int, nid: int) -> bool:
         parent_of: dict[int, int] = {}

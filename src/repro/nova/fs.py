@@ -219,6 +219,15 @@ class NovaFS:
         # until a tenant exists).
         from repro.tenant.manager import TenantManager
         self.tenants = TenantManager(self)
+        # Front-tier staging log (repro.nova.staging): present whenever
+        # the image carved the region; *absorption* is opt-in via
+        # :meth:`enable_staging` so default behaviour (and every
+        # baseline) is unchanged.  Replay of leftover records at mount
+        # happens regardless — durability is not opt-in.
+        from repro.nova.staging import StagingLog
+        self.staging = StagingLog(self) if geo.staging_pages else None
+        self.staging_enabled = False
+        self.staging_threshold = PAGE_SIZE
 
     # ------------------------------------------------------------------ lifecycle
 
@@ -226,12 +235,14 @@ class NovaFS:
     def mkfs(cls, dev: PMDevice, max_inodes: int = 1024, cpus: int = 1,
              with_dedup: bool = False,
              fact_prefix_bits: Optional[int] = None,
-             dwq_save_pages: int = 8) -> "NovaFS":
+             dwq_save_pages: int = 8,
+             staging_pages: int = 64) -> "NovaFS":
         """Format the device and return a mounted, empty filesystem."""
         geo = Geometry.compute(dev.size // PAGE_SIZE, max_inodes,
                                with_dedup=with_dedup,
                                fact_prefix_bits=fact_prefix_bits,
-                               dwq_save_pages=dwq_save_pages)
+                               dwq_save_pages=dwq_save_pages,
+                               staging_pages=staging_pages)
         Superblock(dev).format(geo)
         fs = cls(dev, geo, cpus)
         root = Inode(ino=ROOT_INO, valid=1, itype=ITYPE_DIR, links=2,
@@ -243,6 +254,7 @@ class NovaFS:
         fs.mounted = True
         fs._post_mkfs()
         fs.tenants.rebuild()
+        fs._replay_staging()  # formats the (zeroed) slab headers
         return fs
 
     def _post_mkfs(self) -> None:
@@ -271,11 +283,17 @@ class NovaFS:
         fs.mounted = True
         fs._post_mount()
         fs.tenants.rebuild()
+        # After the ownership rebuild: replayed writes charge quotas.
+        fs._replay_staging()
         return fs
 
     def unmount(self) -> None:
         """Clean shutdown: persist lazy state and set the clean flag."""
         self._check_mounted()
+        if self.staging is not None:
+            # Destage everything before sizes flush and the checkpoint
+            # snapshots state — a clean image carries no staged records.
+            self.staging.drain_all()
         for ino, cache in self.caches.raw_items():
             # Never-hydrated stubs kept their persisted size from the
             # unmount that wrote the checkpoint — nothing to flush.
@@ -307,6 +325,38 @@ class NovaFS:
     def _check_mounted(self) -> None:
         if not self.mounted:
             raise FSError("filesystem is not mounted")
+
+    # ------------------------------------------------------------------ staging
+
+    def enable_staging(self, threshold: int = PAGE_SIZE) -> None:
+        """Absorb sync writes of <= ``threshold`` bytes into the staging
+        log (one fence on the critical path; background destage)."""
+        if self.staging is None:
+            raise FSError("image has no staging region (device too small "
+                          "or formatted with staging_pages=0)")
+        if threshold < 1 or threshold > self.staging.max_payload:
+            raise ValueError(
+                f"staging threshold must be in [1, "
+                f"{self.staging.max_payload}], got {threshold}")
+        self.staging_threshold = int(threshold)
+        self.staging_enabled = True
+
+    def disable_staging(self) -> None:
+        """Stop absorbing; drains anything already staged."""
+        if self.staging is not None:
+            self.staging.drain_all()
+        self.staging_enabled = False
+
+    def _replay_staging(self) -> None:
+        if self.staging is None:
+            return
+        rep = self.staging.replay()
+        # Only reported when the scan found records: clean mounts (and
+        # every pre-staging image) keep their RecoveryReport contents —
+        # and byte-identical report contracts — unchanged.
+        if self.last_recovery is not None \
+                and (rep["replayed"] or rep["discarded"]):
+            self.last_recovery.extra["staging"] = rep
 
     # ------------------------------------------------------------------ namei
 
@@ -476,6 +526,11 @@ class NovaFS:
         pino, name, parent = self._namei(path)
         if name in parent.dentries:
             raise FileExists(path)
+        st = self.staging
+        if st is not None and self.staging_enabled and not st.active:
+            ino = self._staged_create(pino, name)
+            if ino is not None:
+                return ino
         # Order: valid inode first, then the dentry that publishes it.  A
         # crash in between leaves an orphan inode that recovery collects.
         ino = self._new_inode(ITYPE_FILE, cpu=ino_cpu(pino, self.cpus),
@@ -483,6 +538,70 @@ class NovaFS:
         self._append_dentry(pino, name, ino, valid=1,
                             cpu=ino_cpu(pino, self.cpus))
         return ino
+
+    def _staged_create(self, pino: int, name: str) -> Optional[int]:
+        """Absorb a file create into the staging log (None = fall back).
+
+        The staged record is the commit point; everything else here is
+        DRAM.  The inode-table slot stays invalid until destage, so a
+        crashed staged create leaves nothing for orphan collection — the
+        replay re-creates the file (same ino) or, if the record is torn,
+        the create simply never happened.
+        """
+        st = self.staging
+        self.tenants.check_inode(pino)
+        try:
+            ino = self.itable.alloc()
+        except RuntimeError as exc:
+            raise NoSpace(str(exc)) from None
+        if not st.try_stage_create(pino, name, ino):
+            self.itable.unreserve(ino)
+            return None
+        inode = Inode(ino=ino, valid=1, itype=ITYPE_FILE, links=1,
+                      mtime=int(self.clock.now_ns))
+        self.caches[ino] = InodeCache(
+            inode=inode, index=FileIndex(self.cpu_model, self.clock))
+        self.tenants.note_inode(ino, pino)
+        self.clock.advance(self.cpu_model.dram_touch_ns)
+        self.caches[pino].dentries[name] = ino
+        return ino
+
+    def _destage_create(self, parent_ino: int, name: str, ino: int,
+                        cpu: int) -> None:
+        """Persist a staged create: inode record, then the dentry."""
+        cache = self.caches[ino]
+        self.itable.write(ino, cache.inode)
+        self._append_dentry(parent_ino, name, ino, valid=1, cpu=cpu)
+
+    def _replay_create(self, parent_ino: int, name: str,
+                       ino: int) -> bool:
+        """Re-apply a staged create at mount.  False = discard.
+
+        Idempotent against a crash mid-destage: if the dentry already
+        resolves to ``ino`` (destage completed before the watermark
+        persisted) there is nothing to do; if destage persisted only the
+        inode, orphan collection already reclaimed it and the create
+        runs from scratch with the recorded ino.
+        """
+        parent = self.caches.get(parent_ino)
+        if parent is None or parent.inode.itype != ITYPE_DIR:
+            return False
+        existing = parent.dentries.get(name)
+        if existing is not None:
+            return existing == ino
+        try:
+            self.itable.claim(ino)
+        except RuntimeError:
+            return False
+        cpu = ino_cpu(parent_ino, self.cpus)
+        inode = Inode(ino=ino, valid=1, itype=ITYPE_FILE, links=1,
+                      mtime=int(self.clock.now_ns))
+        self.itable.write(ino, inode)
+        self.caches[ino] = InodeCache(
+            inode=inode, index=FileIndex(self.cpu_model, self.clock))
+        self.tenants.note_inode(ino, parent_ino)
+        self._append_dentry(parent_ino, name, ino, valid=1, cpu=cpu)
+        return True
 
     def mkdir(self, path: str) -> int:
         self._check_mounted()
@@ -517,6 +636,15 @@ class NovaFS:
         if cache.inode.itype == ITYPE_DIR:
             raise IsADirectory(path)
         cpu = ino_cpu(ino, self.cpus)
+        if self.staging is not None and cache.inode.links == 1 \
+                and self.staging.has_pending_create(ino):
+            # The file only ever existed in the staging log.  Discard —
+            # and persist the watermark — *before* the dentry-remove
+            # commits: a crash after the watermark observes "unlinked"
+            # (this op completed), a crash before it observes the file
+            # (this op never started).  Discarding after the commit
+            # would leave a window where replay resurrects the file.
+            self.staging.discard_ino(ino)
         # 1. Unpublish the name (the commit point of the unlink).
         self._append_dentry(pino, name, ino, valid=0, cpu=cpu)
         cache.inode.links -= 1
@@ -552,6 +680,11 @@ class NovaFS:
             raise FSError(
                 f"cross-tenant hard link: {existing!r} -> {newpath!r} "
                 f"(links may not cross a tenant root)")
+        if self.staging is not None \
+                and self.staging.has_pending_create(ino):
+            # The new dentry persists a reference to the inode; the
+            # inode record must exist first.
+            self.staging.drain_ino(ino)
         self._append_dentry(pino, name, ino, valid=1,
                             cpu=ino_cpu(pino, self.cpus))
         cache.inode.links += 1
@@ -563,6 +696,12 @@ class NovaFS:
         tail update; cross-directory renames go through the redo journal
         (§ :mod:`repro.nova.journal`), whose committed flag is the
         linearization point.
+
+        Renames may not cross a tenant boundary (same EXDEV-like contract
+        as :meth:`link`): the inode's quota charge stays with its owner,
+        so moving it (or a whole subtree) under another tenant root would
+        make the mount-time ownership rebuild disagree with the live
+        accounting.
         """
         self._check_mounted()
         self.clock.advance(self.cpu_model.syscall_ns)
@@ -576,6 +715,18 @@ class NovaFS:
         if self.caches[ino].inode.itype == ITYPE_DIR:
             if ino == dpino or self._is_ancestor(ino, dpino):
                 raise FSError(f"cannot move {src!r} into its own subtree")
+        src_tid = self.tenants.tenant_of(ino)
+        dst_tid = self.tenants.tenant_of(dpino)
+        if src_tid != dst_tid:
+            raise FSError(
+                f"cross-tenant rename: {src!r} -> {dst!r} "
+                f"(renames may not cross a tenant root)")
+        if self.staging is not None \
+                and self.staging.has_pending_create(ino):
+            # Both dentry records reference the inode; a staged create's
+            # record replays into the *old* parent/name, so it must be
+            # persisted (and superseded) before the rename commits.
+            self.staging.drain_ino(ino)
         cpu = ino_cpu(dpino, self.cpus)
         mtime = int(self.clock.now_ns)
         if spino == dpino:
@@ -648,6 +799,10 @@ class NovaFS:
         return False
 
     def _drop_file_body(self, ino: int, cache: InodeCache, cpu: int) -> None:
+        if self.staging is not None:
+            # The body is going away with its last link — destaging the
+            # records would only write pages we free on the next line.
+            self.staging.discard_ino(ino)
         displaced = cache.index.clear()
         self.tenants.account_pages(ino, -displaced.total_pages)
         self.tenants.note_inode_freed(ino)
@@ -687,6 +842,8 @@ class NovaFS:
             raise ValueError("negative offset")
         if not data:
             return 0
+        if self._stage_or_drain(ino, offset, data, cpu):
+            return len(data)
         t0 = self.clock.charged_ns
         with self.obs.span("fs.write", ino=ino,
                            pages=(offset + len(data) - 1) // PAGE_SIZE
@@ -695,6 +852,26 @@ class NovaFS:
         if displaced.total_pages:
             self._h_overwrite.observe(self.clock.charged_ns - t0)
         return len(data)
+
+    def _stage_or_drain(self, ino: int, offset: int, data: bytes,
+                        cpu: int) -> bool:
+        """Absorb a small sync write into the staging tier, or drain.
+
+        Returns True when the write was absorbed (durable in the staging
+        log; the caller returns immediately).  Otherwise guarantees the
+        inode has no staged records, so the direct path cannot run ahead
+        of staged-but-undestaged updates.
+        """
+        st = self.staging
+        if st is None or st.active:
+            return False
+        if (self.staging_enabled
+                and len(data) <= self.staging_threshold
+                and st.try_stage(ino, offset, data)):
+            return True
+        if st.has_pending(ino):
+            st.drain_ino(ino, cpu)
+        return False
 
     def _write_locked(self, ino: int, offset: int, data: bytes,
                       cpu: int) -> Displaced:
@@ -788,6 +965,9 @@ class NovaFS:
                 else:
                     out += self.dev.read(block * PAGE_SIZE + in_page, take)
                 pos += take
+            if self.staging is not None:
+                # Read-your-writes over staged-but-undestaged records.
+                self.staging.overlay(ino, offset, out)
             return bytes(out)
 
     def truncate(self, ino: int, size: int, cpu: int = 0) -> None:
@@ -795,6 +975,9 @@ class NovaFS:
         self._check_mounted()
         if size < 0:
             raise ValueError("negative size")
+        st = self.staging
+        if st is not None and not st.active and st.has_pending(ino):
+            st.drain_ino(ino, cpu)
         with self.obs.span("fs.truncate", ino=ino):
             self._truncate_locked(ino, size, cpu)
 
@@ -842,7 +1025,12 @@ class NovaFS:
         }
 
     def fsync(self, ino: int) -> None:
-        """NOVA writes are durable at return; fsync only pays the syscall."""
+        """NOVA writes are durable at return; fsync only pays the syscall.
+
+        This holds with the staging tier too: an absorbed write is
+        durable (CRC-framed record + fence) before :meth:`write`
+        returns, so fsync never needs to drain the staging log.
+        """
         self._check_mounted()
         self.clock.advance(self.cpu_model.syscall_ns)
 

@@ -117,6 +117,29 @@ class InodeTable:
             raise RuntimeError("inode table full")
         return self._free.pop()
 
+    def claim(self, ino: int) -> None:
+        """Reserve a *specific* free ino (staging-replay path).
+
+        Replay of a staged create must re-materialize the inode number
+        the staged write records reference; a fresh ``alloc()`` could
+        hand out a different one.
+        """
+        if not self._free_scanned:
+            self._scan_free()
+        try:
+            self._free.remove(ino)
+        except ValueError:
+            raise RuntimeError(f"ino {ino} is not free") from None
+
+    def unreserve(self, ino: int) -> None:
+        """Return a reserved-but-never-persisted ino to the free cache.
+
+        Unlike :meth:`release` there is nothing to invalidate on PM —
+        the slot's valid byte was never set.
+        """
+        if self._free_scanned:
+            self._free.append(ino)
+
     def release(self, ino: int) -> None:
         """Mark ``ino`` invalid on PM and return it to the free cache."""
         addr = self.addr_of(ino) + _OFF_VALID

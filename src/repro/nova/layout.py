@@ -55,7 +55,12 @@ _OFF_HYBRID_MODES = 128
 # formatted before multi-tenancy or too small to carve the region).
 _OFF_TENANT_PAGE = 136
 _OFF_TENANT_PAGES = 144
-_SB_BYTES = 152
+# Front-tier staging log region (per-slab persistent write-ahead records
+# for small sync writes; zero on images formatted before the staging
+# tier or too small to carve the region).
+_OFF_STAGING_PAGE = 152
+_OFF_STAGING_PAGES = 160
+_SB_BYTES = 168
 
 VERSION = 1
 
@@ -77,6 +82,8 @@ class Geometry:
     ckpt_pages: int = 0
     tenant_page: int = 0    # 0 when the device has no tenant registry
     tenant_pages: int = 0
+    staging_page: int = 0   # 0 when the device has no staging log
+    staging_pages: int = 0
 
     @property
     def data_pages(self) -> int:
@@ -93,7 +100,8 @@ class Geometry:
     @staticmethod
     def compute(total_pages: int, max_inodes: int = 1024,
                 with_dedup: bool = False, fact_prefix_bits: int | None = None,
-                dwq_save_pages: int = 8) -> "Geometry":
+                dwq_save_pages: int = 8,
+                staging_pages: int = 64) -> "Geometry":
         """Plan the layout for a ``total_pages`` device.
 
         The FACT prefix length follows the paper's sizing rule
@@ -153,6 +161,19 @@ class Geometry:
             tenant_page = data_start
             tenant_pages = 2
             data_start += 2
+        # Front-tier staging log: per-slab append regions that absorb
+        # small sync writes with one fence each.  Skipped on devices too
+        # small to give the region up without starving the data area
+        # (staging is then simply unavailable, and pre-staging images
+        # read zero here).
+        staging_page = 0
+        staging_npages = 0
+        if staging_pages > 0 \
+                and data_start + staging_pages \
+                < total_pages - max(2, total_pages // 8):
+            staging_page = data_start
+            staging_npages = staging_pages
+            data_start += staging_pages
         return Geometry(
             total_pages=total_pages,
             inode_table_page=inode_table_page,
@@ -167,6 +188,8 @@ class Geometry:
             ckpt_pages=ckpt_pages,
             tenant_page=tenant_page,
             tenant_pages=tenant_pages,
+            staging_page=staging_page,
+            staging_pages=staging_npages,
         )
 
 
@@ -196,6 +219,8 @@ class Superblock:
         dev.write_atomic64(_OFF_CKPT_PAGES, geo.ckpt_pages)
         dev.write_atomic64(_OFF_TENANT_PAGE, geo.tenant_page)
         dev.write_atomic64(_OFF_TENANT_PAGES, geo.tenant_pages)
+        dev.write_atomic64(_OFF_STAGING_PAGE, geo.staging_page)
+        dev.write_atomic64(_OFF_STAGING_PAGES, geo.staging_pages)
         dev.write_u32(_OFF_VERSION, VERSION)
         dev.write_u32(_OFF_CLEAN, 1)
         dev.persist(0, _SB_BYTES)
@@ -206,6 +231,13 @@ class Superblock:
                            geo.tenant_pages * PAGE_SIZE)
             dev.persist(geo.tenant_page * PAGE_SIZE,
                         geo.tenant_pages * PAGE_SIZE)
+        if geo.staging_pages:
+            # Same for stale staging records: replay must never resurrect
+            # writes from a previous filesystem generation.
+            dev.zero_range(geo.staging_page * PAGE_SIZE,
+                           geo.staging_pages * PAGE_SIZE)
+            dev.persist(geo.staging_page * PAGE_SIZE,
+                        geo.staging_pages * PAGE_SIZE)
         # Magic last: a crash mid-mkfs leaves no valid filesystem.
         dev.write_atomic64(_OFF_MAGIC, MAGIC)
         dev.persist(_OFF_MAGIC, 8)
@@ -228,6 +260,8 @@ class Superblock:
             ckpt_pages=dev.read_u64(_OFF_CKPT_PAGES),
             tenant_page=dev.read_u64(_OFF_TENANT_PAGE),
             tenant_pages=dev.read_u64(_OFF_TENANT_PAGES),
+            staging_page=dev.read_u64(_OFF_STAGING_PAGE),
+            staging_pages=dev.read_u64(_OFF_STAGING_PAGES),
         )
 
     # -- runtime flags --------------------------------------------------------------

@@ -1,0 +1,561 @@
+"""Front-tier persistent staging log for small sync writes.
+
+Small synchronous writes are the pathological case for the Fig. 1 write
+discipline: a 4 KB append pays a CoW page allocation, a data NT-store, a
+log-entry append, and an atomic tail commit — three-plus fence-ordered
+persists on the critical path.  Under high thread counts those fences
+(and the bandwidth-slot occupancy they imply) collapse small-file
+throughput (fig. 9).
+
+The staging log absorbs such writes with **one** NT-store + **one**
+fence: the write's bytes and metadata are framed into a CRC-protected
+record and appended to a per-slab region carved at mkfs
+(:class:`repro.nova.layout.Geometry` ``staging_page/staging_pages``).
+The record *is* the durability point — NOVA's "durable at syscall
+return" contract holds — and a background destage replays the record
+through the normal write path (CoW, log entry, tenant accounting, dedup
+pipeline) off the critical path.
+
+Persistence format
+------------------
+
+Each slab starts with a 64 B header::
+
+    u64 slab magic
+    u64 completed_seq      # watermark: records <= this are destaged
+
+followed by 64 B-aligned records::
+
+    u32 magic  u32 length  u64 ino  u64 offset  u64 seq   (32 B)
+    u32 crc    u32 pad                                    (8 B)
+    payload[length], zero-padded to the next 64 B boundary
+
+A record whose ``offset`` is the all-ones sentinel is a **create**
+record (payload: ``u64 parent_ino`` + leaf name): the whole small-file
+op — create *and* its writes — stages as SplitFS/NVLog stage metadata
+alongside data.  A staged create reserves its ino and builds the DRAM
+cache in the foreground; the persistent inode record and parent dentry
+append happen at destage (inode first, dentry second — the direct
+path's orphan-collection order).  Until then the inode-table slot stays
+invalid, so a crash simply re-creates the file from the record with the
+same ino (:meth:`repro.nova.inode.InodeTable.claim`).
+
+``crc`` covers the first 32 header bytes plus the payload, so a torn
+record (crash mid-store) fails validation and is — correctly — not
+replayed: the crash happened before the write's single commit fence.
+``seq`` is per-slab monotonic and **never resets**; a replay scan stops
+at the first invalid or non-increasing record, so stale records from a
+previous slab generation can never resurrect.  Each append also writes
+a 64 B zero terminator after the record (same NT-store granularity, same
+single fence) so the scan terminates deterministically even on reused
+slab space.
+
+Ordering rules
+--------------
+
+* Records for one inode always land in one slab (``slab = ino % nslabs``)
+  in ``seq`` order, and are destaged in that order — destage is a replay
+  of the original write sequence.
+* Any conflicting operation (large/direct write, truncate, reflink
+  source, unlink of the last link) drains or discards the inode's staged
+  records *first*, so the main write path never runs ahead of the
+  staging tier.
+* The watermark is persisted before slab space is reused and before a
+  conflicting direct write proceeds, so replay after a crash re-applies
+  only records whose effect could not have been superseded.  Re-applying
+  an already-destaged record is idempotent (absolute offset, same bytes,
+  no intervening writes are possible before the watermark persists).
+
+Quota: admission (``check_pages``) happens at stage time, exactly as
+gross as a direct write's check; the destage replays under a quota
+*bypass* so the net ``account_pages`` charge — identical to the direct
+path's — is applied once, by the normal write path.
+"""
+
+from __future__ import annotations
+
+import struct
+import zlib
+from contextlib import nullcontext
+from dataclasses import dataclass, field
+from typing import Callable, Optional
+
+from repro.nova.layout import PAGE_SIZE
+
+__all__ = ["StagingLog"]
+
+_SLAB_MAGIC = 0x47415453_42414C53          # "SLABSTAG"
+_REC_MAGIC = 0x47415453                    # "STAG"
+_SLAB_HDR = 64
+_REC_HDR = 40
+_TERM = bytes(64)                          # record-scan terminator
+#: ``offset`` sentinel marking a *create* record: payload is
+#: ``u64 parent_ino`` + the leaf name (the SplitFS-style whole-op
+#: absorption — metadata ops stage alongside the data they precede).
+_CREATE_OFF = (1 << 64) - 1
+
+
+def _align64(n: int) -> int:
+    return (n + 63) & ~63
+
+
+@dataclass
+class _Rec:
+    """DRAM shadow of one persisted staging record."""
+
+    ino: int
+    offset: int
+    length: int
+    data: bytes
+    seq: int
+    stage_ns: float
+    trace_id: Optional[int] = None
+    done: bool = False
+    kind: str = "write"        # "write" | "create"
+    parent_ino: int = 0        # create records only
+    name: str = ""             # create records only
+
+
+@dataclass
+class _Slab:
+    base: int                  # device byte address of the slab header
+    end: int                   # one past the last usable byte
+    write_off: int = 0         # next record's device address
+    next_seq: int = 1
+    completed_seq: int = 0     # in-DRAM watermark (persisted at base+8)
+    recs: list = field(default_factory=list)
+
+    @property
+    def data_base(self) -> int:
+        return self.base + _SLAB_HDR
+
+
+class StagingLog:
+    """Per-slab persistent write-ahead staging for small sync writes."""
+
+    def __init__(self, fs):
+        self.fs = fs
+        self.dev = fs.dev
+        geo = fs.geo
+        if not geo.staging_pages:
+            raise ValueError("image has no staging region")
+        # Slab geometry derives from the *persistent* region size only —
+        # never from mount-time knobs like cpus — so a remount (possibly
+        # with a different thread count) sees the same slab boundaries
+        # it must replay.  16 pages/slab holds ~15 page-sized records.
+        self.nslabs = max(1, geo.staging_pages // 16)
+        self.slab_pages = geo.staging_pages // self.nslabs
+        self._slabs: list[_Slab] = []
+        for i in range(self.nslabs):
+            base = (geo.staging_page + i * self.slab_pages) * PAGE_SIZE
+            self._slabs.append(
+                _Slab(base=base, end=base + self.slab_pages * PAGE_SIZE))
+        for slab in self._slabs:
+            slab.write_off = slab.data_base
+        #: Largest payload a slab can hold in one record.
+        self.max_payload = (self.slab_pages * PAGE_SIZE
+                            - _SLAB_HDR - _REC_HDR - 64)
+        self._by_ino: dict[int, list[_Rec]] = {}
+        # Staged-but-unmapped page offsets per inode: quota admission for
+        # a burst of staged writes must not collectively exceed what the
+        # same burst of direct writes could have admitted.
+        self._pending_pgoffs: dict[int, set[int]] = {}
+        #: True while destage/replay runs — its fs.write calls must not
+        #: re-enter the staging tier.
+        self.active = False
+        #: Called (outside any lock) when a slab rejects an append —
+        #: the concurrency layer points this at its destage-worker kick.
+        self.on_pressure: Optional[Callable[[], None]] = None
+
+        obs = fs.obs
+        self._c_absorbed = obs.counter(
+            "staging.absorbed_writes_total",
+            help="small sync writes absorbed by the staging log")
+        self._c_absorbed_bytes = obs.counter(
+            "staging.absorbed_bytes_total",
+            help="payload bytes absorbed by the staging log")
+        self._c_created = obs.counter(
+            "staging.absorbed_creates_total",
+            help="file creates absorbed by the staging log")
+        self._c_fallback = obs.counter(
+            "staging.fallback_total",
+            help="absorb attempts rejected (slab full) and retried "
+                 "through the direct write path")
+        self._c_destaged = obs.counter(
+            "staging.destaged_records_total",
+            help="records replayed through the normal write path")
+        self._c_replayed = obs.counter(
+            "staging.replayed_records_total",
+            help="records recovered from the staging region at mount")
+        self._c_discarded = obs.counter(
+            "staging.discarded_records_total",
+            help="records dropped (inode unlinked before destage, or "
+                 "replay target gone)")
+        obs.gauge_fn("staging.depth",
+                     lambda: sum(len(v) for v in self._by_ino.values()),
+                     help="staged records awaiting destage")
+        obs.gauge_fn("staging.bytes",
+                     lambda: sum(r.length for v in self._by_ino.values()
+                                 for r in v),
+                     help="staged payload bytes awaiting destage")
+        self._h_lag = obs.histogram(
+            "staging.destage_lag_ns",
+            help="simulated ns between a record's stage and its destage")
+
+    # ------------------------------------------------------------ queries
+
+    def has_pending(self, ino: int) -> bool:
+        return bool(self._by_ino.get(ino))
+
+    def has_pending_create(self, ino: int) -> bool:
+        """True when ``ino``'s *create* is itself still staged.
+
+        Namespace ops that persist a dentry referencing the inode
+        (rename, link) must drain first: a persistent dentry pointing at
+        a never-persisted inode would dangle after a crash.
+        """
+        return any(r.kind == "create" for r in self._by_ino.get(ino, ()))
+
+    def slab_fill(self, ino: int) -> float:
+        """Occupancy fraction of the slab ``ino`` stages into (0..1)."""
+        slab = self._slabs[ino % self.nslabs]
+        return ((slab.write_off - slab.data_base)
+                / (slab.end - slab.data_base))
+
+    def pending_inos(self) -> list[int]:
+        return sorted(ino for ino, recs in self._by_ino.items() if recs)
+
+    @property
+    def depth(self) -> int:
+        return sum(len(v) for v in self._by_ino.values())
+
+    def stats(self) -> dict:
+        return {
+            "slabs": self.nslabs,
+            "slab_pages": self.slab_pages,
+            "pending_records": self.depth,
+            "pending_bytes": sum(r.length for v in self._by_ino.values()
+                                 for r in v),
+            "absorbed": int(self._c_absorbed.value),
+            "absorbed_bytes": int(self._c_absorbed_bytes.value),
+            "absorbed_creates": int(self._c_created.value),
+            "fallbacks": int(self._c_fallback.value),
+            "destaged": int(self._c_destaged.value),
+            "replayed": int(self._c_replayed.value),
+            "discarded": int(self._c_discarded.value),
+        }
+
+    # ------------------------------------------------------------ absorb
+
+    def try_stage(self, ino: int, offset: int, data: bytes) -> bool:
+        """Absorb one small write; False means the caller must fall back.
+
+        Raises exactly what the direct path would for a bad target or an
+        over-quota write (FileNotFound / IsADirectory / ReadOnlyFile /
+        QuotaExceeded) — absorption never weakens those contracts.
+        """
+        fs = self.fs
+        cache = fs._file_cache(ino, for_write=True)
+        if len(data) > self.max_payload:
+            return False
+        rec_size = _align64(_REC_HDR + len(data))
+        slab = self._slabs[ino % self.nslabs]
+        if slab.write_off + rec_size + len(_TERM) > slab.end:
+            self._c_fallback.inc()
+            if self.on_pressure is not None:
+                self.on_pressure()
+            return False
+
+        with fs.obs.span("staging.absorb", ino=ino, bytes=len(data)):
+            fs.clock.advance(fs.cpu_model.syscall_ns)
+            pg_first = offset // PAGE_SIZE
+            pg_last = (offset + len(data) - 1) // PAGE_SIZE
+            pending = self._pending_pgoffs.setdefault(ino, set())
+            # Gross check, like a direct write's, plus the pages earlier
+            # staged writes will charge when they destage.
+            fs.tenants.check_pages(
+                ino, (pg_last - pg_first + 1) + len(pending))
+            for pgoff in range(pg_first, pg_last + 1):
+                if cache.index.block_of(pgoff) is None:
+                    pending.add(pgoff)
+
+            seq = slab.next_seq
+            slab.next_seq += 1
+            hdr = struct.pack("<IIQQQ", _REC_MAGIC, len(data), ino,
+                              offset, seq)
+            crc = zlib.crc32(hdr + data) & 0xFFFFFFFF
+            rec = hdr + struct.pack("<II", crc, 0) + data
+            rec += bytes(rec_size - len(rec)) + _TERM
+            # The commit point: one NT-store, one fence.  A crash before
+            # the fence leaves a torn/invalid record — the write never
+            # happened; after it, replay applies the write.
+            self.dev.write(slab.write_off, rec, nt=True)
+            self.dev.sfence()
+            slab.write_off += rec_size
+
+            shadow = _Rec(ino=ino, offset=offset, length=len(data),
+                          data=bytes(data), seq=seq,
+                          stage_ns=fs.clock.now_ns,
+                          trace_id=fs.obs.tracer.current_trace_id)
+            slab.recs.append(shadow)
+            self._by_ino.setdefault(ino, []).append(shadow)
+            new_size = max(cache.inode.size, offset + len(data))
+            cache.inode.size = new_size
+            cache.inode.mtime = int(fs.clock.now_ns)
+            self._c_absorbed.inc()
+            self._c_absorbed_bytes.inc(len(data))
+        return True
+
+    def try_stage_create(self, parent_ino: int, name: str,
+                         ino: int) -> bool:
+        """Absorb a file create; the record is the create's commit point.
+
+        The caller has already *reserved* ``ino`` (DRAM only — no inode
+        table write) and performs the DRAM-side create when this returns
+        True; on False it must unreserve and take the direct path.  The
+        persistent inode record and the parent-dir dentry append happen
+        at destage, in the same inode-then-dentry order as a direct
+        create, so the orphan-collection contract is unchanged.
+        """
+        fs = self.fs
+        payload = struct.pack("<Q", parent_ino) + name.encode()
+        if len(payload) > self.max_payload:
+            return False
+        rec_size = _align64(_REC_HDR + len(payload))
+        slab = self._slabs[ino % self.nslabs]
+        if slab.write_off + rec_size + len(_TERM) > slab.end:
+            self._c_fallback.inc()
+            if self.on_pressure is not None:
+                self.on_pressure()
+            return False
+
+        with fs.obs.span("staging.absorb", ino=ino, kind="create"):
+            seq = slab.next_seq
+            slab.next_seq += 1
+            hdr = struct.pack("<IIQQQ", _REC_MAGIC, len(payload), ino,
+                              _CREATE_OFF, seq)
+            crc = zlib.crc32(hdr + payload) & 0xFFFFFFFF
+            rec = hdr + struct.pack("<II", crc, 0) + payload
+            rec += bytes(rec_size - len(rec)) + _TERM
+            self.dev.write(slab.write_off, rec, nt=True)
+            self.dev.sfence()
+            slab.write_off += rec_size
+
+            shadow = _Rec(ino=ino, offset=_CREATE_OFF,
+                          length=len(payload), data=payload, seq=seq,
+                          stage_ns=fs.clock.now_ns,
+                          trace_id=fs.obs.tracer.current_trace_id,
+                          kind="create", parent_ino=parent_ino, name=name)
+            slab.recs.append(shadow)
+            self._by_ino.setdefault(ino, []).append(shadow)
+            self._c_created.inc()
+        return True
+
+    # ------------------------------------------------------------ reads
+
+    def overlay(self, ino: int, offset: int, out: bytearray) -> None:
+        """Patch staged-but-undestaged bytes over an assembled read."""
+        recs = self._by_ino.get(ino)
+        if not recs:
+            return
+        end = offset + len(out)
+        for rec in recs:  # seq order: later records win
+            if rec.kind != "write":
+                continue
+            if rec.offset >= end or rec.offset + rec.length <= offset:
+                continue
+            lo = max(rec.offset, offset)
+            hi = min(rec.offset + rec.length, end)
+            out[lo - offset:hi - offset] = \
+                rec.data[lo - rec.offset:hi - rec.offset]
+
+    # ------------------------------------------------------------ destage
+
+    def drain_ino(self, ino: int, cpu: Optional[int] = None) -> int:
+        """Replay every staged record of ``ino`` through the write path."""
+        recs = self._by_ino.get(ino)
+        if not recs:
+            return 0
+        fs = self.fs
+        if cpu is None:
+            cpu = ino % fs.cpus
+        self.active = True
+        n = 0
+        try:
+            with fs.obs.span("staging.destage", ino=ino,
+                             records=len(recs)):
+                with fs.tenants.bypass_quota():
+                    for rec in list(recs):
+                        ctx = (fs.obs.tracer.use_trace(rec.trace_id)
+                               if rec.trace_id is not None
+                               else nullcontext())
+                        with ctx:
+                            if rec.kind == "create":
+                                fs._destage_create(rec.parent_ino,
+                                                   rec.name, ino, cpu)
+                            else:
+                                fs.write(ino, rec.offset, rec.data,
+                                         cpu=cpu)
+                        rec.done = True
+                        n += 1
+                        self._c_destaged.inc()
+                        self._h_lag.observe(fs.clock.now_ns - rec.stage_ns)
+        finally:
+            self.active = False
+            self._forget_done(ino)
+            self._advance_watermarks()
+        return n
+
+    def drain_all(self) -> int:
+        n = 0
+        for ino in self.pending_inos():
+            n += self.drain_ino(ino)
+        return n
+
+    def discard_ino(self, ino: int) -> int:
+        """Drop staged records whose inode body is going away."""
+        recs = self._by_ino.get(ino)
+        if not recs:
+            return 0
+        n = 0
+        for rec in recs:
+            rec.done = True
+            n += 1
+            self._c_discarded.inc()
+        self._forget_done(ino)
+        self._advance_watermarks()
+        return n
+
+    def _forget_done(self, ino: int) -> None:
+        live = [r for r in self._by_ino.get(ino, ()) if not r.done]
+        if live:
+            self._by_ino[ino] = live
+            # Keep only still-unmapped offsets pending (a partial drain
+            # mapped some of them).
+            cache = self.fs.caches.get(ino)
+            if cache is not None:
+                pending = self._pending_pgoffs.get(ino)
+                if pending:
+                    self._pending_pgoffs[ino] = {
+                        p for p in pending
+                        if cache.index.block_of(p) is None}
+        else:
+            self._by_ino.pop(ino, None)
+            self._pending_pgoffs.pop(ino, None)
+
+    def _advance_watermarks(self) -> None:
+        """Move each slab's watermark over its contiguous done-prefix.
+
+        The watermark is persisted *before* the slab space becomes
+        reusable and before the caller's conflicting operation proceeds
+        — see the module docstring's ordering rules.
+        """
+        for slab in self._slabs:
+            advanced = False
+            while slab.recs and slab.recs[0].done:
+                slab.completed_seq = slab.recs.pop(0).seq
+                advanced = True
+            if advanced:
+                self.dev.write_atomic64(slab.base + 8, slab.completed_seq)
+                self.dev.persist(slab.base + 8, 8)
+                if not slab.recs:
+                    # Fully drained: rewind the append cursor.  Stale
+                    # record bytes beyond the terminator cannot replay —
+                    # their seq is <= the persisted watermark.
+                    slab.write_off = slab.data_base
+
+    # ------------------------------------------------------------ recovery
+
+    def replay(self) -> dict:
+        """Scan every slab at mount; re-apply undestaged valid records.
+
+        Runs after the tenant ownership rebuild (charges need owners) and
+        is idempotent: a crash mid-replay just replays again.  Records
+        whose inode vanished (unlinked, or never committed) are
+        discarded, matching the direct path where the write would have
+        raised.
+        """
+        fs = self.fs
+        stats = {"slabs": self.nslabs, "scanned": 0, "replayed": 0,
+                 "discarded": 0}
+        self.active = True
+        try:
+            with fs.tenants.bypass_quota():
+                for slab in self._slabs:
+                    self._replay_slab(slab, stats)
+        finally:
+            self.active = False
+        return stats
+
+    def _replay_slab(self, slab: _Slab, stats: dict) -> None:
+        dev = self.dev
+        fs = self.fs
+        if dev.read_u64(slab.base) != _SLAB_MAGIC:
+            # Fresh (zeroed) region — or garbage, which must not replay.
+            dev.write_atomic64(slab.base, _SLAB_MAGIC)
+            dev.write_atomic64(slab.base + 8, 0)
+            dev.persist(slab.base, _SLAB_HDR)
+            slab.completed_seq = 0
+            slab.next_seq = 1
+            slab.write_off = slab.data_base
+            return
+        slab.completed_seq = dev.read_u64(slab.base + 8)
+        pos = slab.data_base
+        prev_seq = 0
+        max_seq = slab.completed_seq
+        candidates: list[tuple[int, int, bytes, int]] = []
+        while pos + _REC_HDR <= slab.end:
+            hdr = dev.read(pos, _REC_HDR)
+            magic, length, ino, offset, seq = struct.unpack_from(
+                "<IIQQQ", hdr, 0)
+            if magic != _REC_MAGIC or length == 0 \
+                    or length > self.max_payload:
+                break
+            rec_size = _align64(_REC_HDR + length)
+            if pos + rec_size > slab.end or seq <= prev_seq:
+                break
+            payload = dev.read(pos + _REC_HDR, length)
+            crc, = struct.unpack_from("<I", hdr, 32)
+            if zlib.crc32(hdr[:32] + payload) & 0xFFFFFFFF != crc:
+                break  # torn append: the write never committed
+            stats["scanned"] += 1
+            prev_seq = seq
+            max_seq = max(max_seq, seq)
+            if seq > slab.completed_seq:
+                candidates.append((ino, offset, payload, seq))
+            pos += rec_size
+        if candidates:
+            # Span only when there is real replay work: a clean mount's
+            # scan must leave no observability trace behind.
+            from repro.nova.fs import FSError
+            with fs.obs.span("staging.replay", records=len(candidates)):
+                for ino, offset, payload, seq in candidates:
+                    if offset == _CREATE_OFF:
+                        parent_ino, = struct.unpack_from("<Q", payload, 0)
+                        name = payload[8:].decode()
+                        if fs._replay_create(parent_ino, name, ino):
+                            stats["replayed"] += 1
+                            self._c_replayed.inc()
+                        else:
+                            stats["discarded"] += 1
+                            self._c_discarded.inc()
+                        continue
+                    try:
+                        fs._file_cache(ino, for_write=True)
+                    except FSError:
+                        stats["discarded"] += 1
+                        self._c_discarded.inc()
+                    else:
+                        fs.write(ino, offset, payload, cpu=ino % fs.cpus)
+                        stats["replayed"] += 1
+                        self._c_replayed.inc()
+        slab.completed_seq = max_seq
+        slab.next_seq = max_seq + 1
+        slab.write_off = slab.data_base
+        if candidates or dev.read_u64(slab.base + 8) != slab.completed_seq:
+            dev.write_atomic64(slab.base + 8, slab.completed_seq)
+            dev.persist(slab.base + 8, 8)
+        # Terminate the (now logically empty) slab so the next scan never
+        # walks into this generation's leftovers.
+        dev.write(slab.data_base, _TERM, nt=True)
+        dev.sfence()

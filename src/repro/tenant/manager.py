@@ -22,6 +22,7 @@ directory) and sticks across rename, like a uid.
 
 from __future__ import annotations
 
+from contextlib import contextmanager
 from typing import Optional
 
 from repro.tenant.errors import QuotaExceeded
@@ -53,6 +54,7 @@ class TenantManager:
         self.usage_pages: dict[int, int] = {}    # tid -> logical pages
         self.usage_inodes: dict[int, int] = {}   # tid -> inodes
         self._metered: set[int] = set()
+        self._bypass = 0                         # admission-skip depth
 
     @property
     def enabled(self) -> bool:
@@ -184,7 +186,24 @@ class TenantManager:
 
     # ------------------------------------------------------------ enforcement
 
+    @contextmanager
+    def bypass_quota(self):
+        """Skip admission checks (``check_pages``/``check_inode``) only.
+
+        Used by staging destage/replay: admission already happened at
+        stage time, and the deferred write must not fail a check it
+        passed when it was accepted as durable.  ``account_pages`` still
+        charges normally, so net usage matches the direct write path.
+        """
+        self._bypass += 1
+        try:
+            yield
+        finally:
+            self._bypass -= 1
+
     def check_inode(self, parent_ino: int) -> None:
+        if self._bypass:
+            return
         info = self.info_of(parent_ino)
         if info is None or not info.quota_inodes:
             return
@@ -207,6 +226,8 @@ class TenantManager:
                 0, self.usage_inodes.get(tid, 0) - 1)
 
     def check_pages(self, ino: int, npages: int) -> None:
+        if self._bypass:
+            return
         info = self.info_of(ino)
         if info is None or not info.quota_pages:
             return

@@ -1,0 +1,235 @@
+"""Tenant-boundary rename and reflink/snapshot quota accounting.
+
+Regression tests for two accounting bugs:
+
+* cross-directory ``rename()`` used to cross tenant roots silently —
+  the inode (or a whole subtree) moved while its quota charge stayed
+  with the old owner, so the mount-time ``/t`` ownership rebuild
+  disagreed with live accounting.  Renames must be rejected EXDEV-style
+  with the same ``FSError`` contract as ``link()``.
+* ``reflink()``/``snapshot()`` installed destination mappings without
+  ever charging the destination tenant's logical quota — unbounded
+  logical space via clones.  Reflink now gross-checks before staging,
+  inherits the destination parent's ownership, and net-charges after
+  the radix install; an over-quota reflink is atomic (no partial clone).
+"""
+
+import pytest
+
+from repro.core import Config, Variant, make_fs
+from repro.nova import PAGE_SIZE
+from repro.nova.fs import FSError, FileNotFound
+from repro.tenant import QuotaExceeded
+
+pytestmark = pytest.mark.tenant
+
+PAGE = b"\xa5" * PAGE_SIZE
+
+
+def build_fs(variant=Variant.DELAYED):
+    fs, _dd = make_fs(variant, Config(device_pages=1024, max_inodes=64))
+    return fs
+
+
+def settle(fs):
+    if hasattr(fs, "daemon"):
+        fs.daemon.drain()
+
+
+def make_file(fs, path, npages=1, fill=PAGE):
+    ino = fs.create(path)
+    fs.write(ino, 0, fill * npages)
+    return ino
+
+
+def remount(fs):
+    fs.unmount()
+    return type(fs).mount(fs.dev)
+
+
+class TestCrossTenantRename:
+    def test_rename_within_tenant_keeps_charge(self):
+        fs = build_fs()
+        fs.tenant_create("tn0")
+        make_file(fs, "/t/tn0/a", npages=2)
+        fs.mkdir("/t/tn0/sub")
+        fs.rename("/t/tn0/a", "/t/tn0/sub/b")      # cross-directory, legal
+        assert fs.tenant_stats()["tn0"]["used_pages"] == 2
+        fs.rename("/t/tn0/sub/b", "/t/tn0/sub/c")  # same-directory, legal
+        assert fs.tenant_stats()["tn0"]["used_pages"] == 2
+
+    def test_rename_out_of_tenant_rejected(self):
+        fs = build_fs()
+        fs.tenant_create("tn0")
+        make_file(fs, "/t/tn0/a")
+        fs.mkdir("/outside")
+        with pytest.raises(FSError, match="cross-tenant rename"):
+            fs.rename("/t/tn0/a", "/outside/a")
+        assert fs.exists("/t/tn0/a") and not fs.exists("/outside/a")
+        assert fs.tenant_stats()["tn0"]["used_pages"] == 1
+
+    def test_rename_into_tenant_rejected(self):
+        fs = build_fs()
+        fs.tenant_create("tn0")
+        make_file(fs, "/loose")
+        with pytest.raises(FSError, match="cross-tenant rename"):
+            fs.rename("/loose", "/t/tn0/adopted")
+        assert fs.exists("/loose") and not fs.exists("/t/tn0/adopted")
+        assert fs.tenant_stats()["tn0"]["used_pages"] == 0
+
+    def test_rename_across_tenants_rejected(self):
+        fs = build_fs()
+        fs.tenant_create("tn0")
+        fs.tenant_create("tn1")
+        make_file(fs, "/t/tn0/a", npages=3)
+        with pytest.raises(FSError, match="cross-tenant rename"):
+            fs.rename("/t/tn0/a", "/t/tn1/a")
+        stats = fs.tenant_stats()
+        assert stats["tn0"]["used_pages"] == 3
+        assert stats["tn1"]["used_pages"] == 0
+
+    def test_directory_subtree_rename_rejected_across(self):
+        """Moving a whole subtree would re-home every inode below it."""
+        fs = build_fs()
+        fs.tenant_create("tn0")
+        fs.tenant_create("tn1")
+        fs.mkdir("/t/tn0/tree")
+        make_file(fs, "/t/tn0/tree/f", npages=2)
+        with pytest.raises(FSError, match="cross-tenant rename"):
+            fs.rename("/t/tn0/tree", "/t/tn1/tree")
+        # Within the tenant the same subtree moves freely.
+        fs.mkdir("/t/tn0/dst")
+        fs.rename("/t/tn0/tree", "/t/tn0/dst/tree")
+        assert fs.read(fs.lookup("/t/tn0/dst/tree/f"), 0, PAGE_SIZE) == PAGE
+        assert fs.tenant_stats()["tn0"]["used_pages"] == 2
+
+    def test_rename_outside_tenants_unaffected(self):
+        fs = build_fs()
+        fs.tenant_create("tn0")          # tenants exist, but not involved
+        fs.mkdir("/a")
+        fs.mkdir("/b")
+        make_file(fs, "/a/f")
+        fs.rename("/a/f", "/b/g")
+        assert fs.exists("/b/g") and not fs.exists("/a/f")
+
+    def test_live_accounting_matches_rebuild_after_renames(self):
+        """The whole point of the fix: remounting must not change any
+        tenant's usage after a rename workload."""
+        fs = build_fs()
+        fs.tenant_create("tn0")
+        fs.tenant_create("tn1")
+        make_file(fs, "/t/tn0/a", npages=2)
+        make_file(fs, "/t/tn1/b", npages=1)
+        fs.mkdir("/t/tn0/sub")
+        fs.rename("/t/tn0/a", "/t/tn0/sub/a")
+        with pytest.raises(FSError):
+            fs.rename("/t/tn0/sub/a", "/t/tn1/a")
+        settle(fs)
+        before = fs.tenant_stats()
+        fs2 = remount(fs)
+        after = fs2.tenant_stats()
+        for name in ("tn0", "tn1"):
+            assert after[name]["used_pages"] == before[name]["used_pages"]
+            assert after[name]["used_inodes"] == before[name]["used_inodes"]
+
+
+class TestReflinkQuota:
+    def test_reflink_charges_destination(self):
+        fs = build_fs()
+        fs.tenant_create("tn0")
+        make_file(fs, "/t/tn0/src", npages=3)
+        fs.reflink("/t/tn0/src", "/t/tn0/clone")
+        stats = fs.tenant_stats()["tn0"]
+        assert stats["used_pages"] == 6          # 3 source + 3 clone mappings
+        assert stats["used_inodes"] == 3         # root + src + clone
+
+    def test_cross_tenant_reflink_charges_destination_tenant(self):
+        fs = build_fs()
+        fs.tenant_create("tn0")
+        fs.tenant_create("tn1")
+        make_file(fs, "/t/tn0/src", npages=2)
+        fs.reflink("/t/tn0/src", "/t/tn1/clone")
+        stats = fs.tenant_stats()
+        assert stats["tn0"]["used_pages"] == 2
+        assert stats["tn1"]["used_pages"] == 2
+        assert stats["tn1"]["used_inodes"] == 2  # root + clone
+
+    def test_over_quota_reflink_atomic(self):
+        """QuotaExceeded leaves no partial clone: no dst dentry, no
+        orphan inode, no staged refcount, no usage movement."""
+        fs = build_fs()
+        fs.tenant_create("tight", quota_pages=3)
+        make_file(fs, "/t/tight/src", npages=2)
+        settle(fs)
+        du_before = fs.du("/")
+        with pytest.raises(QuotaExceeded):
+            fs.reflink("/t/tight/src", "/t/tight/clone")
+        assert not fs.exists("/t/tight/clone")
+        stats = fs.tenant_stats()["tight"]
+        assert stats["used_pages"] == 2
+        assert stats["used_inodes"] == 2
+        assert fs.du("/") == du_before
+        # Raising the quota makes the identical reflink succeed.
+        fs.tenant_set_quota("tight", quota_pages=4)
+        fs.reflink("/t/tight/src", "/t/tight/clone")
+        assert fs.tenant_stats()["tight"]["used_pages"] == 4
+
+    def test_inode_quota_enforced_on_reflink(self):
+        fs = build_fs()
+        fs.tenant_create("tiny", quota_inodes=2)   # root + one file
+        make_file(fs, "/t/tiny/src")
+        with pytest.raises(QuotaExceeded):
+            fs.reflink("/t/tiny/src", "/t/tiny/clone")
+        assert not fs.exists("/t/tiny/clone")
+
+    def test_unlink_clone_refunds_charge(self):
+        fs = build_fs()
+        fs.tenant_create("tn0")
+        make_file(fs, "/t/tn0/src", npages=2)
+        fs.reflink("/t/tn0/src", "/t/tn0/clone")
+        assert fs.tenant_stats()["tn0"]["used_pages"] == 4
+        fs.unlink("/t/tn0/clone")
+        stats = fs.tenant_stats()["tn0"]
+        assert stats["used_pages"] == 2
+        assert stats["used_inodes"] == 2
+        # The source still reads back intact.
+        assert fs.read(fs.lookup("/t/tn0/src"), 0, PAGE_SIZE) == PAGE
+
+    def test_snapshot_not_charged_to_tenant_and_delete_restores(self):
+        """Snapshots live outside /t: their clones are owned by nobody
+        (operator space), so tenant usage is unchanged by snapshot
+        create and delete alike."""
+        fs = build_fs()
+        fs.tenant_create("tn0")
+        make_file(fs, "/t/tn0/f", npages=2)
+        settle(fs)
+        before = fs.tenant_stats()["tn0"]
+        fs.snapshot("s1")
+        assert fs.tenant_stats()["tn0"] == before
+        fs.delete_snapshot("s1")
+        assert fs.tenant_stats()["tn0"] == before
+        with pytest.raises(FileNotFound):
+            fs.delete_snapshot("s1")
+
+    @pytest.mark.parametrize("variant",
+                             [Variant.DELAYED, Variant.INLINE,
+                              Variant.HYBRID],
+                             ids=lambda v: v.value)
+    def test_reflink_accounting_survives_remount(self, variant):
+        """Rebuilt usage (index walk) must equal live usage (charges)."""
+        fs = build_fs(variant)
+        fs.tenant_create("tn0")
+        fs.tenant_create("tn1")
+        make_file(fs, "/t/tn0/src", npages=2)
+        fs.reflink("/t/tn0/src", "/t/tn0/clone")
+        fs.reflink("/t/tn0/src", "/t/tn1/borrowed")
+        settle(fs)
+        before = fs.tenant_stats()
+        fs2 = remount(fs)
+        after = fs2.tenant_stats()
+        for name in ("tn0", "tn1"):
+            assert after[name]["used_pages"] == before[name]["used_pages"], \
+                f"{name}: rebuild disagrees with live accounting"
+            assert after[name]["used_inodes"] == before[name]["used_inodes"]
+        assert after["tn0"]["used_pages"] == 4
+        assert after["tn1"]["used_pages"] == 2
