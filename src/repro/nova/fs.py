@@ -639,11 +639,13 @@ class NovaFS:
         if self.staging is not None and cache.inode.links == 1 \
                 and self.staging.has_pending_create(ino):
             # The file only ever existed in the staging log.  Discard —
-            # and persist the watermark — *before* the dentry-remove
-            # commits: a crash after the watermark observes "unlinked"
-            # (this op completed), a crash before it observes the file
-            # (this op never started).  Discarding after the commit
-            # would leave a window where replay resurrects the file.
+            # persisting the watermark or, when another inode's pending
+            # record shares the slab, per-record tombstones — *before*
+            # the dentry-remove commits: a crash after the invalidation
+            # observes "unlinked" (this op completed), a crash before it
+            # observes the file (this op never started).  Discarding
+            # after the commit would leave a window where replay
+            # resurrects the file.
             self.staging.discard_ino(ino)
         # 1. Unpublish the name (the commit point of the unlink).
         self._append_dentry(pino, name, ino, valid=0, cpu=cpu)

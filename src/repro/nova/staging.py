@@ -60,11 +60,19 @@ Ordering rules
   source, unlink of the last link) drains or discards the inode's staged
   records *first*, so the main write path never runs ahead of the
   staging tier.
-* The watermark is persisted before slab space is reused and before a
-  conflicting direct write proceeds, so replay after a crash re-applies
-  only records whose effect could not have been superseded.  Re-applying
-  an already-destaged record is idempotent (absolute offset, same bytes,
-  no intervening writes are possible before the watermark persists).
+* A destaged/discarded record is *persistently invalidated* before slab
+  space is reused and before a conflicting direct write proceeds, so
+  replay after a crash re-applies only records whose effect could not
+  have been superseded.  Two mechanisms cover this: the per-slab
+  watermark covers a slab's contiguous done-prefix, and — because slabs
+  are shared across inodes (``ino % nslabs``) — a done record stuck
+  behind another inode's still-pending record gets a per-record
+  **tombstone**: the ``pad`` word of its header (outside the CRC) is
+  flipped with one atomic store, sharing a cache line with the already-
+  written ``crc``.  Replay skips tombstoned records.  Re-applying an
+  already-destaged record that lost neither race is idempotent (absolute
+  offset, same bytes, no intervening writes are possible before the
+  invalidation persists).
 
 Quota: admission (``check_pages``) happens at stage time, exactly as
 gross as a direct write's check; the destage replays under a quota
@@ -89,6 +97,11 @@ _REC_MAGIC = 0x47415453                    # "STAG"
 _SLAB_HDR = 64
 _REC_HDR = 40
 _TERM = bytes(64)                          # record-scan terminator
+#: Bit set in a record's ``pad`` word once it is destaged/discarded but
+#: not (yet) covered by its slab's watermark.  ``pad`` is outside the
+#: CRC, so the flip never invalidates the frame; ``crc``+``pad`` share
+#: one 8-aligned word, so the flip is a single atomic store.
+_TOMB_FLAG = 1
 #: ``offset`` sentinel marking a *create* record: payload is
 #: ``u64 parent_ino`` + the leaf name (the SplitFS-style whole-op
 #: absorption — metadata ops stage alongside the data they precede).
@@ -114,6 +127,9 @@ class _Rec:
     kind: str = "write"        # "write" | "create"
     parent_ino: int = 0        # create records only
     name: str = ""             # create records only
+    addr: int = 0              # device address of the record header
+    crc: int = 0               # persisted CRC (re-stored by a tombstone)
+    tombed: bool = False       # per-record invalidation persisted
 
 
 @dataclass
@@ -272,10 +288,15 @@ class StagingLog:
             pg_last = (offset + len(data) - 1) // PAGE_SIZE
             pending = self._pending_pgoffs.setdefault(ino, set())
             # Gross check, like a direct write's, plus the pages earlier
-            # staged writes will charge when they destage.
-            fs.tenants.check_pages(
-                ino, (pg_last - pg_first + 1) + len(pending))
-            for pgoff in range(pg_first, pg_last + 1):
+            # staged writes will charge when they destage.  A pgoff both
+            # in this write's span and in ``pending`` is deliberately
+            # counted twice: had the burst run direct, the page would
+            # already be charged (in ``used``) and the overwrite's gross
+            # CoW check would count it again — ``used + npages``.  The
+            # staged check is in exact parity, not stricter.
+            span = range(pg_first, pg_last + 1)
+            fs.tenants.check_pages(ino, len(span) + len(pending))
+            for pgoff in span:
                 if cache.index.block_of(pgoff) is None:
                     pending.add(pgoff)
 
@@ -289,14 +310,16 @@ class StagingLog:
             # The commit point: one NT-store, one fence.  A crash before
             # the fence leaves a torn/invalid record — the write never
             # happened; after it, replay applies the write.
-            self.dev.write(slab.write_off, rec, nt=True)
+            addr = slab.write_off
+            self.dev.write(addr, rec, nt=True)
             self.dev.sfence()
             slab.write_off += rec_size
 
             shadow = _Rec(ino=ino, offset=offset, length=len(data),
                           data=bytes(data), seq=seq,
                           stage_ns=fs.clock.now_ns,
-                          trace_id=fs.obs.tracer.current_trace_id)
+                          trace_id=fs.obs.tracer.current_trace_id,
+                          addr=addr, crc=crc)
             slab.recs.append(shadow)
             self._by_ino.setdefault(ino, []).append(shadow)
             new_size = max(cache.inode.size, offset + len(data))
@@ -337,7 +360,8 @@ class StagingLog:
             crc = zlib.crc32(hdr + payload) & 0xFFFFFFFF
             rec = hdr + struct.pack("<II", crc, 0) + payload
             rec += bytes(rec_size - len(rec)) + _TERM
-            self.dev.write(slab.write_off, rec, nt=True)
+            addr = slab.write_off
+            self.dev.write(addr, rec, nt=True)
             self.dev.sfence()
             slab.write_off += rec_size
 
@@ -345,7 +369,8 @@ class StagingLog:
                           length=len(payload), data=payload, seq=seq,
                           stage_ns=fs.clock.now_ns,
                           trace_id=fs.obs.tracer.current_trace_id,
-                          kind="create", parent_ino=parent_ino, name=name)
+                          kind="create", parent_ino=parent_ino, name=name,
+                          addr=addr, crc=crc)
             slab.recs.append(shadow)
             self._by_ino.setdefault(ino, []).append(shadow)
             self._c_created.inc()
@@ -444,25 +469,45 @@ class StagingLog:
             self._pending_pgoffs.pop(ino, None)
 
     def _advance_watermarks(self) -> None:
-        """Move each slab's watermark over its contiguous done-prefix.
+        """Persistently invalidate every done record, before returning.
 
-        The watermark is persisted *before* the slab space becomes
-        reusable and before the caller's conflicting operation proceeds
-        — see the module docstring's ordering rules.
+        The contiguous done-prefix advances the slab watermark; done
+        records stuck behind another inode's still-pending record (slabs
+        are shared: ``ino % nslabs``) get a per-record tombstone instead.
+        Both persist *before* the slab space becomes reusable and before
+        the caller's conflicting operation proceeds — see the module
+        docstring's ordering rules — so replay can never re-apply a
+        record whose effect a later direct write or unlink superseded.
         """
         for slab in self._slabs:
-            advanced = False
+            dirty = False
             while slab.recs and slab.recs[0].done:
                 slab.completed_seq = slab.recs.pop(0).seq
-                advanced = True
-            if advanced:
+                dirty = True
+            if dirty:
                 self.dev.write_atomic64(slab.base + 8, slab.completed_seq)
-                self.dev.persist(slab.base + 8, 8)
+                self.dev.clwb(slab.base + 8, 8)
+            for rec in slab.recs:
+                if rec.done and not rec.tombed:
+                    # One atomic store re-writes the crc|pad word with
+                    # the tombstone bit set; the CRC (which does not
+                    # cover pad) stays valid, so the scan still walks
+                    # past the record to later live ones.
+                    self.dev.write_atomic64(
+                        rec.addr + 32, rec.crc | (_TOMB_FLAG << 32))
+                    self.dev.clwb(rec.addr + 32, 8)
+                    rec.tombed = True
+                    dirty = True
+            if dirty:
+                self.dev.sfence()
                 if not slab.recs:
                     # Fully drained: rewind the append cursor.  Stale
                     # record bytes beyond the terminator cannot replay —
                     # their seq is <= the persisted watermark.
                     slab.write_off = slab.data_base
+            # Invalidation coverage is unconditional: every done record
+            # is now below the watermark or durably tombstoned.
+            assert all(r.tombed for r in slab.recs if r.done)
 
     # ------------------------------------------------------------ recovery
 
@@ -515,13 +560,16 @@ class StagingLog:
             if pos + rec_size > slab.end or seq <= prev_seq:
                 break
             payload = dev.read(pos + _REC_HDR, length)
-            crc, = struct.unpack_from("<I", hdr, 32)
+            crc, pad = struct.unpack_from("<II", hdr, 32)
             if zlib.crc32(hdr[:32] + payload) & 0xFFFFFFFF != crc:
                 break  # torn append: the write never committed
             stats["scanned"] += 1
             prev_seq = seq
             max_seq = max(max_seq, seq)
-            if seq > slab.completed_seq:
+            if seq > slab.completed_seq and not pad & _TOMB_FLAG:
+                # Tombstoned records were destaged or discarded before a
+                # conflicting op proceeded; replaying them would clobber
+                # that op's newer state.
                 candidates.append((ino, offset, payload, seq))
             pos += rec_size
         if candidates:

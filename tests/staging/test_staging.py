@@ -244,6 +244,56 @@ class TestCrashReplay:
         assert fs2.read(fs2.lookup("/f"), 0, 4) == b"good"
         assert fs2.stat(fs2.lookup("/f")).size == 4  # torn write undone
 
+    def test_shared_slab_drain_never_replays_superseded_write(self):
+        """Slabs are shared (ino % nslabs): with one slab, /blocker's
+        pending records sit ahead of /victim's, so the prefix watermark
+        cannot cover /victim's drained records.  The per-record
+        tombstones must — a crash after the conflicting direct write
+        must never replay the stale staged bytes over it."""
+        fs = build_fs(staging_pages=16)      # one slab for every ino
+        blocker = fs.create("/blocker")
+        fs.write(blocker, 0, b"hold")        # stays pending in the slab
+        victim = fs.create("/victim")
+        fs.write(victim, 0, b"stalebytes")
+        fs.write(victim, 0, PAGE * 2)        # conflict: drains, then CoW
+        assert fs.staging.has_pending(blocker)   # watermark is stuck
+        fs2 = crash_remount(fs)
+        v2 = fs2.lookup("/victim")
+        assert fs2.read(v2, 0, 10) == PAGE[:10]  # not b"stalebytes"
+        assert fs2.read(fs2.lookup("/blocker"), 0, 4) == b"hold"
+
+    def test_shared_slab_unlink_never_resurrects_staged_create(self):
+        """Same shared-slab squeeze for discard: /gone's staged create
+        cannot be covered by the watermark while /keep's records are
+        pending, so its tombstone must keep a post-unlink crash from
+        resurrecting the file."""
+        fs = build_fs(staging_pages=16)
+        keep = fs.create("/keep")
+        fs.write(keep, 0, b"keep")           # pending ahead in the slab
+        fs.create("/gone")
+        fs.unlink("/gone")
+        fs2 = crash_remount(fs)
+        assert not fs2.exists("/gone")
+        assert fs2.read(fs2.lookup("/keep"), 0, 4) == b"keep"
+
+    def test_shared_slab_discarded_body_never_lands_on_reused_ino(self):
+        """_drop_file_body's discard must also invalidate durably: a
+        released-and-reused ino must not inherit its dead predecessor's
+        staged writes after a crash."""
+        fs = build_fs(staging_pages=16)
+        blocker = fs.create("/blocker")
+        fs.write(blocker, 0, b"hold")        # keeps the watermark stuck
+        victim = fs.create("/victim")
+        fs.staging.drain_ino(victim)         # /victim fully persistent
+        fs.write(victim, 0, b"DEADBEEF")     # staged overwrite, pending
+        fs.unlink("/victim")                 # discards + releases ino
+        fresh = fs.create("/fresh")          # may reuse victim's ino
+        fs2 = crash_remount(fs)
+        if fs2.exists("/fresh"):
+            f2 = fs2.lookup("/fresh")
+            assert f2 == fresh
+            assert fs2.stat(f2).size == 0    # no stale bytes replayed
+
     def test_replay_discards_unlinked_target(self):
         fs = build_fs()
         a = fs.create("/keep")
