@@ -148,6 +148,34 @@ def staging_baseline_view(baseline: dict) -> dict:
     return view
 
 
+# Numeric leaves of repl_baseline.json checked by --repl: request
+# counts are the fragmentation signal (deterministic), the ratios the
+# acceptance bar.
+REPL_KEYS = ["fwd_requests", "rev_requests", "fwd_ratio", "rev_ratio"]
+
+
+def measure_repl_points() -> dict:
+    """Re-run the bench_repl restore-vs-chain-length curve in-process."""
+    import bench_repl
+
+    current: dict = {}
+    for r in bench_repl.measure():
+        current[f"L{r['chain_len']}"] = {k: r[k] for k in REPL_KEYS}
+        print(f"measured chain_len={r['chain_len']}: "
+              f"fwd {r['fwd_requests']} reqs ({r['fwd_ratio']:.2f}x), "
+              f"rev {r['rev_requests']} reqs ({r['rev_ratio']:.2f}x)")
+    return current
+
+
+def repl_baseline_view(baseline: dict) -> dict:
+    """Project repl_baseline.json onto the per-chain-length key shape."""
+    view: dict = {}
+    for r in baseline.get("restore_chain", []):
+        view[f"L{r['chain_len']}"] = {k: r[k] for k in REPL_KEYS
+                                      if k in r}
+    return view
+
+
 # Numeric leaves of tenant_baseline.json checked by --tenants.  The
 # per-point dicts carry wall-clock-ish totals; the isolation claim
 # lives in these p99s and ratios, so only they get a band.
@@ -222,19 +250,25 @@ def main(argv=None) -> int:
                     help="re-measure the staged/direct fig9 small-write "
                          "points against fig9_staging.json (clean skip "
                          "when that baseline was never generated)")
+    ap.add_argument("--repl", action="store_true",
+                    help="re-measure the restore-vs-chain-length curve "
+                         "against repl_baseline.json (clean skip when "
+                         "that baseline was never generated)")
     args = ap.parse_args(argv)
 
     if args.tenants and args.baseline == "fig9_baseline.json":
         args.baseline = "tenant_baseline.json"
     if args.staging and args.baseline == "fig9_baseline.json":
         args.baseline = "fig9_staging.json"
+    if args.repl and args.baseline == "fig9_baseline.json":
+        args.baseline = "repl_baseline.json"
     base_path = pathlib.Path(args.baseline)
     if not base_path.exists():
         base_path = RESULTS / args.baseline
     if not base_path.exists():
-        if args.staging:
-            # The staging curve is produced by bench_fig9_threads; a
-            # checkout that never ran it simply has nothing to gate.
+        if args.staging or args.repl:
+            # These curves are produced by their bench modules; a
+            # checkout that never ran them simply has nothing to gate.
             print(f"skip: baseline {args.baseline} not present")
             return 0
         print(f"error: baseline {args.baseline} not found", file=sys.stderr)
@@ -261,6 +295,35 @@ def main(argv=None) -> int:
             rc = 1
         else:
             print(f"staging win at T=16: {staged16 / direct16:.1f}x")
+        return rc
+    elif args.repl:
+        current = measure_repl_points()
+        baseline = repl_baseline_view(baseline)
+        if not baseline:
+            print("error: baseline has none of the repl points",
+                  file=sys.stderr)
+            return 2
+        rc = report(compare_docs(current, baseline, args.tolerance))
+        # The acceptance bar itself, independent of baseline drift:
+        # restore-latest under reverse dedup stays within 1.15x of the
+        # length-1 chain while forward keeps fragmenting.
+        deepest = max(current, key=lambda k: int(k[1:]))
+        rev = current[deepest]["rev_ratio"]
+        fwd_reqs = current[deepest]["fwd_requests"]
+        rev_reqs = current[deepest]["rev_requests"]
+        if rev > 1.15:
+            print(f"REGRESSION: reverse restore at {deepest} is "
+                  f"{rev:.2f}x the chain-1 cost (bar: 1.15x)")
+            rc = 1
+        elif fwd_reqs <= rev_reqs:
+            print(f"REGRESSION: forward restore at {deepest} issues "
+                  f"{fwd_reqs} requests vs reverse {rev_reqs} — the "
+                  f"fragmentation the relocation should be absorbing "
+                  f"is gone")
+            rc = 1
+        else:
+            print(f"reverse dedup holds {rev:.2f}x at {deepest} "
+                  f"({rev_reqs} reqs vs forward {fwd_reqs})")
         return rc
     elif args.tenants:
         current = measure_tenant_points()

@@ -24,6 +24,8 @@ from repro.backup.recv import (
     receive_backup,
     rollback_staging,
     stage_cursor,
+    stage_path_for,
+    staged_ingests,
 )
 from repro.backup.send import send_backup, send_cursor_path
 from repro.backup.stream import FORMAT, StreamError, index_records, read_header
@@ -33,6 +35,6 @@ __all__ = [
     "BackupError", "SnapshotDiff", "StreamError", "FORMAT", "STAGE_DIR",
     "diff_snapshots", "snapshot_tree", "snapshot_fingerprints",
     "snapshot_root", "send_backup", "send_cursor_path", "receive_backup",
-    "rollback_staging", "stage_cursor", "verify_stream", "verify_snapshot",
-    "read_header", "index_records",
+    "rollback_staging", "stage_cursor", "stage_path_for", "staged_ingests",
+    "verify_stream", "verify_snapshot", "read_header", "index_records",
 ]

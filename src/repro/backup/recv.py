@@ -10,27 +10,37 @@ dedup was skipped).
 Failure atomicity — the commit-flag protocol
 --------------------------------------------
 The snapshot is materialized under a *staging* directory,
-``/.backup_stage/<name>``, file by file with reflink's own crash
-discipline (orphan inode → staged UCs → ``in_process`` entries → one
-atomic tail commit → settle → publish dentry).  When the whole tree is
-staged, one atomic cross-directory rename — the redo journal's
+``/.backup_stage/<name>@<stream12>``, file by file with reflink's own
+crash discipline (orphan inode → staged UCs → ``in_process`` entries →
+one atomic tail commit → settle → publish dentry).  When the whole tree
+is staged, one atomic cross-directory rename — the redo journal's
 committed flag is the linearization point — moves it to
 ``/.snapshots/<name>``.  That rename *is* the single commit flag: until
-it happens the target has no snapshot named ``<name>``, and
-:meth:`DeNovaFS._post_mount` rolls every staging directory back after
-an **unclean** mount, so a crash torn anywhere during ingest leaves the
-target fsck-clean with the partial snapshot absent.
+it happens the target has no snapshot named ``<name>``.
+
+Stages are namespaced per ``stream_id`` so *concurrent* ingests (a
+fan-in consolidating several sources into one target) never share a
+staging directory, and an unclean mount can roll back exactly the
+streams that were torn.  The sibling cursor file carries an ``active``
+dirty-mark: ``True`` from the moment a ``recv`` starts mutating the
+stage until it either pauses cleanly (``max_entries`` exhausted —
+rewritten ``False``) or commits (cursor unlinked with the stage).
+:meth:`DeNovaFS._post_mount` calls :func:`rollback_staging` with
+``torn_only=True`` after an **unclean** mount: a stage whose cursor is
+absent, garbled, or still ``active`` was torn mid-ingest and is removed
+(the fsck-clean guarantee); a cleanly-paused stage survives and resumes.
 
 Resume — the in-image cursor
 ----------------------------
-A *clean* unmount intentionally preserves staging: the sibling cursor
-file ``/.backup_stage/<name>.cursor`` records the ``stream_id`` being
-ingested, and a later ``recv`` of the same stream skips every
+A *clean* unmount intentionally preserves staging: the cursor file
+``/.backup_stage/<name>@<stream12>.cursor`` records the ``stream_id``
+being ingested, and a later ``recv`` of the same stream skips every
 already-published path (publishing is per-entry atomic, so an existing
-path is a complete entry).  A cursor whose ``stream_id`` does not match
-invalidates the staging — resuming a deleted-and-recreated source
-snapshot restarts from scratch.  The cursor lives in the image, so it
-can never disagree with the staged tree it describes.
+path is a complete entry).  Staging under the same snapshot name whose
+``stream_id`` does not match is torn down first — resuming a
+deleted-and-recreated source snapshot restarts from scratch.  The
+cursor lives in the image, so it can never disagree with the staged
+tree it describes.
 """
 
 from __future__ import annotations
@@ -58,17 +68,25 @@ from repro.nova.inode import FLAG_IMMUTABLE, ITYPE_DIR, ITYPE_FILE
 from repro.nova.layout import PAGE_SIZE
 
 __all__ = ["STAGE_DIR", "receive_backup", "rollback_staging",
-           "stage_cursor"]
+           "stage_cursor", "stage_path_for", "staged_ingests"]
 
 STAGE_DIR = "/.backup_stage"
 
+#: Stream-id prefix length used in stage names — enough to keep
+#: concurrent streams apart, short enough for readable listings.
+_SID_CHARS = 12
 
-def _stage_path(name: str) -> str:
-    return f"{STAGE_DIR}/{name}"
+
+def _stage_key(name: str, sid: str) -> str:
+    return f"{name}@{sid[:_SID_CHARS]}"
 
 
-def _cursor_path(name: str) -> str:
-    return f"{STAGE_DIR}/{name}.cursor"
+def _stage_path(name: str, sid: str) -> str:
+    return f"{STAGE_DIR}/{_stage_key(name, sid)}"
+
+
+def _cursor_path(name: str, sid: str) -> str:
+    return _stage_path(name, sid) + ".cursor"
 
 
 def _present(fs, path: str) -> bool:
@@ -89,16 +107,67 @@ def _write_small(fs, path: str, data: bytes) -> None:
         fs.write(ino, 0, data)
 
 
-def stage_cursor(fs, name: str) -> Optional[dict]:
-    """The in-image recv cursor for ``name`` (None if absent/garbled)."""
-    path = _cursor_path(name)
+def _read_cursor(fs, path: str) -> Optional[dict]:
     if not _present(fs, path):
         return None
     ino = fs.lookup(path, follow=False)
     try:
-        return json.loads(fs.read(ino, 0, fs.stat(ino).size).decode())
+        cur = json.loads(fs.read(ino, 0, fs.stat(ino).size).decode())
     except (ValueError, UnicodeDecodeError):
         return None
+    return cur if isinstance(cur, dict) else None
+
+
+def staged_ingests(fs) -> list[dict]:
+    """Every staged (uncommitted) ingest with its cursor state.
+
+    Entries are ``{"snapshot", "stage", "stream_id", "applied",
+    "active"}`` sorted by stage name; a stage whose cursor is missing or
+    garbled reports ``stream_id=None, active=True`` (it is torn by
+    definition).
+    """
+    out = []
+    if not _present(fs, STAGE_DIR):
+        return out
+    for entry in sorted(fs.listdir(STAGE_DIR)):
+        path = f"{STAGE_DIR}/{entry}"
+        ino = fs.lookup(path, follow=False)
+        if fs.caches[ino].inode.itype != ITYPE_DIR:
+            continue
+        cur = _read_cursor(fs, path + ".cursor") or {}
+        out.append({
+            "snapshot": cur.get("snapshot", entry.rsplit("@", 1)[0]),
+            "stage": path,
+            "stream_id": cur.get("stream_id"),
+            "applied": cur.get("applied", 0),
+            "active": bool(cur.get("active", True)),
+        })
+    return out
+
+
+def stage_cursor(fs, name: str) -> Optional[dict]:
+    """The in-image recv cursor for snapshot ``name`` (None if absent).
+
+    Stages are keyed by ``name@stream12``, so this scans the staging
+    directory for a cursor whose recorded snapshot matches.
+    """
+    if not _present(fs, STAGE_DIR):
+        return None
+    for entry in sorted(fs.listdir(STAGE_DIR)):
+        if not entry.endswith(".cursor"):
+            continue
+        cur = _read_cursor(fs, f"{STAGE_DIR}/{entry}")
+        if cur is not None and cur.get("snapshot") == name:
+            return cur
+    return None
+
+
+def stage_path_for(fs, name: str) -> Optional[str]:
+    """The staging directory currently holding snapshot ``name``."""
+    for ing in staged_ingests(fs):
+        if ing["snapshot"] == name:
+            return ing["stage"]
+    return None
 
 
 def _teardown(fs, path: str) -> int:
@@ -116,26 +185,53 @@ def _teardown(fs, path: str) -> int:
     return removed
 
 
-def rollback_staging(fs) -> dict:
-    """Remove every staged ingest (and stray cursor) — the fsck path.
+def rollback_staging(fs, torn_only: bool = False) -> dict:
+    """Remove staged ingests (and stray cursors) — the fsck path.
+
+    With ``torn_only`` (the unclean-mount hook), only stages whose
+    cursor is absent, garbled, or still marked ``active`` are removed:
+    those were torn mid-``recv``.  A cleanly-paused stage (cursor
+    ``active=False``) holds only per-entry-committed files and is kept
+    for resume — what lets one torn stream of a fan-in roll back without
+    discarding its siblings' progress.  Without ``torn_only`` everything
+    staged is removed.
 
     Unlinking staged files drops the RFCs their ingest committed; pages
     that reach zero are freed and their FACT entries retired, so a
     rolled-back ingest leaves no trace in the table.
     """
-    out = {"stages": 0, "files": 0, "cursors": 0}
+    out = {"stages": 0, "files": 0, "cursors": 0, "kept": 0}
     if not _present(fs, STAGE_DIR):
         return out
-    for entry in list(fs.listdir(STAGE_DIR)):
+    entries = list(fs.listdir(STAGE_DIR))
+    dirs = []
+    cursors = set()
+    for entry in entries:
         path = f"{STAGE_DIR}/{entry}"
         ino = fs.lookup(path, follow=False)
         if fs.caches[ino].inode.itype == ITYPE_DIR:
-            out["files"] += _teardown(fs, path)
-            out["stages"] += 1
+            dirs.append(entry)
         else:
-            fs.unlink(path)
+            cursors.add(entry)
+    for entry in sorted(dirs):
+        path = f"{STAGE_DIR}/{entry}"
+        cname = f"{entry}.cursor"
+        cur = _read_cursor(fs, f"{STAGE_DIR}/{cname}")
+        if torn_only and cur is not None and cur.get("active") is False:
+            out["kept"] += 1
+            cursors.discard(cname)
+            continue
+        out["files"] += _teardown(fs, path)
+        out["stages"] += 1
+        if cname in cursors:
+            fs.unlink(f"{STAGE_DIR}/{cname}")
+            cursors.discard(cname)
             out["cursors"] += 1
-    fs.rmdir(STAGE_DIR)
+    for cname in sorted(cursors):  # cursors with no stage: always stray
+        fs.unlink(f"{STAGE_DIR}/{cname}")
+        out["cursors"] += 1
+    if not fs.listdir(STAGE_DIR):
+        fs.rmdir(STAGE_DIR)
     return out
 
 
@@ -251,9 +347,10 @@ def receive_backup(fs, stream, resume: bool = True,
 
     ``stream`` is a path or a readable+seekable binary file object.
     ``max_entries`` stops after that many *new* tree entries, leaving
-    the staging and cursor in place for a later resume (the test hook
-    for interrupted transfers).  Returns a report whose ``committed``
-    says whether the snapshot was atomically published.
+    the staging and cursor in place (cursor rewritten ``active=False``)
+    for a later resume — the pause hook interrupted transfers and
+    round-robin replication pumping both use.  Returns a report whose
+    ``committed`` says whether the snapshot was atomically published.
     """
     if not hasattr(fs, "fact"):
         raise BackupError("backup recv needs a dedup-enabled filesystem")
@@ -283,24 +380,40 @@ def receive_backup(fs, stream, resume: bool = True,
 
         if not _present(fs, STAGE_DIR):
             fs.mkdir(STAGE_DIR)
-        stage = _stage_path(name)
-        cpath = _cursor_path(name)
+        stage = _stage_path(name, sid)
+        cpath = _cursor_path(name, sid)
+
+        # Stale staging for this snapshot under a *different* stream id
+        # (the source was deleted and re-created): roll it back first —
+        # never splice two streams.  Other snapshots' stages (a fan-in
+        # in progress) are untouched.
+        for ing in staged_ingests(fs):
+            if ing["snapshot"] == name and ing["stage"] != stage:
+                _teardown(fs, ing["stage"])
+                if _present(fs, ing["stage"] + ".cursor"):
+                    fs.unlink(ing["stage"] + ".cursor")
+
         resumed = False
         if _present(fs, stage):
-            cur = stage_cursor(fs, name) if resume else None
+            cur = _read_cursor(fs, cpath) if resume else None
             if cur is not None and cur.get("stream_id") == sid:
                 resumed = True
             else:
-                # Different/unknown stream staged under this name: a
-                # stale transfer whose source was recreated.  Roll it
-                # back and start fresh.
+                # resume=False, or a garbled cursor: start fresh.
                 _teardown(fs, stage)
                 if _present(fs, cpath):
                     fs.unlink(cpath)
         if not _present(fs, stage):
             fs.mkdir(stage)
-        _write_small(fs, cpath, json.dumps(
-            {"stream_id": sid, "applied": 0}).encode())
+
+        def write_cursor(applied: int, active: bool) -> None:
+            _write_small(fs, cpath, json.dumps(
+                {"stream_id": sid, "snapshot": name,
+                 "applied": applied, "active": active}).encode())
+
+        # Dirty-mark the stage before touching it: a crash from here on
+        # is a torn ingest and the unclean-mount fsck removes the stage.
+        write_cursor(0, True)
 
         stats = {"pages_dup": 0, "pages_novel": 0,
                  "pages_unfingerprinted": 0, "bytes_ingested": 0,
@@ -331,9 +444,7 @@ def receive_backup(fs, stream, resume: bool = True,
                                  stats)
                     stats["files"] += 1
                 applied += 1
-                _write_small(fs, cpath, json.dumps(
-                    {"stream_id": sid,
-                     "applied": applied + skipped}).encode())
+                write_cursor(applied + skipped, True)
             committed = False
             if not stopped:
                 if not _present(fs, SNAPSHOT_DIR):
@@ -343,6 +454,17 @@ def receive_backup(fs, stream, resume: bool = True,
                 if not fs.listdir(STAGE_DIR):
                     fs.rmdir(STAGE_DIR)
                 committed = True
+            else:
+                # Clean pause: the stage holds only fully-committed
+                # entries, so it survives an unclean mount and resumes.
+                write_cursor(applied + skipped, False)
+        if committed:
+            # Chain metadata (parent/depth/layout) is advisory and
+            # recorded *after* the commit rename: a crash between the
+            # two leaves a published snapshot with unknown lineage,
+            # never a torn commit.
+            from repro.repl.chain import record_chain
+            record_chain(fs, name, parent=manifest.get("base"))
         if counters is not None:
             counters["recv_pages_dup"] += stats["pages_dup"]
             counters["recv_pages_novel"] += stats["pages_novel"]

@@ -722,7 +722,7 @@ def cmd_snap(args) -> int:
 def cmd_backup(args) -> int:
     """Dedup-aware snapshot replication between device images."""
     from repro.backup import (StreamError, receive_backup, send_backup,
-                              stage_cursor, verify_snapshot, verify_stream)
+                              verify_snapshot, verify_stream)
     from repro.nova.fs import FSError
 
     fs = _open_fs(args.image)
@@ -796,22 +796,131 @@ def cmd_backup(args) -> int:
                           "(stream-only verify)")
             return 0 if srep["ok"] and (not nrep.get("present")
                                         or nrep["ok"]) else 1
-        # list: snapshots (backup sources/targets) + staged ingests,
-        # in the same deterministic order as ``snap list``.
-        for name in fs.list_snapshots():
-            print(name)
-        from repro.backup import STAGE_DIR
-        if fs.exists(STAGE_DIR):
-            for entry in sorted(fs.listdir(STAGE_DIR)):
-                if entry.endswith(".cursor"):
-                    cur = stage_cursor(fs, entry[:-len(".cursor")]) or {}
-                    print(f"{entry[:-len('.cursor')]} "
-                          f"[staged: {cur.get('applied', '?')} entries, "
-                          f"stream {str(cur.get('stream_id'))[:12]}]")
+        # list: snapshots (backup sources/targets) with chain metadata,
+        # + staged ingests, in the same deterministic order as ``snap
+        # list`` (chain_table keeps the sorted contract).
+        from repro.repl import chain_table
+        for row in chain_table(fs):
+            meta = [f"depth {row['depth']}", row["layout"]]
+            if row["parent"]:
+                meta.insert(0, f"parent {row['parent']}")
+            print(f"{row['snapshot']} [{', '.join(meta)}]")
+        from repro.backup import staged_ingests
+        for st in staged_ingests(fs):
+            state = "torn" if st["active"] else "paused"
+            applied = st["applied"] if st["applied"] is not None else "?"
+            print(f"{st['snapshot']} [staged: {applied} entries, "
+                  f"stream {str(st['stream_id'])[:12]}, {state}]")
         _close(fs, args.image)
         return 0
     except (FSError, StreamError, OSError) as exc:
         print(f"backup {args.baction}: {exc}", file=sys.stderr)
+        return 1
+
+
+def cmd_repl(args) -> int:
+    """Reverse-dedup snapshot chains + fan-out/fan-in replication."""
+    from repro.backup import BackupError
+    from repro.nova.fs import FSError
+
+    if args.raction in ("fanout", "fanin"):
+        import tempfile
+
+        from repro.repl import ReplicationTopology
+
+        spool = args.spool or tempfile.mkdtemp(prefix="repro-spool-")
+        opened: list = []
+
+        def open_image(path):
+            fs = _open_fs(path)
+            if not hasattr(fs, "fact"):
+                raise BackupError(f"{path}: repl needs a dedup-enabled "
+                                  "image")
+            opened.append((fs, path))
+            return fs
+
+        try:
+            topo = ReplicationTopology(spool_dir=spool, batch=args.batch)
+            if args.raction == "fanout":
+                src = open_image(args.image)
+                replicas = [open_image(p) for p in args.replica]
+                rep = topo.fan_out(src, args.snapshot, replicas,
+                                   base=args.base)
+            else:
+                dst = open_image(args.image)
+                sources = []
+                for spec in args.source:
+                    if ":" not in spec:
+                        raise BackupError(
+                            f"source {spec!r}: want IMAGE:SNAPSHOT")
+                    path, name = spec.rsplit(":", 1)
+                    sources.append((open_image(path), name))
+                rep = topo.fan_in(sources, dst)
+        except (FSError, BackupError, OSError) as exc:
+            print(f"repl {args.raction}: {exc}", file=sys.stderr)
+            for fs, path in opened:
+                _close(fs, path)
+            return 1
+        for fs, path in opened:
+            _close(fs, path)
+        if args.json:
+            print(json.dumps({"schema": "repro.repl.topology/1", **rep},
+                             indent=2))
+        else:
+            print(f"{args.raction}: {rep['committed']}/"
+                  f"{len(rep['streams'])} streams committed"
+                  + (", converged" if rep["converged"] else ""))
+            for st in rep["streams"]:
+                state = "committed" if st["committed"] else "pending"
+                err = f" ERROR: {st['error']}" if st["error"] else ""
+                print(f"  {st['name']}: {st['snapshot']!r} "
+                      f"rounds={st['rounds']} dup={st['pages_dup']} "
+                      f"novel={st['pages_novel']} {state}{err}")
+        ok = rep["committed"] == len(rep["streams"]) and not rep["errors"]
+        return 0 if ok else 1
+
+    fs = _open_fs(args.image)
+    if not hasattr(fs, "relocate"):
+        print("repl needs a dedup-enabled image", file=sys.stderr)
+        return 1
+    try:
+        if args.raction == "relocate":
+            rep = fs.relocate(budget=args.budget)
+            _close(fs, args.image)
+            if args.json:
+                print(json.dumps({"schema": "repro.repl.relocate/1",
+                                  **rep}, indent=2))
+            elif rep["snapshot"] is None:
+                print("relocate: no snapshots")
+            else:
+                state = ("done" if rep["done"]
+                         else f"paused at file {rep['next_cursor']}")
+                print(f"relocated {rep['snapshot']!r}: "
+                      f"{rep['pages_moved']} pages across "
+                      f"{rep['files_moved']} files "
+                      f"({rep['files_examined']} examined, "
+                      f"{rep['skipped_enospc']} enospc) — {state}")
+            return 0 if rep["done"] else 3
+        # restore: digest-restore a snapshot through the sequential
+        # read path (newest of the chain unless --snapshot is given).
+        if args.snapshot:
+            from repro.repl import restore_snapshot
+            rep = restore_snapshot(fs, args.snapshot)
+        else:
+            rep = fs.restore_latest()
+        _close(fs, args.image)
+        if args.json:
+            print(json.dumps({"schema": "repro.repl.restore/1", **rep},
+                             indent=2))
+        elif rep["snapshot"] is None:
+            print("restore: no snapshots")
+        else:
+            print(f"restored {rep['snapshot']!r}: {rep['files']} files, "
+                  f"{rep['bytes']} B in {rep['requests']} requests, "
+                  f"{rep['throughput_gbps']:.2f} GB/s")
+        return 0
+    except FSError as exc:
+        print(f"repl {args.raction}: {exc}", file=sys.stderr)
         return 1
 
 
@@ -842,6 +951,39 @@ def cmd_fuzz(args) -> int:
         else:
             verdict = "CLEAN" if not violations else "FAILURES"
             print(f"{verdict}: {cases} ingest sweeps, "
+                  f"{points} crash points checked, "
+                  f"{len(violations)} violations")
+            for v in violations:
+                print(f"  {v}")
+        return 0 if not violations else 1
+
+    if args.repl:
+        # Dedicated replication-pipeline sweep: recv staging cursors +
+        # relocation intent journals enter the crash window (the
+        # differential campaign below hosts relocate/restore ops too,
+        # via repro.fuzz.repl.repl_gen_config).
+        from repro.fuzz import run_repl_case
+
+        cases = max(1, args.ops // max(1, args.seq_ops))
+        results = []
+        for i in range(cases):
+            cfg = FuzzConfig(seed=args.seed + i, seq_ops=args.seq_ops,
+                             budget=args.budget, pages=args.pages,
+                             alpha=args.alpha)
+            results.append(run_repl_case(cfg))
+        points = sum(r.crash_points for r in results)
+        violations = [v for r in results for v in r.violations]
+        if args.json:
+            print(json.dumps({
+                "seed": args.seed,
+                "cases": cases,
+                "crash_points": points,
+                "records": sum(r.records for r in results),
+                "violations": [str(v) for v in violations],
+            }, indent=2))
+        else:
+            verdict = "CLEAN" if not violations else "FAILURES"
+            print(f"{verdict}: {cases} repl sweeps, "
                   f"{points} crash points checked, "
                   f"{len(violations)} violations")
             for v in violations:
@@ -1156,6 +1298,54 @@ def build_parser() -> argparse.ArgumentParser:
     b.add_argument("image")
     b.set_defaults(fn=cmd_backup)
 
+    s = sub.add_parser("repl", help="reverse-dedup snapshot chains and "
+                                    "fan-out/fan-in replication")
+    rsub = s.add_subparsers(dest="raction", required=True)
+
+    r = rsub.add_parser("fanout", help="replicate one snapshot to N "
+                                       "images over resumable streams")
+    r.add_argument("image", help="source image")
+    r.add_argument("snapshot", help="snapshot name to replicate")
+    r.add_argument("replica", nargs="+", help="destination image(s)")
+    r.add_argument("--base", default=None,
+                   help="base snapshot for incremental streams")
+    r.add_argument("--batch", type=int, default=None,
+                   help="records/entries per pump round (default: "
+                        "whole stream at once)")
+    r.add_argument("--spool", default=None,
+                   help="directory for stream spool files (default: "
+                        "a fresh temp dir)")
+    r.add_argument("--json", action="store_true")
+    r.set_defaults(fn=cmd_repl)
+
+    r = rsub.add_parser("fanin", help="consolidate snapshots from N "
+                                      "source images into this one")
+    r.add_argument("image", help="destination image")
+    r.add_argument("source", nargs="+", metavar="IMAGE:SNAPSHOT",
+                   help="source image and snapshot name, colon-joined")
+    r.add_argument("--batch", type=int, default=None)
+    r.add_argument("--spool", default=None)
+    r.add_argument("--json", action="store_true")
+    r.set_defaults(fn=cmd_repl)
+
+    r = rsub.add_parser("relocate", help="reverse-dedup pass: make the "
+                                         "newest snapshot sequential")
+    r.add_argument("image")
+    r.add_argument("--budget", type=int, default=None,
+                   help="max pages moved this call (resumes next call)")
+    r.add_argument("--json", action="store_true")
+    r.set_defaults(fn=cmd_repl)
+
+    r = rsub.add_parser("restore", help="digest-restore a snapshot "
+                                        "through the sequential read "
+                                        "path")
+    r.add_argument("image")
+    r.add_argument("--snapshot", default=None,
+                   help="snapshot to restore (default: newest of the "
+                        "chain)")
+    r.add_argument("--json", action="store_true")
+    r.set_defaults(fn=cmd_repl)
+
     s = sub.add_parser("fuzz", help="differential crash-consistency "
                                     "fuzzing against the model oracle")
     s.add_argument("--seed", type=int, default=0)
@@ -1196,6 +1386,9 @@ def build_parser() -> argparse.ArgumentParser:
     s.add_argument("--backup", action="store_true",
                    help="sweep crashes through backup ingest instead of "
                         "the differential campaign")
+    s.add_argument("--repl", action="store_true",
+                   help="sweep crashes through the replication pipeline "
+                        "(recv cursors + relocation intent journals)")
     s.add_argument("--json", action="store_true")
     s.set_defaults(fn=cmd_fuzz)
 

@@ -77,6 +77,17 @@ class DeNovaFS(NovaFS):
             # staged ingests rolled back by unclean-mount fsck
             "rollbacks": "backup.staging_rollbacks_total",
         })
+        self.repl_counters = CounterView(self.obs.registry, {
+            # reverse-dedup relocation (out-of-line, budgeted)
+            "pages_relocated": "repl.pages_relocated_total",
+            "files_sequentialized": "repl.files_sequentialized_total",
+            "relocate_skipped_enospc": "repl.relocate_skipped_enospc_total",
+            # crash-recovery replays of the relocation intent journal
+            "intents_replayed": "repl.intents_replayed_total",
+            # restore-latest fast path
+            "restore_runs": "repl.restore_runs_total",
+            "restore_bytes": "repl.restore_bytes_total",
+        })
         self.dedup_counters = CounterView(self.obs.registry, {
             # reclaim skipped: RFC still > 0
             "shared_page_keeps": "dedup.shared_page_keeps_total",
@@ -132,23 +143,33 @@ class DeNovaFS(NovaFS):
         report.extra["dedup"] = dedup_recover(self, report)
 
     def _post_mount(self) -> None:
-        """Roll back interrupted backup ingests after a crash.
+        """Settle torn backup ingests and relocations after a crash.
 
         An in-flight ``backup recv`` stages its snapshot under
-        ``/.backup_stage`` and commits with one atomic rename; anything
-        still staged when an *unclean* mount completes is a torn ingest
-        and must vanish (the fsck-clean guarantee).  Clean unmounts keep
-        staging untouched — that is what makes recv resumable.
+        ``/.backup_stage`` and commits with one atomic rename; a stage
+        whose cursor is absent or still ``active`` when an *unclean*
+        mount completes is a torn ingest and must vanish (the fsck-clean
+        guarantee).  Cleanly-paused stages — and all staging after a
+        clean unmount — are kept: that is what makes recv resumable and
+        fan-in crash-isolated per stream.  An interrupted reverse-dedup
+        relocation left an intent journal under ``/.repl``; replaying it
+        drives every half-moved page to a consistent side.
         """
         rep = self.last_recovery
         if rep is None or rep.clean:
             return
         from repro.backup.recv import rollback_staging
         with self.obs.span("backup.rollback_staging"):
-            out = rollback_staging(self)
+            out = rollback_staging(self, torn_only=True)
         if out["stages"] or out["cursors"]:
             self.backup_counters["rollbacks"] += out["stages"]
             rep.extra["backup_rollback"] = out
+        from repro.repl.relocate import replay_intents
+        with self.obs.span("repl.replay_intents"):
+            replayed = replay_intents(self)
+        if replayed:
+            self.repl_counters["intents_replayed"] += replayed
+            rep.extra["repl_replay"] = replayed
 
     # ------------------------------------------------------------ write-path hooks
 
@@ -290,8 +311,30 @@ class DeNovaFS(NovaFS):
 
     def delete_snapshot(self, name: str) -> int:
         from repro.dedup.reflink import delete_snapshot
+        from repro.repl.chain import forget_chain
         self._check_mounted()
-        return delete_snapshot(self, name)
+        out = delete_snapshot(self, name)
+        forget_chain(self, name)
+        return out
+
+    # ------------------------------------------------------------ repl (reverse dedup)
+
+    def relocate(self, budget: Optional[int] = None) -> dict:
+        """Reverse-dedup the newest snapshot (budgeted, resumable)."""
+        from repro.repl.relocate import relocate_latest
+        self._check_mounted()
+        return relocate_latest(self, budget=budget)
+
+    def restore_latest(self, sink=None) -> dict:
+        """Read the newest snapshot back through the physical layout."""
+        from repro.repl.restore import restore_latest
+        self._check_mounted()
+        return restore_latest(self, sink=sink)
+
+    def snapshot_chains(self) -> list[dict]:
+        """Chain metadata (parent, depth, layout) per snapshot."""
+        from repro.repl.chain import chain_table
+        return chain_table(self)
 
     # ------------------------------------------------------------ reporting
 

@@ -352,6 +352,47 @@ class FACT:
         """Uncommitted count: dedup transactions in flight on this entry."""
         return self._read_u64(idx, _OFF_COUNTS) >> 32
 
+    # ------------------------------------------------------------ retarget
+
+    def retarget_block(self, idx: int, new_block: int) -> int:
+        """Move entry ``idx``'s canonical page to ``new_block`` (RevDedup).
+
+        The out-of-line relocation pass copies the data first and
+        repoints every referencing write entry before calling this, so
+        the entry's counts are untouched — only *where* the canonical
+        page lives changes.  Persistence order:
+
+        1. delete pointer for ``new_block`` — persisted, but the entry
+           still names the old block, so a crash here leaves a
+           mismatched pointer that :meth:`structural_recover` pass 4
+           clears;
+        2. the block field — **one atomic 64-bit store**, the commit
+           point of the move;
+        3. the old block's delete pointer and weak hint are retired
+           (a crash between 2 and 3 again leaves only mismatched
+           pointers for pass 4).
+
+        Idempotent: retargeting an entry already at ``new_block`` only
+        re-runs the (harmless) pointer writes.  Returns the old block.
+        """
+        ent = self.read_entry(idx)
+        if not ent.valid:
+            raise ValueError(f"retarget of invalid FACT[{idx}]")
+        if new_block <= 0:
+            raise ValueError("block 0 is reserved as the invalid marker")
+        old = ent.block
+        self.set_delete(new_block, idx)
+        weak = self.block_weak(old)
+        if weak:
+            self.set_block_weak(new_block, weak)
+        self._write_u64(idx, _OFF_BLOCK, new_block)  # the atomic switch
+        if old != new_block:
+            if self._read_u64(old, _OFF_DELETE) == idx + 1:
+                self.clear_delete(old)
+            if weak:
+                self.clear_block_weak(old)
+        return old
+
     # ------------------------------------------------------------ delete pointers
 
     def set_delete(self, block: int, idx: int) -> None:

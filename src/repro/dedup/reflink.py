@@ -193,12 +193,13 @@ def snapshot(fs, name: str) -> dict:
     dirs = 0
 
     from repro.backup.recv import STAGE_DIR
+    from repro.repl.chain import REPL_DIR
 
     def walk(src_dir: str, dst_dir: str):
         nonlocal files, dirs
         for entry in fs.listdir(src_dir):
             src_path = f"{src_dir.rstrip('/')}/{entry}"
-            if src_path in (SNAPSHOT_DIR, STAGE_DIR):
+            if src_path in (SNAPSHOT_DIR, STAGE_DIR, REPL_DIR):
                 continue
             dst_path = f"{dst_dir}/{entry}"
             ino = fs.lookup(src_path, follow=False)

@@ -42,6 +42,11 @@ from repro.fuzz.gen import (
     model_after,
 )
 from repro.fuzz.model import ModelError, ModelFS
+from repro.fuzz.repl import (
+    ReplSweepResult,
+    repl_gen_config,
+    run_repl_case,
+)
 from repro.fuzz.runner import CampaignResult, Failure, FuzzRunner
 from repro.fuzz.shrink import shrink, shrink_case
 
@@ -54,4 +59,5 @@ __all__ = [
     "shrink", "shrink_case",
     "FuzzRunner", "CampaignResult", "Failure",
     "BackupSweepResult", "backup_gen_config", "run_backup_case",
+    "ReplSweepResult", "repl_gen_config", "run_repl_case",
 ]

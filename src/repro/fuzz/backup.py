@@ -156,10 +156,28 @@ def run_backup_case(cfg=None, name: str = "fz") -> BackupSweepResult:
     base_fs.daemon.drain()
     baseline = fs_namespace(base_fs)
 
+    from repro.repl.chain import REPL_DIR
+
     def _split(ns: dict) -> tuple[dict, dict]:
+        """Separate snapshot + chain-metadata namespaces from the rest.
+
+        ``/.repl`` is advisory metadata recv records after the commit
+        rename; it may legitimately be present (commit reached) or
+        absent (crash in the window between rename and record), so it
+        is carved out of the baseline comparison and path-checked
+        separately.
+        """
         snap = {p: d for p, d in ns.items()
                 if p == SNAPSHOT_DIR or p.startswith(SNAPSHOT_DIR + "/")}
-        rest = {p: d for p, d in ns.items() if p not in snap}
+        repl = {p: d for p, d in ns.items()
+                if p == REPL_DIR or p.startswith(REPL_DIR + "/")}
+        rest = {p: d for p, d in ns.items()
+                if p not in snap and p not in repl}
+        allowed = {REPL_DIR, f"{REPL_DIR}/{name}.chain"}
+        stray = sorted(set(repl) - allowed)
+        if stray:
+            raise AssertionError(
+                f"unexpected /.repl residue after ingest crash: {stray[:4]}")
         return snap, rest
 
     def _expect_snapshot(snap: dict) -> None:

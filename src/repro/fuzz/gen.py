@@ -55,6 +55,11 @@ class GenConfig:
         "unlink": 8, "rmdir": 2, "rename": 5, "link": 4, "symlink": 4,
         "reflink": 4, "snapshot": 2, "snap_delete": 2, "dedup": 6,
         "remount": 2, "crash": 2,
+        # Reverse-dedup ops are opt-in (fuzz --repl / run_repl_case):
+        # relocation appends redirect entries to snapshot logs, which
+        # the plain namespace oracle never needs to know about, but the
+        # default campaign keeps them off to preserve historical seeds.
+        "relocate": 0, "restore": 0,
     })
 
 
@@ -241,6 +246,26 @@ class SequenceGenerator:
             return None
         return TraceOp(op="snap_delete", path=self.rng.choice(snaps))
 
+    def _gen_relocate(self) -> Optional[TraceOp]:
+        """Budgeted reverse-dedup pass (only once snapshots exist);
+        ``length`` carries the page budget (0 = unbounded)."""
+        if not self._has_snapshots():
+            return None
+        return TraceOp(op="relocate",
+                       length=self.rng.choice([0, 1, 2, 4, 8]))
+
+    def _gen_restore(self) -> Optional[TraceOp]:
+        """Digest-restore the newest snapshot and self-verify it."""
+        if not self._has_snapshots():
+            return None
+        return TraceOp(op="restore")
+
+    def _has_snapshots(self) -> bool:
+        if not self.model.exists(SNAPSHOT_DIR):
+            return False
+        return bool(self.model.nodes[
+            self.model.lookup(SNAPSHOT_DIR, follow=False)].children)
+
     def _gen_invalid(self) -> Optional[TraceOp]:
         """Deliberately-invalid ops: both sides must reject them."""
         kind = self.rng.choice(["unlink", "rmdir", "create", "write",
@@ -281,6 +306,8 @@ class SequenceGenerator:
             "dedup": lambda: TraceOp(op="dedup"),
             "remount": lambda: TraceOp(op="remount"),
             "crash": lambda: TraceOp(op="crash"),
+            "relocate": self._gen_relocate,
+            "restore": self._gen_restore,
         }
         while len(ops) < nops:
             if self.rng.random() < cfg.invalid_rate:
@@ -359,7 +386,9 @@ def apply_to_model(model: ModelFS, op: TraceOp):
         if not model.exists(root):
             model.mkdir(root)
         tenants.add(op.path)
-    elif kind in ("dedup", "remount", "crash"):
+    elif kind in ("dedup", "remount", "crash", "relocate", "restore"):
+        # relocate/restore change physical placement only, never the
+        # logical namespace the model oracles.
         return None
     else:
         raise ValueError(f"unknown fuzz op {kind!r}")

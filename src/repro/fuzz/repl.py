@@ -1,0 +1,311 @@
+"""Crash sweep for the replication pipeline: recv cursors + relocation.
+
+The main differential fuzzer hosts ``relocate``/``restore`` ops directly
+(enable them with :func:`repl_gen_config` — they are namespace no-ops in
+the model, so the oracle stays exact while the read path checks that
+physical relocation never changes observable bytes).  What it cannot
+host is the two-image replication pipeline, so this module runs a
+dedicated sweep in the spirit of :mod:`repro.fuzz.backup`:
+
+1. a seeded source tree is built by applying a generated op sequence to
+   a real filesystem *and* the model oracle in lockstep; a snapshot is
+   taken at the midpoint and at the end, giving a two-link chain sent as
+   one full stream plus one incremental stream;
+2. a target — prefilled with the first half of the same sequence so the
+   ingest exercises the dup path — receives both streams, reverse-dedups
+   the latest snapshot (``relocate_latest``), and digest-restores it,
+   while :func:`repro.failure.injector.sweep_crash_points` crashes it at
+   every persistence event: recv staging-cursor writes *and*
+   relocation intent-journal writes, in both phases and both modes;
+3. after each recovery mount (torn-stage rollback + intent replay) the
+   target must be fsck-clean with no ``/.backup_stage`` or
+   ``/.repl/relocate.intent`` residue, its own tree byte-identical to
+   the pre-ingest baseline, each snapshot either fully absent or
+   byte-identical to the model namespace — and every *present* snapshot
+   must restore byte-identically to a never-relocated control, even
+   before the interrupted relocation pass is finished;
+4. the pipeline must then be completable from any crash point:
+   re-receive whatever is missing, run relocation to ``done``, and
+   demand restore equivalence again.
+"""
+
+from __future__ import annotations
+
+import io
+from dataclasses import dataclass, field
+
+from repro.backup import receive_backup, send_backup
+from repro.backup.recv import STAGE_DIR
+from repro.dedup.denova import DeNovaFS
+from repro.dedup.reflink import SNAPSHOT_DIR, snapshot
+from repro.failure.injector import count_persist_events, sweep_crash_points
+from repro.failure.invariants import check_fs_invariants
+from repro.fuzz.backup import backup_gen_config
+from repro.fuzz.diff import (
+    FuzzConfig,
+    Violation,
+    apply_op,
+    flags_converged,
+    fs_namespace,
+    make_fs,
+)
+from repro.fuzz.gen import GenConfig, generate_sequence
+from repro.fuzz.model import ModelFS
+from repro.repl import INTENT_PATH, relocate_latest, restore_snapshot
+from repro.repl.chain import REPL_DIR
+
+__all__ = ["ReplSweepResult", "repl_gen_config", "prepare_repl_case",
+           "run_repl_case"]
+
+
+def repl_gen_config(alpha: float = 0.55) -> GenConfig:
+    """Generator knobs for repl sequences in the *main* differential
+    fuzzer: snapshots plus ``relocate``/``restore`` ops enabled, whole-
+    device lifecycle ops left to the crash sweep.  Relocation is a
+    namespace no-op, so the model stays an exact oracle; subsequent
+    generated reads then verify that moving pages never changes
+    observable bytes.
+    """
+    cfg = GenConfig(alpha=alpha)
+    cfg.weights = dict(cfg.weights)
+    for kind in ("crash", "remount", "snap_delete"):
+        cfg.weights[kind] = 0
+    cfg.weights["snapshot"] = max(2, cfg.weights.get("snapshot", 0))
+    cfg.weights["relocate"] = 4
+    cfg.weights["restore"] = 2
+    return cfg
+
+
+@dataclass
+class ReplSweepResult:
+    """Outcome of one replication-pipeline crash sweep."""
+
+    snapshots: tuple = ()
+    stream_bytes: int = 0
+    records: int = 0
+    ops_applied: int = 0
+    crash_points: int = 0
+    violations: list = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        return not self.violations
+
+
+def _snap_root_ns(model: ModelFS, name: str) -> dict:
+    """The model namespace relocated under ``/.snapshots/<name>``."""
+    root = f"{SNAPSHOT_DIR}/{name}"
+    out = {root: ("dir",)}
+    for path, desc in model.namespace().items():
+        out[root + path] = desc
+    return out
+
+
+def prepare_repl_case(cfg: FuzzConfig, names=("fz1", "fz2")) -> dict:
+    """Build a two-snapshot source chain, send it, and derive the sweep
+    oracles.
+
+    Returns ``{"streams", "expected", "prefill", "want", "baseline",
+    "ops_applied", "records"}`` where ``expected[name]`` is the model
+    namespace under that snapshot root, ``want[name]`` the restore
+    manifest of a never-relocated control target, and ``baseline`` the
+    target's own pre-ingest namespace.
+    """
+    ops = generate_sequence(cfg.seed, stream=0, nops=cfg.seq_ops,
+                            cfg=backup_gen_config(cfg.alpha))
+    half = len(ops) // 2
+    src = make_fs(cfg)
+    model = ModelFS()
+    applied = 0
+
+    def run(seq) -> bool:
+        nonlocal src, applied
+        for op in seq:
+            src, status = apply_op(src, model, op)
+            if status == "stop":
+                return False
+            if status == "ok":
+                applied += 1
+        return True
+
+    cont = run(ops[:half])
+    src.daemon.drain()
+    snapshot(src, names[0])
+    buf1 = io.BytesIO()
+    rep1 = send_backup(src, names[0], buf1)
+    expected = {names[0]: _snap_root_ns(model, names[0])}
+    if cont:
+        run(ops[half:])
+    src.daemon.drain()
+    snapshot(src, names[1])
+    buf2 = io.BytesIO()
+    rep2 = send_backup(src, names[1], buf2, base=names[0])
+    expected[names[1]] = _snap_root_ns(model, names[1])
+    streams = (buf1.getvalue(), buf2.getvalue())
+
+    # Never-relocated control target: same prefill as the swept builds,
+    # receives both streams, restores forward — the equivalence oracle.
+    ctrl = make_fs(cfg)
+    cm = ModelFS()
+    for op in ops[:half]:
+        ctrl, status = apply_op(ctrl, cm, op)
+        if status == "stop":
+            break
+    ctrl.daemon.drain()
+    baseline = fs_namespace(ctrl)
+    for data in streams:
+        receive_backup(ctrl, io.BytesIO(data))
+    want = {n: restore_snapshot(ctrl, n)["manifest"] for n in names}
+    return {
+        "streams": streams,
+        "expected": expected,
+        "prefill": ops[:half],
+        "want": want,
+        "baseline": baseline,
+        "ops_applied": applied,
+        "records": rep1["records_total"] + rep2["records_total"],
+    }
+
+
+def run_repl_case(cfg=None, names=("fz1", "fz2")) -> ReplSweepResult:
+    """Sweep crashes through recv + relocate; see the module docstring."""
+    cfg = cfg or FuzzConfig()
+    case = prepare_repl_case(cfg, names)
+    streams = case["streams"]
+    expected = case["expected"]
+    want = case["want"]
+    baseline = case["baseline"]
+    prefill = case["prefill"]
+    result = ReplSweepResult(
+        snapshots=tuple(names),
+        stream_bytes=sum(len(s) for s in streams),
+        records=case["records"], ops_applied=case["ops_applied"])
+
+    def build():
+        tfs = make_fs(cfg)
+        model = ModelFS()
+        for op in prefill:
+            tfs, status = apply_op(tfs, model, op)
+            if status == "stop":
+                break
+        tfs.daemon.drain()
+        state = {"fs": tfs}
+        tfs.dev._fuzz_state = state
+
+        def scenario():
+            fs = state["fs"]
+            for data in streams:
+                receive_backup(fs, io.BytesIO(data))
+            out = relocate_latest(fs)
+            assert out["done"]
+            restore_snapshot(fs, names[1])
+            fs.unmount()
+
+        return tfs.dev, scenario
+
+    allowed_repl = {REPL_DIR} | {f"{REPL_DIR}/{n}.chain" for n in names}
+
+    def _split(ns: dict) -> tuple[dict, dict]:
+        snap = {p: d for p, d in ns.items()
+                if p == SNAPSHOT_DIR or p.startswith(SNAPSHOT_DIR + "/")}
+        repl = {p: d for p, d in ns.items()
+                if p == REPL_DIR or p.startswith(REPL_DIR + "/")}
+        rest = {p: d for p, d in ns.items()
+                if p not in snap and p not in repl}
+        if INTENT_PATH in repl:
+            raise AssertionError(
+                "relocation intent journal survived recovery replay")
+        stray = sorted(set(repl) - allowed_repl)
+        if stray:
+            raise AssertionError(
+                f"unexpected /.repl residue after crash: {stray[:4]}")
+        return snap, rest
+
+    def _check_snapshots(snap: dict) -> list:
+        """Each snapshot root is all-or-nothing; returns the present
+        names (fz2 committed implies fz1 committed — receives are
+        ordered)."""
+        present = []
+        for n in names:
+            root = f"{SNAPSHOT_DIR}/{n}"
+            mine = {p: d for p, d in snap.items()
+                    if p == root or p.startswith(root + "/")}
+            if not mine:
+                continue
+            if mine != expected[n]:
+                missing = sorted(set(expected[n]) - set(mine))[:4]
+                extra = sorted(set(mine) - set(expected[n]))[:4]
+                raise AssertionError(
+                    f"snapshot {n} diverges from model: "
+                    f"missing={missing} extra={extra}")
+            present.append(n)
+        if present == [names[1]]:
+            raise AssertionError(
+                f"{names[1]} committed without its base {names[0]}")
+        leftovers = sorted(
+            p for p in snap if p != SNAPSHOT_DIR
+            and not any(p == f"{SNAPSHOT_DIR}/{n}"
+                        or p.startswith(f"{SNAPSHOT_DIR}/{n}/")
+                        for n in present))
+        if leftovers:
+            raise AssertionError(
+                f"partial snapshot visible after crash: {leftovers[:4]}")
+        return present
+
+    def _expect_restores(fs, present) -> None:
+        for n in present:
+            man = restore_snapshot(fs, n)["manifest"]
+            if man != want[n]:
+                raise AssertionError(
+                    f"restore of {n} diverges from never-relocated "
+                    f"control after crash")
+
+    def check(dev, point, phase):
+        rec = DeNovaFS.mount(dev, cpus=cfg.cpus)
+        check_fs_invariants(rec)
+        ns = fs_namespace(rec)
+        residue = [p for p in ns
+                   if p == STAGE_DIR or p.startswith(STAGE_DIR + "/")]
+        if residue:
+            raise AssertionError(
+                f"staging residue after recovery: {residue[:4]}")
+        snap, rest = _split(ns)
+        if rest != baseline:
+            changed = sorted(set(rest) ^ set(baseline))[:4]
+            raise AssertionError(
+                f"target's own tree changed across crash: {changed}")
+        present = _check_snapshots(snap)
+        # Whatever committed must already restore correctly — the
+        # recovery replay settled any half-relocated pages.
+        _expect_restores(rec, present)
+        # Every crash point is resumable: finish the pipeline.
+        for n, data in zip(names, streams):
+            if n not in present:
+                rep = receive_backup(rec, io.BytesIO(data))
+                if not rep["committed"]:
+                    raise AssertionError(
+                        f"post-crash re-receive of {n} did not commit")
+        while not relocate_latest(rec)["done"]:
+            pass
+        _expect_restores(rec, list(names))
+        rec.daemon.drain()
+        check_fs_invariants(rec)
+        if not flags_converged(rec):
+            raise AssertionError(
+                "in_process entries survive repl recovery + drain")
+        result.crash_points += 1
+
+    combos = [(p, m) for m in cfg.modes for p in cfg.phases]
+    if combos and cfg.budget > 0:
+        total = count_persist_events(build)
+        per_combo = max(1, cfg.budget // len(combos))
+        stride = max(1, total // per_combo)
+        for mode in cfg.modes:
+            try:
+                sweep_crash_points(build, check, phases=cfg.phases,
+                                   mode=mode, stride=stride, seed=cfg.seed)
+            except AssertionError as exc:
+                result.violations.append(Violation(
+                    kind="invariant", detail=str(exc), stage="sweep",
+                    mode=mode))
+    return result

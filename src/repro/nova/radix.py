@@ -126,6 +126,27 @@ class FileIndex:
         """Drop every mapping (unlink replay)."""
         return self.truncate_pages(0)
 
+    def physical_runs(self) -> list[tuple[int, int, int]]:
+        """Contiguous (file pgoff, device page, count) runs, in file order.
+
+        A run extends while both the file offset and the device page
+        advance by one — the unit a layout-aware reader (restore) can
+        fetch with a single device request, and what the reverse-dedup
+        relocator tries to maximize.  Holes and physical discontinuities
+        both break runs.
+        """
+        runs: list[list[int]] = []
+        for pgoff in self.mapped_offsets:
+            self._clock.advance(self._cpu.dram_touch_ns)
+            _addr, entry = self._slots[pgoff]
+            block = entry.block_for(pgoff)
+            if runs and runs[-1][0] + runs[-1][2] == pgoff \
+                    and runs[-1][1] + runs[-1][2] == block:
+                runs[-1][2] += 1
+            else:
+                runs.append([pgoff, block, 1])
+        return [tuple(r) for r in runs]
+
     def referenced_pages(self) -> set[int]:
         """All device pages the current index references (recovery bitmap)."""
         return {

@@ -1,0 +1,129 @@
+"""Snapshot chain metadata: parent links, depth, physical layout.
+
+Each received snapshot records one tiny JSON file,
+``/.repl/<name>.chain`` — ``{"parent": <name|None>, "layout":
+"forward"|"reverse"}``.  The metadata is *advisory*: restore and
+deletion never depend on it, so it is written after the commit rename
+(a crash in between leaves a published snapshot with unknown lineage,
+which :func:`chain_table` reports as a depth-1 root).  ``layout``
+flips to ``reverse`` once the relocation pass has sequentialized the
+snapshot; ``repl`` and ``backup list`` use it to report chain health.
+
+Locally-taken snapshots (``fs.snapshot``) record no chain file — only
+``backup recv`` and :func:`repro.repl.relocate.relocate_latest` (for
+snapshots that already have one) touch this namespace, which keeps the
+root namespace byte-identical for workloads that never replicate.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Optional
+
+from repro.nova.fs import FSError
+
+__all__ = ["REPL_DIR", "record_chain", "chain_info", "chain_table",
+           "set_layout", "forget_chain"]
+
+REPL_DIR = "/.repl"
+
+LAYOUT_FORWARD = "forward"
+LAYOUT_REVERSE = "reverse"
+
+
+def _chain_path(name: str) -> str:
+    return f"{REPL_DIR}/{name}.chain"
+
+
+def _present(fs, path: str) -> bool:
+    try:
+        fs.lookup(path, follow=False)
+        return True
+    except FSError:
+        return False
+
+
+def _write_small(fs, path: str, data: bytes) -> None:
+    if not _present(fs, path):
+        fs.create(path)
+    ino = fs.lookup(path, follow=False)
+    fs.truncate(ino, 0)
+    if data:
+        fs.write(ino, 0, data)
+
+
+def _read_json(fs, path: str) -> Optional[dict]:
+    if not _present(fs, path):
+        return None
+    ino = fs.lookup(path, follow=False)
+    try:
+        out = json.loads(fs.read(ino, 0, fs.stat(ino).size).decode())
+    except (ValueError, UnicodeDecodeError):
+        return None
+    return out if isinstance(out, dict) else None
+
+
+def record_chain(fs, name: str, parent: Optional[str] = None,
+                 layout: str = LAYOUT_FORWARD) -> None:
+    """Record lineage for snapshot ``name`` (recv commit hook)."""
+    if not _present(fs, REPL_DIR):
+        fs.mkdir(REPL_DIR)
+    _write_small(fs, _chain_path(name), json.dumps(
+        {"parent": parent, "layout": layout}).encode())
+
+
+def chain_info(fs, name: str) -> Optional[dict]:
+    """``{"parent", "layout"}`` for ``name`` (None if never recorded)."""
+    return _read_json(fs, _chain_path(name))
+
+
+def set_layout(fs, name: str, layout: str) -> bool:
+    """Flip ``name``'s recorded layout; False if it has no chain file.
+
+    Deliberately does *not* create a chain file: local snapshots stay
+    out of the ``/.repl`` namespace even after a relocation pass.
+    """
+    info = chain_info(fs, name)
+    if info is None:
+        return False
+    _write_small(fs, _chain_path(name), json.dumps(
+        {"parent": info.get("parent"), "layout": layout}).encode())
+    return True
+
+
+def forget_chain(fs, name: str) -> None:
+    """Drop ``name``'s chain metadata (snapshot deletion hook)."""
+    path = _chain_path(name)
+    if _present(fs, path):
+        fs.unlink(path)
+    if _present(fs, REPL_DIR) and not fs.listdir(REPL_DIR):
+        fs.rmdir(REPL_DIR)
+
+
+def chain_table(fs) -> list[dict]:
+    """Per-snapshot ``{"snapshot", "parent", "depth", "layout"}`` rows.
+
+    Ordered by the :func:`list_snapshots` contract (lexicographic).
+    Depth is 1 for a chain root; a parent that is itself unknown (local
+    snapshot, pruned ancestor) terminates the walk, and a malformed
+    parent cycle is cut rather than looped.
+    """
+    from repro.dedup.reflink import list_snapshots
+    rows = []
+    for name in list_snapshots(fs):
+        info = chain_info(fs, name) or {}
+        depth = 1
+        seen = {name}
+        parent = info.get("parent")
+        hop = parent
+        while hop is not None and hop not in seen:
+            seen.add(hop)
+            depth += 1
+            hop = (chain_info(fs, hop) or {}).get("parent")
+        rows.append({
+            "snapshot": name,
+            "parent": parent,
+            "depth": depth,
+            "layout": info.get("layout", LAYOUT_FORWARD),
+        })
+    return rows

@@ -1,0 +1,107 @@
+"""Restore-latest: read the newest snapshot through the physical layout.
+
+The point of reverse dedup is this read path: ``fs.read`` charges one
+device request per page, but a restore streams whole files, so the unit
+that matters is the *contiguous physical run* — one device request per
+run (request latency amortizes over the run's bandwidth term).  A
+forward-deduped chain tail fragments into many single-page runs and
+pays the request latency per page; a relocated (reverse) tail is one
+run per file and the cost is almost pure bandwidth.  That difference is
+what ``benchmarks/bench_repl.py`` plots against chain length.
+
+The restore emits a digest manifest (path → sha256, size) rather than
+materializing the tree — what a verification-style restore target needs
+and what the equivalence tests compare against ``fs.read``.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from typing import Callable, Optional
+
+from repro.nova.inode import ITYPE_DIR, ITYPE_FILE
+from repro.nova.layout import PAGE_SIZE
+from repro.repl.relocate import latest_snapshot
+
+__all__ = ["restore_latest", "restore_snapshot"]
+
+_ZERO_PAGE = bytes(PAGE_SIZE)
+
+
+def _restore_file(fs, path: str) -> tuple[str, int, int]:
+    """Stream one file run-by-run; returns (sha256, bytes, requests)."""
+    ino = fs.lookup(path, follow=False)
+    cache = fs.caches[ino]
+    size = cache.inode.size
+    h = hashlib.sha256()
+    npages = (size + PAGE_SIZE - 1) // PAGE_SIZE
+    produced = 0  # file offset the digest has reached, in pages
+    requests = 0
+    for pgoff, block, count in cache.index.physical_runs():
+        while produced < pgoff:      # hole: reads as zeros
+            h.update(_ZERO_PAGE[:min(PAGE_SIZE, size - produced * PAGE_SIZE)])
+            produced += 1
+        data = fs.dev.read(block * PAGE_SIZE, count * PAGE_SIZE)
+        requests += 1
+        take = min(count * PAGE_SIZE, size - pgoff * PAGE_SIZE)
+        h.update(data[:take])
+        produced = pgoff + count
+    while produced < npages:         # trailing hole
+        h.update(_ZERO_PAGE[:min(PAGE_SIZE, size - produced * PAGE_SIZE)])
+        produced += 1
+    return h.hexdigest(), size, requests
+
+
+def restore_snapshot(fs, name: str,
+                     sink: Optional[Callable[[str, str, int], None]] = None
+                     ) -> dict:
+    """Digest-restore snapshot ``name``; one device request per run.
+
+    ``sink(relpath, sha256, size)`` is called per file when given; the
+    manifest is returned either way.  Timing comes off the DES clock, so
+    the reported wall time reflects the modeled request/bandwidth costs.
+    """
+    from repro.dedup.reflink import SNAPSHOT_DIR
+
+    root = f"{SNAPSHOT_DIR}/{name}"
+    fs.lookup(root, follow=False)  # FSError if absent
+    manifest: dict[str, dict] = {}
+    stats = {"files": 0, "bytes": 0, "requests": 0}
+    t0 = fs.clock.now_ns
+
+    def walk(path: str, rel: str) -> None:
+        for entry in sorted(fs.listdir(path)):
+            child = f"{path}/{entry}"
+            crel = f"{rel}/{entry}" if rel else entry
+            ino = fs.lookup(child, follow=False)
+            itype = fs.caches[ino].inode.itype
+            if itype == ITYPE_DIR:
+                walk(child, crel)
+            elif itype == ITYPE_FILE:
+                digest, size, requests = _restore_file(fs, child)
+                manifest[crel] = {"sha256": digest, "size": size}
+                stats["files"] += 1
+                stats["bytes"] += size
+                stats["requests"] += requests
+                if sink is not None:
+                    sink(crel, digest, size)
+
+    with fs.obs.span("repl.restore", snapshot=name):
+        walk(root, "")
+    elapsed = fs.clock.now_ns - t0
+    counters = getattr(fs, "repl_counters", None)
+    if counters is not None:
+        counters["restore_runs"] += stats["requests"]
+        counters["restore_bytes"] += stats["bytes"]
+    gbps = (stats["bytes"] / elapsed) if elapsed else 0.0
+    return {"snapshot": name, "manifest": manifest, "elapsed_ns": elapsed,
+            "throughput_gbps": gbps, **stats}
+
+
+def restore_latest(fs, sink=None) -> dict:
+    """Restore the chain's newest snapshot (the production target)."""
+    name = latest_snapshot(fs)
+    if name is None:
+        return {"snapshot": None, "manifest": {}, "files": 0, "bytes": 0,
+                "requests": 0, "elapsed_ns": 0, "throughput_gbps": 0.0}
+    return restore_snapshot(fs, name, sink=sink)

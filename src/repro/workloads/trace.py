@@ -266,6 +266,23 @@ def apply_trace_op(fs, op: TraceOp, i: int = 0, verify: bool = True,
                     f"digest {got[:12]} != recorded {op.digest[:12]}")
             if counters is not None:
                 counters["verified_reads"] += 1
+    elif op.op == "relocate":
+        # ``length`` carries the page budget (0 = unbounded pass).
+        fs.relocate(budget=op.length or None)
+    elif op.op == "restore":
+        # Digest-restore the newest snapshot and self-verify every
+        # manifest entry against the logical read path.
+        out = fs.restore_latest()
+        if verify and out["snapshot"] is not None:
+            root = f"/.snapshots/{out['snapshot']}"
+            for rel, meta in out["manifest"].items():
+                ino = fs.lookup(f"{root}/{rel}", follow=False)
+                raw = fs.read(ino, 0, fs.stat(ino).size)
+                got = hashlib.sha256(raw).hexdigest()
+                if got != meta["sha256"]:
+                    raise TraceMismatch(
+                        f"op {i}: restore {out['snapshot']}:{rel} digest "
+                        f"{got[:12]} != manifest {meta['sha256'][:12]}")
     else:
         raise ValueError(f"unknown trace op {op.op!r}")
     return fs

@@ -11,6 +11,7 @@ from repro.backup import (
     send_backup,
     send_cursor_path,
     stage_cursor,
+    stage_path_for,
     verify_snapshot,
     verify_stream,
 )
@@ -115,9 +116,12 @@ class TestRecvResume:
         rep = receive_backup(dst, stream, max_entries=2)
         assert not rep["committed"]
         assert dst.list_snapshots() == []          # nothing published
-        assert dst.exists(f"{STAGE_DIR}/s1")       # staging visible
+        # Staging visible, namespaced by stream id for fan-in isolation.
+        stage = stage_path_for(dst, "s1")
+        assert stage == f"{STAGE_DIR}/s1@{rep['stream_id'][:12]}"
         cur = stage_cursor(dst, "s1")
         assert cur["stream_id"] == rep["stream_id"] and cur["applied"] == 2
+        assert cur["active"] is False              # pause was clean
 
     def test_resume_skips_published_entries(self, tmp_path):
         src = source_with_pages()
@@ -142,7 +146,7 @@ class TestRecvResume:
         dst.unmount()
         dst = DeNovaFS.mount(dev)
         assert dst.last_recovery.clean
-        assert dst.exists(f"{STAGE_DIR}/s1")  # kept: unmount was clean
+        assert stage_path_for(dst, "s1")      # kept: unmount was clean
         rep = receive_backup(dst, stream)
         assert rep["resumed"] and rep["committed"]
         assert verify_snapshot(dst, stream, deep=True)["ok"]

@@ -115,9 +115,10 @@ class TestSpaceStats:
         dst.daemon.drain()
         receive_backup(dst, buf)
         st = assert_rfc_identity(dst)
-        # /g's page + three snapshot pages; page_of(1) shared.
-        assert st["logical_pages"] == 4
-        assert st["physical_pages"] == 3
+        # /g's page + three snapshot pages + the /.repl chain-metadata
+        # sidecar recv records at commit; page_of(1) shared.
+        assert st["logical_pages"] == 5
+        assert st["physical_pages"] == 4
         assert st["snapshots"]["count"] == 1
 
     def test_unfingerprinted_pages_balance(self):

@@ -1,0 +1,76 @@
+"""CLI lifecycle: repl fanout/fanin/relocate/restore, chain-aware
+backup list, and the fuzz --repl gate."""
+
+import pytest
+
+from repro.cli import main
+
+pytestmark = pytest.mark.repl
+
+
+@pytest.fixture
+def source(tmp_path):
+    img = str(tmp_path / "src.img")
+    assert main(["mkfs", img, "--pages", "4096", "--inodes", "128"]) == 0
+    payload = tmp_path / "payload.bin"
+    payload.write_bytes(b"".join(bytes([i, 7]) * 2048 for i in range(6)))
+    assert main(["put", img, "/data", str(payload)]) == 0
+    assert main(["dedup", img]) == 0
+    assert main(["snap", img, "create", "s1"]) == 0
+    return img
+
+
+def fresh_image(tmp_path, name):
+    img = str(tmp_path / name)
+    assert main(["mkfs", img, "--pages", "4096", "--inodes", "128"]) == 0
+    return img
+
+
+class TestReplCli:
+    def test_fanout_relocate_restore_list(self, source, tmp_path, capsys):
+        r1 = fresh_image(tmp_path, "r1.img")
+        r2 = fresh_image(tmp_path, "r2.img")
+        assert main(["repl", "fanout", source, "s1", r1, r2,
+                     "--spool", str(tmp_path / "spool")]) == 0
+        out = capsys.readouterr().out
+        assert "2/2 streams committed" in out and "converged" in out
+
+        assert main(["repl", "relocate", r1]) == 0
+        out = capsys.readouterr().out
+        assert "relocated 's1'" in out and "done" in out
+
+        assert main(["repl", "restore", r1]) == 0
+        out = capsys.readouterr().out
+        assert "restored 's1'" in out
+
+        # backup list shows the chain columns; relocation flipped the
+        # replica's layout to reverse, the source stays forward.
+        assert main(["backup", "list", r1]) == 0
+        assert "s1 [depth 1, reverse]" in capsys.readouterr().out
+        assert main(["backup", "list", source]) == 0
+        assert "s1 [depth 1, forward]" in capsys.readouterr().out
+
+    def test_fanin_consolidates(self, source, tmp_path, capsys):
+        hub = fresh_image(tmp_path, "hub.img")
+        assert main(["repl", "fanin", hub, f"{source}:s1",
+                     "--spool", str(tmp_path / "spool")]) == 0
+        out = capsys.readouterr().out
+        assert "1/1 streams committed" in out
+        assert main(["backup", "list", hub]) == 0
+        assert "s1" in capsys.readouterr().out
+
+    def test_fanin_rejects_malformed_source(self, tmp_path, capsys):
+        hub = fresh_image(tmp_path, "hub.img")
+        assert main(["repl", "fanin", hub, "no-colon-here"]) == 1
+        assert "want IMAGE:SNAPSHOT" in capsys.readouterr().err
+
+    def test_relocate_no_snapshots(self, tmp_path, capsys):
+        img = fresh_image(tmp_path, "empty.img")
+        assert main(["repl", "relocate", img]) == 0
+        assert "no snapshots" in capsys.readouterr().out
+
+    def test_fuzz_repl_gate(self, capsys):
+        assert main(["fuzz", "--repl", "--ops", "24", "--seq-ops", "24",
+                     "--budget", "4", "--pages", "4096", "--seed", "3"]) == 0
+        out = capsys.readouterr().out
+        assert "CLEAN" in out and "repl sweeps" in out
